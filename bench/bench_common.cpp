@@ -1,0 +1,58 @@
+#include "bench_common.hpp"
+
+#include <sstream>
+
+namespace gcg::bench {
+
+namespace {
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+}  // namespace
+
+BenchEnv parse_env(int argc, char** argv, const std::string& experiment) {
+  const Cli cli(argc, argv);
+  BenchEnv env;
+  env.suite.scale = cli.get_double("scale", 0.5);
+  env.suite.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  env.seed = env.suite.seed;
+  env.device = simgpu::tahiti();
+  const std::string sel = cli.get("graphs", "");
+  env.graph_names = sel.empty() ? suite_names() : split_csv(sel);
+  std::cout << "# experiment: " << experiment << "\n"
+            << "# device: " << env.device.name << " (" << env.device.num_cus
+            << " CUs, wavefront " << env.device.wavefront_size << ")\n"
+            << "# scale=" << env.suite.scale << " seed=" << env.seed << "\n";
+  for (const auto& unknown : cli.unused()) {
+    std::cerr << "warning: unused flag --" << unknown << "\n";
+  }
+  return env;
+}
+
+std::vector<SuiteEntry> load_graphs(const BenchEnv& env) {
+  std::vector<SuiteEntry> out;
+  out.reserve(env.graph_names.size());
+  for (const auto& name : env.graph_names) {
+    out.push_back(make_suite_graph(name, env.suite));
+  }
+  return out;
+}
+
+ColoringRun run(const BenchEnv& env, const Csr& g, Algorithm a,
+                ColoringOptions opts, bool collect_launches) {
+  opts.seed = env.seed;
+  opts.collect_launches = collect_launches;
+  return run_coloring(env.device, g, a, opts);
+}
+
+double speedup(double baseline_cycles, double cycles) {
+  return cycles > 0.0 ? baseline_cycles / cycles : 0.0;
+}
+
+}  // namespace gcg::bench

@@ -1,0 +1,44 @@
+// Shared plumbing for the experiment harness binaries (bench_table*/
+// bench_fig*): common CLI flags, suite construction, run helpers.
+//
+// Every binary accepts:
+//   --scale S   linear size factor on the suite graphs (default 0.5)
+//   --seed N    RNG seed for generators and priorities (default 1)
+//   --graphs a,b,c   subset of suite graphs (default: all)
+// and prints an ASCII table followed by a CSV block (Table::print).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coloring/runner.hpp"
+#include "graph/gen/suite.hpp"
+#include "metrics/imbalance.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace gcg::bench {
+
+struct BenchEnv {
+  SuiteOptions suite;
+  std::uint64_t seed = 1;
+  std::vector<std::string> graph_names;
+  simgpu::DeviceConfig device;
+};
+
+/// Parse the common flags; prints a one-line banner describing the run.
+BenchEnv parse_env(int argc, char** argv, const std::string& experiment);
+
+/// Build the selected suite graphs.
+std::vector<SuiteEntry> load_graphs(const BenchEnv& env);
+
+/// Run one algorithm with the env's seed; collect_launches controls
+/// whether per-launch metrics are retained.
+ColoringRun run(const BenchEnv& env, const Csr& g, Algorithm a,
+                ColoringOptions opts = {}, bool collect_launches = false);
+
+/// "1.234x" speedup formatting helper value.
+double speedup(double baseline_cycles, double cycles);
+
+}  // namespace gcg::bench

@@ -1,0 +1,31 @@
+// R-F10 (factors analysis): priority function ablation. Random priorities
+// vs degree-biased (largest-degree-first flavour): color count vs
+// iteration count vs runtime across the suite.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-F10 priority ablation");
+
+  Table t({"graph", "priority", "algorithm", "colors", "iterations",
+           "total_cycles"});
+  t.title("R-F10: random vs degree-biased priorities");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    for (PriorityMode mode :
+         {PriorityMode::kRandom, PriorityMode::kDegreeBiased}) {
+      for (Algorithm a : {Algorithm::kBaseline, Algorithm::kHybridSteal}) {
+        ColoringOptions opts;
+        opts.priority = mode;
+        const ColoringRun r = bench::run(env, entry.graph, a, opts);
+        t.add_row({entry.name, std::string(priority_mode_name(mode)),
+                   std::string(algorithm_name(a)),
+                   static_cast<std::int64_t>(r.num_colors),
+                   static_cast<std::int64_t>(r.iterations), r.total_cycles});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

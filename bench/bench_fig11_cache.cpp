@@ -1,0 +1,53 @@
+// R-F11 (model ablation): the shared-L2 model. Runs the baseline and the
+// hybrid with the cache enabled vs the default DRAM-only pricing, and
+// shows how vertex ordering changes locality (hit rate) — connecting the
+// reordering experiment (R-F9) to the memory system.
+#include "bench_common.hpp"
+#include "graph/reorder.hpp"
+#include "simgpu/cache.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F11 L2-cache ablation");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"rgg-like", "citation-like"};
+  }
+
+  Table t({"graph", "order", "algorithm", "cache", "total_cycles",
+           "speedup_vs_nocache", "l2_hit_rate"});
+  t.title("R-F11: DRAM-only vs shared-L2 pricing");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    for (Order order : {Order::kNatural, Order::kRandom, Order::kRcm}) {
+      const Csr g = reorder(entry.graph, order, env.seed);
+      for (Algorithm a : {Algorithm::kBaseline, Algorithm::kHybrid}) {
+        ColoringOptions opts;
+        opts.seed = env.seed;
+        opts.collect_launches = true;
+
+        const ColoringRun plain = run_coloring(env.device, g, a, opts);
+
+        simgpu::DeviceConfig cached_cfg = env.device;
+        cached_cfg.enable_l2_cache = true;
+        const ColoringRun cached = run_coloring(cached_cfg, g, a, opts);
+        double hit = 0.0, total = 0.0;
+        for (const auto& l : cached.launches) {
+          hit += static_cast<double>(l.total.mem_lines_hit);
+          total += static_cast<double>(l.total.mem_transactions);
+        }
+
+        t.add_row({entry.name, std::string(order_name(order)),
+                   std::string(algorithm_name(a)), std::string("off"),
+                   plain.total_cycles, 1.0, 0.0});
+        t.add_row({entry.name, std::string(order_name(order)),
+                   std::string(algorithm_name(a)), std::string("on"),
+                   cached.total_cycles,
+                   bench::speedup(plain.total_cycles, cached.total_cycles),
+                   total > 0 ? hit / total : 0.0});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

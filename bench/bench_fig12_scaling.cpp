@@ -1,0 +1,38 @@
+// R-F12 (factors analysis): problem-size scaling. How each algorithm's
+// simulated time grows with graph size — small graphs underutilize the
+// device (latency-exposed dispatches), large graphs amortize it; the
+// techniques' relative order can change with scale.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F12 size scaling");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"citation-like"};
+  }
+
+  Table t({"graph", "scale", "|V|", "algorithm", "total_cycles",
+           "cycles_per_arc", "speedup_vs_baseline"});
+  t.title("R-F12: simulated time vs problem size");
+  t.precision(3);
+
+  for (double scale : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+    bench::BenchEnv sized = env;
+    sized.suite.scale = scale;
+    for (const auto& entry : bench::load_graphs(sized)) {
+      double baseline_cycles = 0.0;
+      for (Algorithm a : {Algorithm::kBaseline, Algorithm::kWorklist,
+                          Algorithm::kSteal, Algorithm::kHybridSteal}) {
+        const ColoringRun r = bench::run(sized, entry.graph, a);
+        if (a == Algorithm::kBaseline) baseline_cycles = r.total_cycles;
+        t.add_row({entry.name, std::to_string(scale),
+                   static_cast<std::int64_t>(entry.graph.num_vertices()),
+                   std::string(algorithm_name(a)), r.total_cycles,
+                   r.total_cycles / static_cast<double>(entry.graph.num_arcs()),
+                   bench::speedup(baseline_cycles, r.total_cycles)});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

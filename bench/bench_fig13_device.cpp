@@ -1,0 +1,56 @@
+// R-F13 (what-if analysis): device sensitivity. The same workload on
+// hypothetical devices — fewer/more CUs and narrower wavefronts — showing
+// that the load-imbalance problem (and the hybrid's benefit) grows with
+// SIMD width, the paper's central architectural observation.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F13 device sensitivity");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"kron-like"};
+  }
+
+  Table t({"graph", "CUs", "wavefront", "algorithm", "total_cycles",
+           "simd_eff", "hybrid_speedup"});
+  t.title("R-F13: CU count and wavefront width sensitivity");
+  t.precision(3);
+
+  struct DeviceVariant {
+    unsigned cus;
+    unsigned wavefront;
+  };
+  const DeviceVariant variants[] = {{7, 64},  {14, 64}, {28, 64},
+                                    {28, 16}, {28, 32}, {56, 64}};
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    for (const auto& variant : variants) {
+      simgpu::DeviceConfig cfg = simgpu::tahiti();
+      cfg.num_cus = variant.cus;
+      cfg.wavefront_size = variant.wavefront;
+      double base_cycles = 0.0, base_simd = 0.0;
+      for (Algorithm a : {Algorithm::kBaseline, Algorithm::kHybrid}) {
+        ColoringOptions opts;
+        opts.seed = env.seed;
+        opts.collect_launches = true;
+        const ColoringRun r = run_coloring(cfg, entry.graph, a, opts);
+        const ImbalanceReport rep =
+            summarize_launches(r.launches, cfg.wavefront_size);
+        if (a == Algorithm::kBaseline) {
+          base_cycles = r.total_cycles;
+          base_simd = rep.simd_efficiency;
+          (void)base_simd;
+        }
+        t.add_row({entry.name, static_cast<std::int64_t>(variant.cus),
+                   static_cast<std::int64_t>(variant.wavefront),
+                   std::string(algorithm_name(a)), r.total_cycles,
+                   rep.simd_efficiency,
+                   a == Algorithm::kHybrid
+                       ? bench::speedup(base_cycles, r.total_cycles)
+                       : 1.0});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

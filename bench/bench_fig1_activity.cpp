@@ -1,0 +1,28 @@
+// R-F1: program-behaviour characterization — per-iteration frontier size
+// and newly-colored count for the baseline across structurally different
+// graphs (regular mesh vs spatial vs power-law).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F1 per-iteration activity");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"ecology-like", "rgg-like", "kron-like"};
+  }
+
+  Table t({"graph", "iteration", "active", "colored", "cycles", "simd_eff",
+           "cu_imbalance"});
+  t.title("R-F1: baseline max-min activity per iteration");
+  t.precision(3);
+  for (const auto& entry : bench::load_graphs(env)) {
+    const ColoringRun r = bench::run(env, entry.graph, Algorithm::kBaseline);
+    for (const auto& pt : r.activity) {
+      t.add_row({entry.name, static_cast<std::int64_t>(pt.iteration),
+                 static_cast<std::int64_t>(pt.active_vertices),
+                 static_cast<std::int64_t>(pt.colored_this_iter), pt.cycles,
+                 pt.simd_efficiency, pt.cu_imbalance});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

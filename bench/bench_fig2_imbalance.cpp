@@ -1,0 +1,27 @@
+// R-F2: the motivation figure — load imbalance of the baseline across the
+// suite: SIMD (intra-wavefront) efficiency, per-CU busy-time skew, and
+// workgroup-time tail, all rising with degree skew.
+#include "bench_common.hpp"
+#include "graph/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-F2 baseline load imbalance");
+
+  Table t({"graph", "deg_cv", "simd_eff", "cu_max/mean", "cu_cv", "grp_p50",
+           "grp_p99", "grp_max", "total_cycles"});
+  t.title("R-F2: baseline load imbalance vs graph structure");
+  t.precision(3);
+  for (const auto& entry : bench::load_graphs(env)) {
+    const GraphStats s = compute_stats(entry.graph);
+    const ColoringRun r = bench::run(env, entry.graph, Algorithm::kBaseline, {},
+                                     /*collect_launches=*/true);
+    const ImbalanceReport rep =
+        summarize_launches(r.launches, env.device.wavefront_size);
+    t.add_row({entry.name, s.degree_cv, rep.simd_efficiency,
+               rep.cu_max_over_mean, rep.cu_cv, rep.group_cycles_p50,
+               rep.group_cycles_p99, rep.group_cycles_max, rep.total_cycles});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// R-F3: topology-driven vs data-driven execution. Compares the baseline
+// (rescan everything) with the worklist variant (frontier only): work
+// issued, per-iteration cycles, and totals — exposing the trade-off
+// between wasted lanes and shrinking-dispatch latency exposure.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F3 topology- vs data-driven");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"ecology-like", "er-like", "kron-like"};
+  }
+
+  Table t({"graph", "algorithm", "total_cycles", "valu_instr", "mem_instr",
+           "speedup_vs_baseline"});
+  t.title("R-F3: topology-driven vs worklist totals");
+  t.precision(3);
+  Table iters({"graph", "algorithm", "iteration", "active", "cycles"});
+  iters.title("R-F3b: per-iteration cycles");
+  iters.precision(1);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    double baseline_cycles = 0.0;
+    for (Algorithm a : {Algorithm::kBaseline, Algorithm::kWorklist}) {
+      const ColoringRun r =
+          bench::run(env, entry.graph, a, {}, /*collect_launches=*/true);
+      double valu = 0.0, mem = 0.0;
+      for (const auto& l : r.launches) {
+        valu += l.total.valu_instructions;
+        mem += static_cast<double>(l.total.mem_instructions);
+      }
+      if (a == Algorithm::kBaseline) baseline_cycles = r.total_cycles;
+      t.add_row({entry.name, std::string(algorithm_name(a)), r.total_cycles,
+                 valu, mem, bench::speedup(baseline_cycles, r.total_cycles)});
+      for (const auto& pt : r.activity) {
+        iters.add_row({entry.name, std::string(algorithm_name(a)),
+                       static_cast<std::int64_t>(pt.iteration),
+                       static_cast<std::int64_t>(pt.active_vertices), pt.cycles});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+  iters.print(std::cout);
+  return 0;
+}

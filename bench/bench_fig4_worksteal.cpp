@@ -1,0 +1,63 @@
+// R-F4: work-stealing effectiveness. Static persistent partitioning vs
+// stealing (per victim policy): runtime, speedup, steal traffic, and the
+// per-wave busy-time imbalance stealing removes.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-F4 work stealing");
+
+  Table t({"graph", "scheme", "total_cycles", "speedup_vs_static", "pops",
+           "steal_attempts", "steal_hits"});
+  t.title("R-F4: static persistent partitioning vs work stealing");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    ColoringOptions opts;
+    const double stat_cycles =
+        bench::run(env, entry.graph, Algorithm::kPersistentStatic, opts)
+            .total_cycles;
+    {
+      const ColoringRun r =
+          bench::run(env, entry.graph, Algorithm::kPersistentStatic, opts);
+      t.add_row({entry.name, std::string("static"), r.total_cycles, 1.0,
+                 static_cast<std::int64_t>(r.steal.pops), std::int64_t{0},
+                 std::int64_t{0}});
+    }
+    for (VictimPolicy policy :
+         {VictimPolicy::kRandom, VictimPolicy::kRichest, VictimPolicy::kRing}) {
+      ColoringOptions sopts;
+      sopts.victim = policy;
+      const ColoringRun r = bench::run(env, entry.graph, Algorithm::kSteal, sopts);
+      t.add_row({entry.name,
+                 std::string("steal/") + victim_policy_name(policy),
+                 r.total_cycles, bench::speedup(stat_cycles, r.total_cycles),
+                 static_cast<std::int64_t>(r.steal.pops),
+                 static_cast<std::int64_t>(r.steal.steal_attempts),
+                 static_cast<std::int64_t>(r.steal.steal_hits)});
+    }
+
+    // Ablation inside the hybrid: once the hubs leave the chunk stream
+    // (the hybrid's job), does stealing the remaining small-bin work help?
+    ColoringOptions hs;
+    hs.hybrid_small_bin_steal = false;
+    const ColoringRun hybrid_static =
+        bench::run(env, entry.graph, Algorithm::kHybridSteal, hs);
+    const ColoringRun hybrid_steal =
+        bench::run(env, entry.graph, Algorithm::kHybridSteal);
+    t.add_row({entry.name, std::string("hybrid/static-small-bin"),
+               hybrid_static.total_cycles, 1.0,
+               static_cast<std::int64_t>(hybrid_static.steal.pops),
+               std::int64_t{0}, std::int64_t{0}});
+    t.add_row({entry.name, std::string("hybrid/steal-small-bin"),
+               hybrid_steal.total_cycles,
+               bench::speedup(hybrid_static.total_cycles,
+                              hybrid_steal.total_cycles),
+               static_cast<std::int64_t>(hybrid_steal.steal.pops),
+               static_cast<std::int64_t>(hybrid_steal.steal.steal_attempts),
+               static_cast<std::int64_t>(hybrid_steal.steal.steal_hits)});
+  }
+  std::cout << "# hybrid rows: speedup is vs hybrid/static-small-bin\n";
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// R-F5: the hybrid algorithm — the paper's second technique and headline
+// result. Baseline vs hybrid vs hybrid+stealing per graph, with the SIMD
+// efficiency the degree binning recovers.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-F5 hybrid algorithm");
+
+  Table t({"graph", "algorithm", "total_cycles", "model_ms", "simd_eff",
+           "cu_max/mean", "speedup_vs_baseline"});
+  t.title("R-F5: degree-binned hybrid vs baseline");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    double baseline_cycles = 0.0;
+    for (Algorithm a :
+         {Algorithm::kBaseline, Algorithm::kHybrid, Algorithm::kHybridSteal}) {
+      const ColoringRun r =
+          bench::run(env, entry.graph, a, {}, /*collect_launches=*/true);
+      const ImbalanceReport rep =
+          summarize_launches(r.launches, env.device.wavefront_size);
+      if (a == Algorithm::kBaseline) baseline_cycles = r.total_cycles;
+      t.add_row({entry.name, std::string(algorithm_name(a)), r.total_cycles,
+                 r.total_ms, rep.simd_efficiency, rep.cu_max_over_mean,
+                 bench::speedup(baseline_cycles, r.total_cycles)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

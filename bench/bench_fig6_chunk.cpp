@@ -1,0 +1,38 @@
+// R-F6: chunk-size sensitivity for work stealing. Small chunks balance
+// better but pay more queue traffic; large chunks amortize atomics but
+// leave hub-heavy tasks unstealable.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F6 chunk-size sweep");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"citation-like", "kron-like"};
+  }
+
+  Table t({"graph", "chunk", "total_cycles", "speedup_vs_chunk64",
+           "steal_hits", "pops"});
+  t.title("R-F6: steal chunk-size sensitivity");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    double ref = 0.0;
+    // Sweep from fine to coarse; record chunk=64 as the reference point.
+    std::vector<std::pair<std::uint32_t, ColoringRun>> runs;
+    for (std::uint32_t chunk : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+      ColoringOptions opts;
+      opts.chunk_size = chunk;
+      runs.emplace_back(chunk,
+                        bench::run(env, entry.graph, Algorithm::kSteal, opts));
+      if (chunk == 64) ref = runs.back().second.total_cycles;
+    }
+    for (const auto& [chunk, r] : runs) {
+      t.add_row({entry.name, static_cast<std::int64_t>(chunk), r.total_cycles,
+                 bench::speedup(ref, r.total_cycles),
+                 static_cast<std::int64_t>(r.steal.steal_hits),
+                 static_cast<std::int64_t>(r.steal.pops)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// R-F7: hybrid degree-threshold sensitivity. Sweeps the thread-/wave-
+// per-vertex boundary (T_wave) and the wave-/workgroup-per-vertex
+// boundary (T_group) on the most skewed graph — locating the crossover
+// the hybrid's binning relies on.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F7 hybrid threshold sweep");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"kron-like", "citation-like"};
+  }
+
+  Table tw({"graph", "T_wave", "total_cycles", "speedup_vs_T32", "simd_eff"});
+  tw.title("R-F7a: thread->wave threshold sweep (T_group=1024)");
+  tw.precision(3);
+  Table tg({"graph", "T_group", "total_cycles", "speedup_vs_T1024"});
+  tg.title("R-F7b: wave->workgroup threshold sweep (T_wave=32)");
+  tg.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    double ref = 0.0;
+    std::vector<std::pair<vid_t, ColoringRun>> runs;
+    for (vid_t t : {4u, 8u, 16u, 32u, 64u, 128u, 100000000u}) {
+      ColoringOptions opts;
+      opts.wave_degree_threshold = t;
+      runs.emplace_back(t, bench::run(env, entry.graph, Algorithm::kHybrid,
+                                      opts, /*collect_launches=*/true));
+      if (t == 32u) ref = runs.back().second.total_cycles;
+    }
+    for (const auto& [t, r] : runs) {
+      const ImbalanceReport rep =
+          summarize_launches(r.launches, env.device.wavefront_size);
+      tw.add_row({entry.name,
+                  static_cast<std::int64_t>(t == 100000000u ? -1 : (int)t),
+                  r.total_cycles, bench::speedup(ref, r.total_cycles),
+                  rep.simd_efficiency});
+    }
+
+    ref = 0.0;
+    std::vector<std::pair<vid_t, ColoringRun>> gruns;
+    for (vid_t t : {128u, 256u, 512u, 1024u, 2048u, 100000000u}) {
+      ColoringOptions opts;
+      opts.group_degree_threshold = t;
+      gruns.emplace_back(t, bench::run(env, entry.graph, Algorithm::kHybrid, opts));
+      if (t == 1024u) ref = gruns.back().second.total_cycles;
+    }
+    for (const auto& [t, r] : gruns) {
+      tg.add_row({entry.name,
+                  static_cast<std::int64_t>(t == 100000000u ? -1 : (int)t),
+                  r.total_cycles, bench::speedup(ref, r.total_cycles)});
+    }
+  }
+  std::cout << "# T = -1 means the bin is disabled (threshold above any degree)\n";
+  tw.print(std::cout);
+  std::cout << '\n';
+  tg.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// R-F8: workgroup-size sensitivity of the baseline — a factor the paper's
+// "important factors affecting performance" analysis covers. Small groups
+// give the dispatcher more scheduling freedom; big groups amortize less
+// and couple divergent waves.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F8 workgroup-size sweep");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"ecology-like", "er-like", "kron-like"};
+  }
+
+  Table t({"graph", "wg_size", "total_cycles", "speedup_vs_256",
+           "cu_max/mean"});
+  t.title("R-F8: baseline workgroup-size sweep");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    double ref = 0.0;
+    std::vector<std::pair<unsigned, ColoringRun>> runs;
+    for (unsigned wg : {64u, 128u, 256u, 512u, 1024u}) {
+      ColoringOptions opts;
+      opts.group_size = wg;
+      runs.emplace_back(wg, bench::run(env, entry.graph, Algorithm::kBaseline,
+                                       opts, /*collect_launches=*/true));
+      if (wg == 256u) ref = runs.back().second.total_cycles;
+    }
+    for (const auto& [wg, r] : runs) {
+      const ImbalanceReport rep =
+          summarize_launches(r.launches, env.device.wavefront_size);
+      t.add_row({entry.name, static_cast<std::int64_t>(wg), r.total_cycles,
+                 bench::speedup(ref, r.total_cycles), rep.cu_max_over_mean});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

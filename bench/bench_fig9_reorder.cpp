@@ -1,0 +1,37 @@
+// R-F9: factors affecting performance — vertex ordering. The lane<->vertex
+// mapping decides which degrees share a wavefront; degree-sorted orders
+// repair SIMD divergence without algorithm changes (at the price of a
+// preprocessing pass and worse locality for some orders).
+#include "bench_common.hpp"
+#include "graph/reorder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-F9 vertex-order sensitivity");
+  if (env.graph_names.size() == suite_names().size()) {
+    env.graph_names = {"rgg-like", "citation-like", "kron-like"};
+  }
+
+  Table t({"graph", "order", "total_cycles", "speedup_vs_natural", "simd_eff",
+           "colors"});
+  t.title("R-F9: baseline under different vertex orders");
+  t.precision(3);
+
+  for (const auto& entry : bench::load_graphs(env)) {
+    double ref = 0.0;
+    for (Order o : {Order::kNatural, Order::kRandom, Order::kDegreeDescending,
+                    Order::kDegreeAscending, Order::kBfs, Order::kRcm}) {
+      const Csr g = reorder(entry.graph, o, env.seed);
+      const ColoringRun r = bench::run(env, g, Algorithm::kBaseline, {},
+                                       /*collect_launches=*/true);
+      const ImbalanceReport rep =
+          summarize_launches(r.launches, env.device.wavefront_size);
+      if (o == Order::kNatural) ref = r.total_cycles;
+      t.add_row({entry.name, std::string(order_name(o)), r.total_cycles,
+                 bench::speedup(ref, r.total_cycles), rep.simd_efficiency,
+                 static_cast<std::int64_t>(r.num_colors)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

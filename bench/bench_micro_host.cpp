@@ -1,0 +1,135 @@
+// Host-side microbenchmarks (google-benchmark, real wall-clock): the
+// library primitives a downstream user pays for — generators, CSR builds,
+// sequential coloring, verification, simulator kernels, queue operations.
+#include <benchmark/benchmark.h>
+
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/random.hpp"
+#include "graph/reorder.hpp"
+#include "sched/steal_queues.hpp"
+#include "simgpu/dispatch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gcg;
+
+void BM_BuildCsrFromEdges(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  Xoshiro256ss rng(1);
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(n * 8);
+  for (vid_t i = 0; i < n * 8; ++i) {
+    edges.emplace_back(static_cast<vid_t>(rng.bounded(n)),
+                       static_cast<vid_t>(rng.bounded(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphBuilder::from_edges(n, edges));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_BuildCsrFromEdges)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GenerateRmat(benchmark::State& state) {
+  const auto scale = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_rmat(scale, 8, {}, 1));
+  }
+}
+BENCHMARK(BM_GenerateRmat)->Arg(10)->Arg(14);
+
+void BM_GenerateGrid2d(benchmark::State& state) {
+  const auto side = static_cast<vid_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_grid2d(side, side));
+  }
+}
+BENCHMARK(BM_GenerateGrid2d)->Arg(64)->Arg(256);
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_barabasi_albert(n, 8, 1));
+  }
+}
+BENCHMARK(BM_GenerateBarabasiAlbert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SeqGreedy(benchmark::State& state) {
+  const Csr g = make_rmat(static_cast<unsigned>(state.range(0)), 8, {}, 1);
+  const auto order = static_cast<GreedyOrder>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_color(g, order));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_SeqGreedy)
+    ->Args({14, static_cast<long>(GreedyOrder::kNatural)})
+    ->Args({14, static_cast<long>(GreedyOrder::kLargestFirst)})
+    ->Args({14, static_cast<long>(GreedyOrder::kSmallestLast)});
+
+void BM_VerifyColoring(benchmark::State& state) {
+  const Csr g = make_rmat(static_cast<unsigned>(state.range(0)), 8, {}, 1);
+  const auto coloring = greedy_color(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_valid_coloring(g, coloring.colors));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_VerifyColoring)->Arg(12)->Arg(15);
+
+void BM_ReorderRcm(benchmark::State& state) {
+  const Csr g = make_grid2d(static_cast<vid_t>(state.range(0)),
+                            static_cast<vid_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reorder(g, Order::kRcm));
+  }
+}
+BENCHMARK(BM_ReorderRcm)->Arg(64)->Arg(128);
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  // Simulator overhead per simulated wave: a trivial kernel over a grid.
+  const auto cfg = simgpu::tahiti();
+  const std::uint64_t grid = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint32_t> data(grid, 1);
+  for (auto _ : state) {
+    auto r = simgpu::dispatch_waves(cfg, grid, 256, [&](simgpu::Wave& w) {
+      const auto v =
+          w.load(std::span<const std::uint32_t>(data), w.global_ids(), w.valid());
+      benchmark::DoNotOptimize(v);
+      w.valu(w.valid(), 4.0);
+    });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(grid));
+}
+BENCHMARK(BM_SimulatorDispatch)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_StealQueueOps(benchmark::State& state) {
+  const auto cfg = simgpu::test_device();
+  Xoshiro256ss rng(3);
+  for (auto _ : state) {
+    StealQueues q(16);
+    q.fill(deal_round_robin(make_chunks(4096, 16), 16));
+    simgpu::Wave w(cfg, 0, cfg.wavefront_size, 1024);
+    unsigned turn = 0;
+    while (q.total_remaining() > 0) {
+      const unsigned worker = turn++ % 16;
+      if (!q.pop_own(w, worker)) {
+        benchmark::DoNotOptimize(q.steal(w, worker, VictimPolicy::kRandom, rng));
+      }
+    }
+    benchmark::DoNotOptimize(q.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_StealQueueOps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

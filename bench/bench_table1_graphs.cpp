@@ -1,0 +1,31 @@
+// R-T1: evaluation-suite characteristics (the paper's input-graph table).
+// Regenerates: |V|, arcs, average/max degree, degree CV and Gini, and the
+// paper-era input each synthetic graph stands in for.
+#include "bench_common.hpp"
+#include "graph/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-T1 graph suite");
+
+  Table t({"graph", "stands for", "family", "|V|", "arcs", "d_avg", "d_max",
+           "deg CV", "deg Gini", "components"});
+  t.title("R-T1: input graph characteristics");
+  t.precision(2);
+  for (const auto& entry : bench::load_graphs(env)) {
+    const GraphStats s = compute_stats(entry.graph);
+    t.add_row({entry.name, entry.stands_for, entry.family,
+               static_cast<std::int64_t>(s.n), static_cast<std::int64_t>(s.arcs),
+               s.avg_degree, static_cast<std::int64_t>(s.max_degree),
+               s.degree_cv, s.degree_gini,
+               static_cast<std::int64_t>(s.connected_components)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nDegree histograms (log2 bins):\n";
+  for (const auto& entry : bench::load_graphs(env)) {
+    std::cout << entry.name << ":\n" << degree_histogram(entry.graph).render()
+              << "\n";
+  }
+  return 0;
+}

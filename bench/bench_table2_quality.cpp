@@ -1,0 +1,35 @@
+// R-T2: coloring quality — colors used and iterations needed, per
+// algorithm per graph, against sequential-greedy references.
+#include "bench_common.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "util/expect.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-T2 coloring quality");
+
+  Table t({"graph", "algorithm", "colors", "iterations", "colors/greedy"});
+  t.title("R-T2: colors and iterations per algorithm");
+  t.precision(2);
+  for (const auto& entry : bench::load_graphs(env)) {
+    const int greedy_nat = greedy_color(entry.graph).num_colors;
+    const int greedy_sl =
+        greedy_color(entry.graph, GreedyOrder::kSmallestLast).num_colors;
+    t.add_row({entry.name, std::string("seq-greedy(natural)"),
+               static_cast<std::int64_t>(greedy_nat), std::int64_t{1}, 1.0});
+    t.add_row({entry.name, std::string("seq-greedy(smallest-last)"),
+               static_cast<std::int64_t>(greedy_sl), std::int64_t{1},
+               static_cast<double>(greedy_sl) / greedy_nat});
+    for (Algorithm a : all_algorithms()) {
+      const ColoringRun r = bench::run(env, entry.graph, a);
+      GCG_ENSURE(is_valid_coloring(entry.graph, r.colors));
+      t.add_row({entry.name, std::string(algorithm_name(a)),
+                 static_cast<std::int64_t>(r.num_colors),
+                 static_cast<std::int64_t>(r.iterations),
+                 static_cast<double>(r.num_colors) / greedy_nat});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// R-T3: the overall summary — every algorithm on every suite graph,
+// speedup over the baseline GPU implementation, with geometric means.
+// The paper's headline ("~25% over the baseline") corresponds to the
+// geomean row of the best technique.
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const auto env = bench::parse_env(argc, argv, "R-T3 overall summary");
+
+  Table t({"graph", "algorithm", "total_cycles", "model_ms", "colors",
+           "iterations", "speedup_vs_baseline"});
+  t.title("R-T3: all algorithms, all graphs");
+  t.precision(3);
+
+  std::map<Algorithm, std::vector<double>> speedups;
+  for (const auto& entry : bench::load_graphs(env)) {
+    double baseline_cycles = 0.0;
+    for (Algorithm a : all_algorithms()) {
+      const ColoringRun r = bench::run(env, entry.graph, a);
+      if (a == Algorithm::kBaseline) baseline_cycles = r.total_cycles;
+      const double sp = bench::speedup(baseline_cycles, r.total_cycles);
+      speedups[a].push_back(sp);
+      t.add_row({entry.name, std::string(algorithm_name(a)), r.total_cycles,
+                 r.total_ms, static_cast<std::int64_t>(r.num_colors),
+                 static_cast<std::int64_t>(r.iterations), sp});
+    }
+  }
+  t.print(std::cout);
+
+  Table g({"algorithm", "geomean_speedup_vs_baseline"});
+  g.title("R-T3b: geometric-mean speedup over the whole suite");
+  g.precision(3);
+  for (Algorithm a : all_algorithms()) {
+    g.add_row({std::string(algorithm_name(a)), geomean(speedups[a])});
+  }
+  g.print(std::cout);
+  std::cout << "\n# Paper headline: best technique ~1.25x over the baseline "
+               "GPU implementation (abstract).\n";
+  return 0;
+}

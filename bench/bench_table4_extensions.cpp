@@ -1,0 +1,69 @@
+// R-T4 (extensions beyond the paper): the color-reduction post-pass, the
+// standalone Luby MIS primitive, and GPU distance-2 coloring — measured on
+// the suite so the extension costs/benefits are on record.
+#include "bench_common.hpp"
+#include "coloring/distance2.hpp"
+#include "coloring/mis.hpp"
+#include "coloring/recolor.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "util/expect.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  auto env = bench::parse_env(argc, argv, "R-T4 extensions");
+
+  // --- color reduction over the whole suite --------------------------------
+  Table tr({"graph", "baseline colors", "after 1 pass", "after reduce",
+            "greedy ref", "passes"});
+  tr.title("R-T4a: iterated-greedy color reduction of max-min colorings");
+  for (const auto& entry : bench::load_graphs(env)) {
+    const ColoringRun base = bench::run(env, entry.graph, Algorithm::kBaseline);
+    const RecolorResult one = recolor_pass(entry.graph, base.colors);
+    const RecolorResult full = reduce_colors(entry.graph, base.colors);
+    const int greedy = greedy_color(entry.graph).num_colors;
+    GCG_ENSURE(is_valid_coloring(entry.graph, full.colors));
+    tr.add_row({entry.name, static_cast<std::int64_t>(base.num_colors),
+                static_cast<std::int64_t>(one.num_colors),
+                static_cast<std::int64_t>(full.num_colors),
+                static_cast<std::int64_t>(greedy),
+                static_cast<std::int64_t>(full.passes)});
+  }
+  tr.print(std::cout);
+  std::cout << '\n';
+
+  // --- Luby MIS -------------------------------------------------------------
+  Table tm({"graph", "MIS size (gpu)", "MIS size (greedy)", "rounds",
+            "sim cycles"});
+  tm.title("R-T4b: Luby maximal independent set");
+  for (const auto& entry : bench::load_graphs(env)) {
+    ColoringOptions opts;
+    opts.seed = env.seed;
+    const MisResult gpu = luby_mis(env.device, entry.graph, opts);
+    const MisResult host = greedy_mis(entry.graph);
+    GCG_ENSURE(is_maximal_independent_set(entry.graph, gpu.in_set));
+    tm.add_row({entry.name, static_cast<std::int64_t>(gpu.set_size),
+                static_cast<std::int64_t>(host.set_size),
+                static_cast<std::int64_t>(gpu.rounds), gpu.total_cycles});
+  }
+  tm.print(std::cout);
+  std::cout << '\n';
+
+  // --- distance-2 on the bounded-degree graphs ------------------------------
+  Table t2({"graph", "d2 colors (gpu)", "d2 colors (greedy)", "iterations",
+            "sim cycles"});
+  t2.title("R-T4c: distance-2 coloring (bounded-degree inputs)");
+  for (const char* name : {"ecology-like", "road-like", "rgg-like"}) {
+    const auto entry = make_suite_graph(name, env.suite);
+    ColoringOptions opts;
+    opts.seed = env.seed;
+    opts.collect_launches = false;
+    const ColoringRun gpu = run_coloring_d2(env.device, entry.graph, opts);
+    const SeqColoring host = greedy_color_d2(entry.graph);
+    GCG_ENSURE(is_valid_coloring_d2(entry.graph, gpu.colors));
+    t2.add_row({std::string(name), static_cast<std::int64_t>(gpu.num_colors),
+                static_cast<std::int64_t>(host.num_colors),
+                static_cast<std::int64_t>(gpu.iterations), gpu.total_cycles});
+  }
+  t2.print(std::cout);
+  return 0;
+}

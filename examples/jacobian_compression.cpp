@@ -1,0 +1,69 @@
+// Scenario: sparse Jacobian compression by distance-2 coloring.
+//
+// Estimating a sparse Jacobian with finite differences costs one function
+// evaluation per column — unless structurally orthogonal columns (columns
+// with no common nonzero row) are perturbed together. For a symmetric
+// sparsity pattern, groups of mutually orthogonal columns are exactly the
+// color classes of a distance-2 coloring of the adjacency graph.
+//
+// We compress the Jacobian of a 2D PDE stencil and report the evaluation
+// savings, cross-checking that a plain distance-1 coloring is NOT enough.
+//
+//   ./examples/jacobian_compression [--nx 120] [--ny 120]
+#include <iostream>
+
+#include "coloring/distance2.hpp"
+#include "graph/gen/grid.hpp"
+#include "util/cli.hpp"
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const Cli cli(argc, argv);
+  const auto nx = static_cast<vid_t>(cli.get_int("nx", 120));
+  const auto ny = static_cast<vid_t>(cli.get_int("ny", 120));
+
+  const Csr g = make_grid2d(nx, ny);
+  const vid_t n = g.num_vertices();
+  std::cout << "Jacobian of a " << nx << "x" << ny
+            << " 5-point stencil: " << n << " columns, "
+            << g.num_arcs() + n << " nonzeros\n\n";
+
+  // Distance-1 coloring groups adjacent-only columns — NOT structurally
+  // orthogonal (two neighbours of the same row collide). Demonstrate.
+  const SeqColoring d1 = greedy_color(g);
+  GCG_ENSURE(is_valid_coloring(g, d1.colors));
+  const bool d1_ok = is_valid_coloring_d2(g, d1.colors);
+
+  // Proper compression: distance-2 colorings, host and simulated GPU.
+  const SeqColoring host = greedy_color_d2(g);
+  GCG_ENSURE(is_valid_coloring_d2(g, host.colors));
+
+  ColoringOptions opts;
+  opts.collect_launches = false;
+  const ColoringRun gpu = run_coloring_d2(simgpu::tahiti(), g, opts);
+  GCG_ENSURE(is_valid_coloring_d2(g, gpu.colors));
+
+  Table t({"method", "groups (F evals)", "compression", "orthogonal?"});
+  t.precision(1);
+  t.add_row({std::string("one eval per column (naive)"),
+             static_cast<std::int64_t>(n), 1.0, std::string("yes")});
+  t.add_row({std::string("distance-1 coloring (wrong)"),
+             static_cast<std::int64_t>(d1.num_colors),
+             static_cast<double>(n) / d1.num_colors,
+             std::string(d1_ok ? "yes" : "NO")});
+  t.add_row({std::string("distance-2 greedy (host)"),
+             static_cast<std::int64_t>(host.num_colors),
+             static_cast<double>(n) / host.num_colors, std::string("yes")});
+  t.add_row({std::string("distance-2 speculative (gpu)"),
+             static_cast<std::int64_t>(gpu.num_colors),
+             static_cast<double>(n) / gpu.num_colors, std::string("yes")});
+  std::cout << t.to_ascii();
+
+  std::cout << "\n" << n << " function evaluations compress to "
+            << gpu.num_colors << " — a " << n / gpu.num_colors
+            << "x saving; the distance-1 grouping would corrupt the "
+               "estimate wherever two grouped columns share a row.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Scenario: multicolor ordering for parallel Gauss–Seidel.
+//
+// Classic use of graph coloring (and the paper's motivating application
+// class): color the adjacency graph of a sparse matrix so that unknowns of
+// one color have no mutual dependencies — each color class then updates in
+// parallel, and a Gauss–Seidel sweep becomes `num_colors` parallel steps.
+//
+// We build a 2D Poisson (5-point stencil) system, color it, and report the
+// parallel schedule quality (steps, parallelism per step) for several
+// coloring strategies. The 5-point stencil is 2-colorable (red-black); a
+// good coloring gets close, a bad one wastes parallel steps.
+//
+//   ./examples/matrix_ordering [--nx 300] [--ny 300]
+#include <cmath>
+#include <iostream>
+
+#include "coloring/quality.hpp"
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/gen/grid.hpp"
+#include "util/cli.hpp"
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Simulated cost of one multicolor Gauss–Seidel sweep on a machine with
+/// `lanes` parallel units: each color class is one step; a step costs
+/// ceil(class_size / lanes) time units.
+double sweep_cost(const gcg::QualityReport& q, double lanes) {
+  double cost = 0.0;
+  for (auto size : q.class_sizes) {
+    cost += std::ceil(static_cast<double>(size) / lanes);
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const Cli cli(argc, argv);
+  const auto nx = static_cast<vid_t>(cli.get_int("nx", 300));
+  const auto ny = static_cast<vid_t>(cli.get_int("ny", 300));
+  const double lanes = 28.0 * 64.0;  // one Tahiti's worth of parallel units
+
+  const Csr g = make_grid2d(nx, ny);
+  std::cout << "Poisson 5-point system: " << g.num_vertices() << " unknowns, "
+            << g.num_edges() << " couplings (chromatic number 2: red-black)\n\n";
+
+  Table t({"coloring", "colors", "largest class %", "GS sweep steps",
+           "sweep cost (time units)", "vs red-black"});
+  t.precision(2);
+
+  // Ideal red-black reference.
+  std::vector<color_t> redblack(g.num_vertices());
+  for (vid_t y = 0; y < ny; ++y) {
+    for (vid_t x = 0; x < nx; ++x) {
+      redblack[y * nx + x] = static_cast<color_t>((x + y) % 2);
+    }
+  }
+  GCG_ENSURE(is_valid_coloring(g, redblack));
+  const QualityReport rb = analyze_quality(g, redblack);
+  const double rb_cost = sweep_cost(rb, lanes);
+  t.add_row({std::string("red-black (ideal)"), std::int64_t{2},
+             rb.largest_class_fraction * 100.0, std::int64_t{2}, rb_cost, 1.0});
+
+  // Sequential greedy.
+  const SeqColoring greedy = greedy_color(g, GreedyOrder::kNatural);
+  const QualityReport gq = analyze_quality(g, greedy.colors);
+  t.add_row({std::string("seq-greedy"), static_cast<std::int64_t>(gq.num_colors),
+             gq.largest_class_fraction * 100.0,
+             static_cast<std::int64_t>(gq.num_colors), sweep_cost(gq, lanes),
+             sweep_cost(gq, lanes) / rb_cost});
+
+  // GPU colorings.
+  const auto device = simgpu::tahiti();
+  for (Algorithm a :
+       {Algorithm::kBaseline, Algorithm::kSpeculative, Algorithm::kHybridSteal}) {
+    ColoringOptions opts;
+    opts.collect_launches = false;
+    const ColoringRun run = run_coloring(device, g, a, opts);
+    GCG_ENSURE(is_valid_coloring(g, run.colors));
+    const QualityReport q = analyze_quality(g, run.colors);
+    t.add_row({std::string("gpu-") + algorithm_name(a),
+               static_cast<std::int64_t>(q.num_colors),
+               q.largest_class_fraction * 100.0,
+               static_cast<std::int64_t>(q.num_colors), sweep_cost(q, lanes),
+               sweep_cost(q, lanes) / rb_cost});
+  }
+
+  std::cout << t.to_ascii();
+  std::cout << "\nMore colors = more sequential sweep steps; independent-set\n"
+               "colorings trade a few extra classes for a fast parallel\n"
+               "coloring phase — worth it when the matrix changes often.\n";
+  return 0;
+}

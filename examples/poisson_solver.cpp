@@ -1,0 +1,67 @@
+// The full pipeline the paper motivates, end to end on one device model:
+//   1. build a sparse system (2D Poisson),
+//   2. color its graph ON THE GPU (hybrid+steal),
+//   3. run multicolor Gauss–Seidel ON THE GPU using those colors,
+// and compare against host sequential Gauss–Seidel: same solution, but
+// every sweep is num_colors data-parallel kernels instead of n dependent
+// scalar updates.
+//
+//   ./examples/poisson_solver [--nx 64] [--ny 64] [--tol 1e-8]
+#include <iostream>
+
+#include "apps/gauss_seidel.hpp"
+#include "coloring/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const Cli cli(argc, argv);
+  const auto nx = static_cast<vid_t>(cli.get_int("nx", 64));
+  const auto ny = static_cast<vid_t>(cli.get_int("ny", 64));
+  GsOptions gs;
+  gs.tolerance = cli.get_double("tol", 1e-8);
+  gs.max_sweeps = static_cast<unsigned>(cli.get_int("max-sweeps", 5000));
+
+  const SparseMatrix A = make_poisson2d(nx, ny);
+  const std::vector<double> b(A.n(), 1.0);
+  std::cout << "solving " << nx << "x" << ny << " Poisson ("
+            << A.n() << " unknowns) to ||r||_inf < " << gs.tolerance << "\n\n";
+
+  // Step 1: GPU coloring.
+  const auto device_cfg = simgpu::tahiti();
+  ColoringOptions copts;
+  copts.collect_launches = false;
+  const ColoringRun coloring =
+      run_coloring(device_cfg, A.structure, Algorithm::kHybridSteal, copts);
+  std::cout << "gpu coloring: " << coloring.num_colors << " colors in "
+            << coloring.iterations << " iterations ("
+            << coloring.total_cycles << " cycles)\n";
+
+  // Step 2: host reference solve.
+  const GsResult host = gauss_seidel_host(A, b, gs);
+
+  // Step 3: multicolor GPU solve with the GPU coloring.
+  simgpu::Device dev(device_cfg);
+  const GsResult mc = gauss_seidel_multicolor(dev, A, b, coloring.colors, gs);
+
+  Table t({"solver", "sweeps", "final residual", "kernel launches",
+           "device cycles"});
+  t.precision(3);
+  t.add_row({std::string("host sequential GS"),
+             static_cast<std::int64_t>(host.sweeps), host.final_residual,
+             std::int64_t{0}, 0.0});
+  t.add_row({std::string("gpu multicolor GS"),
+             static_cast<std::int64_t>(mc.sweeps), mc.final_residual,
+             static_cast<std::int64_t>(dev.launch_count()), mc.device_cycles});
+  std::cout << t.to_ascii();
+
+  double max_diff = 0.0;
+  for (vid_t v = 0; v < A.n(); ++v) {
+    max_diff = std::max(max_diff, std::abs(host.x[v] - mc.x[v]));
+  }
+  std::cout << "\nmax |x_host - x_gpu| = " << max_diff
+            << "  (same fixed point; sweep counts differ only through the\n"
+               " update order the coloring induces)\n";
+  return 0;
+}

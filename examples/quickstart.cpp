@@ -1,0 +1,49 @@
+// Quickstart: generate a graph, color it on the simulated GPU with every
+// algorithm, verify, and compare against sequential greedy.
+//
+//   ./examples/quickstart [--n 20000] [--seed 1]
+#include <iostream>
+
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const Cli cli(argc, argv);
+  const auto n = static_cast<vid_t>(cli.get_int("n", 20000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // 1. Build a scale-free graph (the hard case for GPU coloring).
+  const Csr g = make_barabasi_albert(n, 8, seed);
+  std::cout << "graph: " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges, max degree " << g.max_degree() << "\n\n";
+
+  // 2. Sequential greedy reference.
+  const SeqColoring greedy = greedy_color(g, GreedyOrder::kNatural);
+  std::cout << "sequential greedy: " << greedy.num_colors << " colors\n\n";
+
+  // 3. Color on the simulated HD 7950 with every GPU algorithm.
+  const simgpu::DeviceConfig device = simgpu::tahiti();
+  Table t({"algorithm", "colors", "iterations", "simulated cycles",
+           "model ms", "valid"});
+  t.precision(3);
+  for (Algorithm a : all_algorithms()) {
+    ColoringOptions opts;
+    opts.seed = seed;
+    opts.collect_launches = false;
+    const ColoringRun run = run_coloring(device, g, a, opts);
+    t.add_row({std::string(algorithm_name(a)),
+               static_cast<std::int64_t>(run.num_colors),
+               static_cast<std::int64_t>(run.iterations), run.total_cycles,
+               run.total_ms,
+               std::string(is_valid_coloring(g, run.colors) ? "yes" : "NO")});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "\nTip: the hybrid variants should be fastest here — "
+               "scale-free degree skew is exactly what they fix.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Scenario: register allocation by interference-graph coloring.
+//
+// A compiler assigns variables to k machine registers; two variables
+// interfere (need different registers) when their live ranges overlap. We
+// synthesize live ranges over a straight-line program, build the
+// interference graph, color it, and report how many variables would spill
+// for a given register budget under each coloring strategy.
+//
+//   ./examples/register_alloc [--vars 8000] [--len 100000] [--regs 16]
+#include <algorithm>
+#include <iostream>
+
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/builder.hpp"
+#include "util/cli.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gcg;
+
+struct LiveRange {
+  std::uint32_t start;
+  std::uint32_t end;
+};
+
+/// Interference graph via a sweep over range endpoints (O(n log n + m)).
+Csr build_interference(const std::vector<LiveRange>& ranges) {
+  const auto n = static_cast<vid_t>(ranges.size());
+  std::vector<vid_t> by_start(n);
+  for (vid_t v = 0; v < n; ++v) by_start[v] = v;
+  std::sort(by_start.begin(), by_start.end(), [&](vid_t a, vid_t b) {
+    return ranges[a].start < ranges[b].start;
+  });
+
+  GraphBuilder b(n);
+  // Active set of live ranges ordered by end point.
+  std::vector<vid_t> active;
+  for (vid_t v : by_start) {
+    std::erase_if(active,
+                  [&](vid_t u) { return ranges[u].end <= ranges[v].start; });
+    for (vid_t u : active) b.add_edge(u, v);
+    active.push_back(v);
+  }
+  return b.build();
+}
+
+/// Spill count: variables whose color exceeds the register budget, chosen
+/// greedily by class size (keep the biggest classes in registers).
+std::uint32_t spills(const std::vector<color_t>& colors, int regs) {
+  std::vector<std::uint32_t> class_size;
+  for (color_t c : colors) {
+    if (c >= static_cast<color_t>(class_size.size())) class_size.resize(c + 1, 0);
+    if (c >= 0) ++class_size[c];
+  }
+  std::sort(class_size.rbegin(), class_size.rend());
+  std::uint32_t spilled = 0;
+  for (std::size_t c = regs; c < class_size.size(); ++c) spilled += class_size[c];
+  return spilled;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto vars = static_cast<vid_t>(cli.get_int("vars", 8000));
+  const auto len = static_cast<std::uint32_t>(cli.get_int("len", 100000));
+  const int regs = static_cast<int>(cli.get_int("regs", 16));
+
+  // Synthesize live ranges: mostly short (expression temps), a few long
+  // (loop-carried values) — the mix that makes interference graphs chordal
+  // -ish with a handful of high-degree hubs.
+  Xoshiro256ss rng(7);
+  std::vector<LiveRange> ranges;
+  ranges.reserve(vars);
+  for (vid_t v = 0; v < vars; ++v) {
+    const auto start = static_cast<std::uint32_t>(rng.bounded(len));
+    const bool long_lived = rng.uniform() < 0.03;
+    const auto span = static_cast<std::uint32_t>(
+        long_lived ? rng.bounded(len / 4) + len / 10 : rng.bounded(60) + 1);
+    ranges.push_back({start, std::min(len, start + span)});
+  }
+
+  const Csr g = build_interference(ranges);
+  std::cout << "interference graph: " << g.num_vertices() << " variables, "
+            << g.num_edges() << " interferences, max degree " << g.max_degree()
+            << "\n"
+            << "register budget: " << regs << "\n\n";
+
+  gcg::Table t({"strategy", "colors", "spilled vars", "spill %"});
+  t.precision(2);
+
+  auto report = [&](const std::string& name, const std::vector<color_t>& colors,
+                    int num_colors) {
+    GCG_ENSURE(is_valid_coloring(g, colors));
+    const std::uint32_t s = spills(colors, regs);
+    t.add_row({name, static_cast<std::int64_t>(num_colors),
+               static_cast<std::int64_t>(s),
+               100.0 * s / static_cast<double>(vars)});
+  };
+
+  const SeqColoring chaitin = greedy_color(g, GreedyOrder::kSmallestLast);
+  report("seq smallest-last (Chaitin-style)", chaitin.colors, chaitin.num_colors);
+  const SeqColoring natural = greedy_color(g, GreedyOrder::kNatural);
+  report("seq natural", natural.colors, natural.num_colors);
+
+  const auto device = gcg::simgpu::tahiti();
+  for (Algorithm a : {Algorithm::kSpeculative, Algorithm::kHybridSteal}) {
+    ColoringOptions opts;
+    opts.collect_launches = false;
+    const ColoringRun run = run_coloring(device, g, a, opts);
+    report(std::string("gpu-") + algorithm_name(a), run.colors, run.num_colors);
+  }
+
+  std::cout << t.to_ascii();
+  std::cout << "\nSmallest-last (degeneracy) ordering is the classic register\n"
+               "allocator choice; speculative GPU coloring gets close while\n"
+               "parallelizing the allocation of huge interference graphs.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scenario: exam timetabling via conflict-graph coloring.
+//
+// Courses that share at least one student cannot hold exams in the same
+// slot. We synthesize enrollments (students pick a major cluster plus
+// electives — producing community structure with hub "service" courses),
+// project the bipartite enrollment onto a course-conflict graph, and color
+// it: colors = exam slots.
+//
+//   ./examples/timetabling [--courses 2500] [--students 40000]
+#include <iostream>
+#include <set>
+
+#include "coloring/quality.hpp"
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/builder.hpp"
+#include "util/cli.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcg;
+  const Cli cli(argc, argv);
+  const auto courses = static_cast<vid_t>(cli.get_int("courses", 2500));
+  const auto students = static_cast<std::uint32_t>(cli.get_int("students", 40000));
+  const vid_t clusters = 25;  // departments
+
+  Xoshiro256ss rng(11);
+  GraphBuilder conflicts(courses);
+  std::set<std::pair<vid_t, vid_t>> seen;  // avoid quadratic duplicates
+
+  for (std::uint32_t s = 0; s < students; ++s) {
+    // 4 courses in the major cluster, 1-2 electives anywhere, and a 10%
+    // chance of one of the first 20 "service" courses (the hubs).
+    const vid_t cluster = static_cast<vid_t>(rng.bounded(clusters));
+    const vid_t base = cluster * (courses / clusters);
+    std::vector<vid_t> load;
+    for (int k = 0; k < 4; ++k) {
+      load.push_back(base + static_cast<vid_t>(rng.bounded(courses / clusters)));
+    }
+    const int electives = 1 + static_cast<int>(rng.bounded(2));
+    for (int k = 0; k < electives; ++k) {
+      load.push_back(static_cast<vid_t>(rng.bounded(courses)));
+    }
+    if (rng.uniform() < 0.10) {
+      load.push_back(static_cast<vid_t>(rng.bounded(20)));
+    }
+    for (std::size_t i = 0; i < load.size(); ++i) {
+      for (std::size_t j = i + 1; j < load.size(); ++j) {
+        vid_t a = load[i], b = load[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (seen.emplace(a, b).second) conflicts.add_edge(a, b);
+      }
+    }
+  }
+
+  const Csr g = conflicts.build();
+  std::cout << "conflict graph: " << g.num_vertices() << " courses, "
+            << g.num_edges() << " conflicts, max degree " << g.max_degree()
+            << "\n\n";
+
+  Table t({"strategy", "exam slots", "largest slot", "slot size CV",
+           "sim cycles"});
+  t.precision(2);
+
+  const SeqColoring sl = greedy_color(g, GreedyOrder::kSmallestLast);
+  const QualityReport slq = analyze_quality(g, sl.colors);
+  t.add_row({std::string("seq smallest-last"),
+             static_cast<std::int64_t>(slq.num_colors),
+             static_cast<std::int64_t>(*std::max_element(
+                 slq.class_sizes.begin(), slq.class_sizes.end())),
+             slq.class_size_cv, 0.0});
+
+  const auto device = simgpu::tahiti();
+  for (Algorithm a :
+       {Algorithm::kBaseline, Algorithm::kSpeculative, Algorithm::kHybridSteal}) {
+    ColoringOptions opts;
+    opts.collect_launches = false;
+    const ColoringRun run = run_coloring(device, g, a, opts);
+    GCG_ENSURE(is_valid_coloring(g, run.colors));
+    const QualityReport q = analyze_quality(g, run.colors);
+    t.add_row({std::string("gpu-") + algorithm_name(a),
+               static_cast<std::int64_t>(q.num_colors),
+               static_cast<std::int64_t>(*std::max_element(
+                   q.class_sizes.begin(), q.class_sizes.end())),
+               q.class_size_cv, run.total_cycles});
+  }
+
+  std::cout << t.to_ascii();
+  std::cout << "\nEvery color class is a conflict-free exam slot. Service\n"
+               "courses (hubs) make this graph skewed — the hybrid GPU\n"
+               "algorithm handles them without serializing a wavefront.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "apps/bfs.hpp"
+
+#include <algorithm>
+
+#include "coloring/common.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+BfsResult bfs_host(const Csr& g, vid_t source) {
+  GCG_EXPECT(source < g.num_vertices());
+  BfsResult out;
+  out.distance.assign(g.num_vertices(), kUnreached);
+  out.parent.assign(g.num_vertices(), ~vid_t{0});
+  std::vector<vid_t> frontier{source};
+  out.distance[source] = 0;
+  while (!frontier.empty()) {
+    std::vector<vid_t> next;
+    for (vid_t u : frontier) {
+      for (vid_t v : g.neighbors(u)) {
+        if (out.distance[v] == kUnreached) {
+          out.distance[v] = out.distance[u] + 1;
+          out.parent[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++out.levels;
+  }
+  return out;
+}
+
+BfsResult bfs_device(simgpu::Device& dev, const Csr& g, vid_t source,
+                     unsigned group_size) {
+  using simgpu::Mask;
+  using simgpu::Vec;
+  using simgpu::Wave;
+  GCG_EXPECT(source < g.num_vertices());
+
+  const vid_t n = g.num_vertices();
+  const unsigned gs = std::min(group_size, dev.config().max_group_size);
+  const DeviceGraph dg = DeviceGraph::of(g);
+  BfsResult out;
+  out.distance.assign(n, kUnreached);
+  out.parent.assign(n, ~vid_t{0});
+  out.distance[source] = 0;
+
+  std::vector<vid_t> frontier_in{source};
+  frontier_in.resize(n);  // capacity for any level
+  std::vector<vid_t> frontier_out(n);
+  std::vector<std::uint32_t> counter(1, 0);
+  std::uint32_t frontier_size = 1;
+  const std::span<std::uint32_t> dist(out.distance.data(), out.distance.size());
+  const std::span<const std::uint32_t> dist_c(out.distance.data(),
+                                              out.distance.size());
+  const std::span<vid_t> parent(out.parent.data(), out.parent.size());
+
+  std::uint32_t level = 0;
+  while (frontier_size > 0) {
+    GCG_ASSERT(level <= n);
+    const std::span<const vid_t> fin(frontier_in.data(), frontier_size);
+    counter[0] = 0;
+    // Expand: each lane owns one frontier vertex and claims unreached
+    // neighbours. A neighbour reachable from two frontier vertices is
+    // claimed once (lane order resolves the benign race, as on hardware).
+    dev.launch_waves(frontier_size, gs, [&](Wave& w) {
+      const Mask m = w.valid();
+      if (!m.any()) {
+        w.salu();
+        return;
+      }
+      const auto items = w.load(fin, w.global_ids(), m);
+      const Vec<eid_t> row_begin = w.load(dg.rows, items, m);
+      Vec<std::uint32_t> items1;
+      for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+      w.valu(m);
+      const Vec<eid_t> row_end = w.load(dg.rows, items1, m);
+      Vec<eid_t> cur = row_begin;
+      w.valu(m);
+      Mask loop = where2(cur, row_end, m, [](eid_t a, eid_t b) { return a < b; });
+      while (loop.any()) {
+        const Vec<vid_t> nbr = w.load(dg.cols, cur, loop);
+        const Vec<std::uint32_t> nd = w.load(dist_c, nbr, loop);
+        w.valu(loop, 2.0);
+        Mask claim = Mask::none();
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (!loop.test(i) || nd[i] != kUnreached) continue;
+          // Claim immediately in lane order so two lanes (or two waves)
+          // discovering the same vertex this level enqueue it exactly once
+          // — the atomic-CAS idiom real BFS kernels use for this.
+          if (out.distance[nbr[i]] == kUnreached) {
+            out.distance[nbr[i]] = level + 1;
+            claim.set(i);
+          }
+        }
+        if (claim.any()) {
+          w.store(dist, nbr, Vec<std::uint32_t>::splat(level + 1), claim);
+          w.store(parent, nbr, items, claim);
+          // Append claimed vertices to the next frontier.
+          const Vec<std::uint32_t> rank = w.rank_within(claim);
+          const std::uint32_t slot = w.atomic_add_uniform(
+              std::span<std::uint32_t>(counter), 0,
+              static_cast<std::uint32_t>(claim.count()));
+          Vec<std::uint32_t> dst;
+          for (unsigned i = 0; i < w.width(); ++i) {
+            if (claim.test(i)) dst[i] = slot + rank[i];
+          }
+          w.valu(claim);
+          w.store(std::span<vid_t>(frontier_out), dst, nbr, claim);
+        }
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (loop.test(i)) ++cur[i];
+        }
+        w.valu(loop);
+        loop = where2(cur, row_end, loop, [](eid_t a, eid_t b) { return a < b; });
+      }
+    });
+    frontier_in.swap(frontier_out);
+    frontier_size = counter[0];
+    ++level;
+    ++out.levels;
+  }
+  out.device_cycles = dev.total_cycles();
+  return out;
+}
+
+}  // namespace gcg

@@ -1,0 +1,31 @@
+// Frontier-based GPU breadth-first search on the simulated device — a
+// second graph application over the same substrate, sharing the frontier
+// compaction machinery the worklist coloring uses. BFS is the other half
+// of the paper's motivation ("graph and sparse-matrix computation").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simgpu/dispatch.hpp"
+
+namespace gcg {
+
+inline constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+struct BfsResult {
+  std::vector<std::uint32_t> distance;  ///< kUnreached if not reachable
+  std::vector<vid_t> parent;            ///< ~0 for source/unreached
+  unsigned levels = 0;
+  double device_cycles = 0.0;
+};
+
+/// Device BFS from `source` (level-synchronous, frontier-compacted).
+BfsResult bfs_device(simgpu::Device& dev, const Csr& g, vid_t source,
+                     unsigned group_size = 256);
+
+/// Host reference BFS.
+BfsResult bfs_host(const Csr& g, vid_t source);
+
+}  // namespace gcg

@@ -1,0 +1,81 @@
+#include "apps/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "coloring/common.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+ComponentsResult components_device(simgpu::Device& dev, const Csr& g,
+                                   unsigned group_size) {
+  using simgpu::Mask;
+  using simgpu::Vec;
+  using simgpu::Wave;
+  const vid_t n = g.num_vertices();
+  const unsigned gs = std::min(group_size, dev.config().max_group_size);
+  const DeviceGraph dg = DeviceGraph::of(g);
+
+  ComponentsResult out;
+  out.label.resize(n);
+  std::iota(out.label.begin(), out.label.end(), vid_t{0});
+  if (n == 0) return out;
+
+  std::vector<std::uint32_t> changed(1, 1);
+  while (changed[0] != 0) {
+    GCG_ASSERT(out.iterations <= n);
+    changed[0] = 0;
+    const std::span<vid_t> label(out.label.data(), out.label.size());
+    const std::span<const vid_t> label_c(out.label.data(), out.label.size());
+
+    dev.launch_waves(n, gs, [&](Wave& w) {
+      const Mask m = w.valid();
+      if (!m.any()) {
+        w.salu();
+        return;
+      }
+      const auto rows = w.global_ids();
+      Vec<vid_t> best = w.load(label_c, rows, m);
+      const Vec<eid_t> row_begin = w.load(dg.rows, rows, m);
+      Vec<std::uint32_t> rows1;
+      for (unsigned i = 0; i < w.width(); ++i) rows1[i] = rows[i] + 1;
+      w.valu(m);
+      const Vec<eid_t> row_end = w.load(dg.rows, rows1, m);
+      Vec<eid_t> cur = row_begin;
+      w.valu(m);
+      Mask loop = where2(cur, row_end, m, [](eid_t a, eid_t b) { return a < b; });
+      while (loop.any()) {
+        const Vec<vid_t> nbr = w.load(dg.cols, cur, loop);
+        const Vec<vid_t> nl = w.load(label_c, nbr, loop);
+        w.valu(loop, 2.0);
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (loop.test(i)) {
+            best[i] = std::min(best[i], nl[i]);
+            ++cur[i];
+          }
+        }
+        loop = where2(cur, row_end, loop, [](eid_t a, eid_t b) { return a < b; });
+      }
+      // Adopt improvements; one wave-level ballot decides the changed flag.
+      Mask improved = Mask::none();
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (m.test(i) && best[i] < out.label[rows[i]]) improved.set(i);
+      }
+      w.valu(m);
+      if (improved.any()) {
+        w.store(label, rows, best, improved);
+        w.atomic_add_uniform(std::span<std::uint32_t>(changed), 0, 1u);
+      }
+    });
+    ++out.iterations;
+  }
+
+  std::unordered_set<vid_t> roots(out.label.begin(), out.label.end());
+  out.num_components = static_cast<vid_t>(roots.size());
+  out.device_cycles = dev.total_cycles();
+  return out;
+}
+
+}  // namespace gcg

@@ -1,0 +1,27 @@
+// Connected components on the device model via label propagation
+// (pointer-jumping-free HookShortcut-lite): every vertex repeatedly adopts
+// the minimum label in its closed neighbourhood until a fixpoint. A fourth
+// application over the substrate, and a workload whose iteration count
+// depends on graph diameter rather than degree — a useful contrast to
+// coloring in the characterization experiments.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simgpu/dispatch.hpp"
+
+namespace gcg {
+
+struct ComponentsResult {
+  std::vector<vid_t> label;  ///< min vertex id of the component
+  vid_t num_components = 0;
+  unsigned iterations = 0;
+  double device_cycles = 0.0;
+};
+
+/// Min-label propagation on the simulated device.
+ComponentsResult components_device(simgpu::Device& dev, const Csr& g,
+                                   unsigned group_size = 256);
+
+}  // namespace gcg

@@ -1,0 +1,112 @@
+#include "apps/gauss_seidel.hpp"
+
+#include <algorithm>
+
+#include "coloring/verify.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+GsResult gauss_seidel_host(const SparseMatrix& A, std::span<const double> b,
+                           const GsOptions& opts) {
+  GCG_EXPECT(b.size() == A.n());
+  GsResult out;
+  out.x.assign(A.n(), 0.0);
+  for (unsigned sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    for (vid_t v = 0; v < A.n(); ++v) {
+      double sum = b[v];
+      for (eid_t e = A.structure.offset(v); e < A.structure.offset(v + 1); ++e) {
+        sum -= A.values[e] * out.x[A.structure.col_indices()[e]];
+      }
+      out.x[v] = sum / A.diag[v];
+    }
+    ++out.sweeps;
+    out.final_residual = residual_inf(A, out.x, b);
+    out.residual_history.push_back(out.final_residual);
+    if (out.final_residual < opts.tolerance) break;
+  }
+  return out;
+}
+
+GsResult gauss_seidel_multicolor(simgpu::Device& dev, const SparseMatrix& A,
+                                 std::span<const double> b,
+                                 std::span<const color_t> colors,
+                                 const GsOptions& opts) {
+  using simgpu::Mask;
+  using simgpu::Vec;
+  using simgpu::Wave;
+  GCG_EXPECT(b.size() == A.n());
+  GCG_EXPECT(colors.size() == A.n());
+  GCG_EXPECT(is_valid_coloring(A.structure, colors));
+
+  // Group unknowns by color class once (device-side index lists).
+  std::vector<color_t> dense(colors.begin(), colors.end());
+  const int k = compact_colors(dense);
+  std::vector<std::vector<vid_t>> classes(k);
+  for (vid_t v = 0; v < A.n(); ++v) classes[dense[v]].push_back(v);
+
+  const DeviceGraph g = DeviceGraph::of(A.structure);
+  const std::span<const double> vals(A.values.data(), A.values.size());
+  const std::span<const double> diag(A.diag.data(), A.diag.size());
+
+  const unsigned gs = std::min(opts.group_size, dev.config().max_group_size);
+  GsResult out;
+  out.x.assign(A.n(), 0.0);
+  const std::span<double> x(out.x.data(), out.x.size());
+  const std::span<const double> x_const(out.x.data(), out.x.size());
+
+  for (unsigned sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    for (int c = 0; c < k; ++c) {
+      const std::span<const vid_t> members(classes[c].data(), classes[c].size());
+      // All members of one class are pairwise non-adjacent: each lane can
+      // read x and write its own entry with no ordering hazard.
+      dev.launch_waves(members.size(), gs, [&](Wave& w) {
+        const Mask m = w.valid();
+        if (!m.any()) {
+          w.salu();
+          return;
+        }
+        const auto rows = w.load(members, w.global_ids(), m);
+        const Vec<double> bv = w.load(b, rows, m);
+        const Vec<double> dv = w.load(diag, rows, m);
+        Vec<double> acc = bv;
+        const Vec<eid_t> row_begin = w.load(g.rows, rows, m);
+        Vec<std::uint32_t> rows1;
+        for (unsigned i = 0; i < w.width(); ++i) rows1[i] = rows[i] + 1;
+        w.valu(m);
+        const Vec<eid_t> row_end = w.load(g.rows, rows1, m);
+        Vec<eid_t> cur = row_begin;
+        w.valu(m);
+        Mask loop =
+            where2(cur, row_end, m, [](eid_t a, eid_t e) { return a < e; });
+        while (loop.any()) {
+          const Vec<vid_t> col = w.load(g.cols, cur, loop);
+          const Vec<double> a = w.load(vals, cur, loop);
+          const Vec<double> xc = w.load(x_const, col, loop);
+          w.valu(loop, 2.0);
+          for (unsigned i = 0; i < w.width(); ++i) {
+            if (loop.test(i)) {
+              acc[i] -= a[i] * xc[i];
+              ++cur[i];
+            }
+          }
+          loop = where2(cur, row_end, loop,
+                        [](eid_t a_, eid_t e) { return a_ < e; });
+        }
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (m.test(i)) acc[i] /= dv[i];
+        }
+        w.valu(m);
+        w.store(x, rows, acc, m);
+      });
+    }
+    ++out.sweeps;
+    out.final_residual = residual_inf(A, out.x, b);
+    out.residual_history.push_back(out.final_residual);
+    if (out.final_residual < opts.tolerance) break;
+  }
+  out.device_cycles = dev.total_cycles();
+  return out;
+}
+
+}  // namespace gcg

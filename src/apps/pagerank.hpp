@@ -1,0 +1,37 @@
+// PageRank on the device model — the pull-based (gather) formulation every
+// GPU graph framework ships. Included both as a third application over the
+// substrate and as another irregular-gather workload whose behaviour the
+// imbalance metrics can characterize.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simgpu/dispatch.hpp"
+
+namespace gcg {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-8;   ///< L1 change per iteration to stop at
+  unsigned max_iterations = 100;
+  unsigned group_size = 256;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  unsigned iterations = 0;
+  double final_delta = 0.0;  ///< L1 change of the last iteration
+  double device_cycles = 0.0;
+};
+
+/// Pull-based PageRank on the simulated device. Treats the undirected CSR
+/// as a symmetric link graph (every arc contributes both ways); vertices
+/// with degree 0 redistribute uniformly, keeping ranks a distribution.
+PageRankResult pagerank_device(simgpu::Device& dev, const Csr& g,
+                               const PageRankOptions& opts = {});
+
+/// Host reference implementation (same formulation, same semantics).
+PageRankResult pagerank_host(const Csr& g, const PageRankOptions& opts = {});
+
+}  // namespace gcg

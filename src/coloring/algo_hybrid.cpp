@@ -1,0 +1,162 @@
+// The hybrid algorithm: vertices are binned by degree once, and each bin
+// gets the execution shape that fits it —
+//   small  (deg <= wave_degree_threshold):  thread-per-vertex (optionally
+//          with work stealing, = the paper's combined technique),
+//   mid    (<= group_degree_threshold):     wavefront-per-vertex,
+//   large  (above):                         workgroup-per-vertex.
+// All bins share one priority/color space, so every iteration still
+// extracts one max(+min) independent set of the whole uncolored subgraph.
+#include <optional>
+
+#include "coloring/detail/driver.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg::detail {
+
+namespace {
+
+struct Bin {
+  std::vector<vid_t> in;
+  std::vector<vid_t> out;
+  std::vector<std::uint32_t> counter = {0};
+  std::uint32_t size = 0;
+
+  std::span<const vid_t> items() const { return {in.data(), size}; }
+  void flip() {
+    in.swap(out);
+    size = counter[0];
+    counter[0] = 0;
+  }
+};
+
+}  // namespace
+
+void run_hybrid(DriverState& st, bool min_too, bool steal_small_bin) {
+  const vid_t n = st.g.num_vertices();
+  const simgpu::DeviceConfig& cfg = st.dev.config();
+  const unsigned wf = cfg.wavefront_size;
+  const unsigned gs = st.opts.group_size;
+
+  Bin small, mid, large;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t d = st.g.degree(v);
+    Bin& b = d <= st.opts.wave_degree_threshold  ? small
+             : d <= st.opts.group_degree_threshold ? mid
+                                                   : large;
+    b.in.push_back(v);
+  }
+  for (Bin* b : {&small, &mid, &large}) {
+    b->size = static_cast<std::uint32_t>(b->in.size());
+    b->out.resize(b->in.size());
+    b->in.resize(b->out.size());
+  }
+
+  simgpu::PersistentOptions popts;
+  popts.waves_per_cu = st.persistent_waves_per_cu();
+  popts.cache = st.dev.l2();
+  // One queue per CU, shared by its resident waves (see algo_steal.cpp).
+  const auto queue_of = [&](unsigned worker) {
+    return worker / popts.waves_per_cu;
+  };
+
+  for (unsigned iter = 0; st.colored_total < n; ++iter) {
+    GCG_ASSERT(iter < st.opts.max_iterations);
+    ColorCtx ctx = st.ctx();
+    const std::uint64_t active = small.size + mid.size + large.size;
+
+    // ---- phase A, small bin: thread-per-vertex ------------------------
+    if (small.size > 0) {
+      const auto fin = small.items();
+      if (steal_small_bin) {
+        StealQueues queues(cfg.num_cus);
+        const auto chunks = make_chunks(small.size, st.opts.chunk_size);
+        popts.busy_waves_hint = chunks.size();
+        queues.fill(deal_blocked(chunks, cfg.num_cus));
+        Xoshiro256ss rng(st.opts.seed ^ (0x9e3779b9ULL * (iter + 1)));
+        const bool may_steal = st.opts.hybrid_small_bin_steal;
+        const auto pres = simgpu::run_persistent(
+            cfg, popts,
+            [&](unsigned worker, simgpu::Wave& w) -> simgpu::StepStatus {
+              std::optional<Chunk> c = queues.pop_own(w, queue_of(worker));
+              if (!c) {
+                if (!may_steal) return simgpu::StepStatus::kDone;
+                if (queues.total_remaining() == 0) {
+                  return simgpu::StepStatus::kDone;
+                }
+                c = queues.steal(w, queue_of(worker), st.opts.victim, rng);
+                if (!c) return simgpu::StepStatus::kIdle;
+              }
+              for (std::uint32_t off = c->begin; off < c->end; off += w.width()) {
+                simgpu::Mask m = simgpu::Mask::none();
+                simgpu::Vec<std::uint32_t> fidx;
+                for (unsigned i = 0; i < w.width(); ++i) {
+                  fidx[i] = off + i;
+                  if (fidx[i] < c->end) m.set(i);
+                }
+                w.valu(m);
+                const auto items = w.load(fin, fidx, m);
+                scan_flags_tpv(w, m, items, ctx, false, min_too);
+              }
+              return simgpu::StepStatus::kWorked;
+            });
+        st.dev.record_launch(
+            simgpu::to_launch_record(cfg, pres, popts.waves_per_cu));
+        st.run.steal += queues.stats();
+      } else {
+        st.dev.launch_waves(small.size, gs, [&](simgpu::Wave& w) {
+          const simgpu::Mask m = w.valid();
+          const auto items = w.load(fin, w.global_ids(), m);
+          scan_flags_tpv(w, m, items, ctx, false, min_too);
+        });
+      }
+    }
+
+    // ---- phase A, mid bin: wavefront-per-vertex ------------------------
+    if (mid.size > 0) {
+      const auto fin = mid.items();
+      st.dev.launch_waves(static_cast<std::uint64_t>(mid.size) * wf, gs,
+                          [&](simgpu::Wave& w) {
+                            const auto idx = w.first_global_id() / wf;
+                            if (idx >= mid.size) return;
+                            const vid_t v = w.load_uniform(fin, idx);
+                            scan_flags_wpv(w, v, ctx, min_too);
+                          });
+    }
+
+    // ---- phase A, large bin: workgroup-per-vertex ----------------------
+    if (large.size > 0) {
+      const auto fin = large.items();
+      st.dev.launch(static_cast<std::uint64_t>(large.size) * gs, gs,
+                    [&](simgpu::Group& grp) {
+                      const auto idx = grp.group_id();
+                      if (idx >= large.size) return;
+                      const vid_t v = grp.waves().front().load_uniform(fin, idx);
+                      scan_flags_gpv(grp, v, ctx, min_too);
+                    });
+    }
+
+    // ---- phase B: commit winners per bin, rebuild bin frontiers --------
+    const color_t base = static_cast<color_t>(iter) * (min_too ? 2 : 1);
+    std::uint64_t committed = 0;
+    for (Bin* b : {&small, &mid, &large}) {
+      if (b->size == 0) continue;
+      const auto fin = b->items();
+      FrontierAppender app{b->out, b->counter};
+      st.dev.launch_waves(b->size, gs, [&](simgpu::Wave& w) {
+        const simgpu::Mask m = w.valid();
+        const auto items = w.load(fin, w.global_ids(), m);
+        const simgpu::Mask won =
+            commit_tpv(w, m, items, ctx, base, min_too, false, &app);
+        committed += won.count();
+      });
+    }
+    for (Bin* b : {&small, &mid, &large}) b->flip();
+
+    GCG_ASSERT(committed > 0);
+    st.colored_total += static_cast<vid_t>(committed);
+    st.note_iteration(active, committed);
+  }
+}
+
+}  // namespace gcg::detail

@@ -1,0 +1,205 @@
+// Speculative greedy coloring (Gebremedhin–Manne style): every frontier
+// vertex optimistically takes its first-fit color against *committed*
+// neighbours; a second kernel revokes the speculation wherever two
+// still-uncolored neighbours picked the same color (the lower-priority one
+// loses). Included as the "alternative approach" comparison point: fewer
+// colors and iterations than max-min, but heavier per-iteration kernels.
+#include <numeric>
+
+#include "coloring/detail/driver.hpp"
+#include "util/expect.hpp"
+
+namespace gcg::detail {
+
+namespace {
+
+using simgpu::Mask;
+using simgpu::Vec;
+using simgpu::Wave;
+
+/// Per-lane forbidden-color bitsets, reused across waves. `words` 64-bit
+/// words per lane — enough for max_degree+1 candidate colors.
+struct ForbiddenScratch {
+  explicit ForbiddenScratch(vid_t max_degree)
+      : words((static_cast<std::size_t>(max_degree) + 2 + 63) / 64),
+        bits(words * simgpu::kMaxLanes, 0) {}
+
+  std::uint64_t* lane(unsigned i) { return bits.data() + i * words; }
+  void clear_lane(unsigned i) {
+    std::fill_n(lane(i), words, std::uint64_t{0});
+  }
+
+  std::size_t words;
+  std::vector<std::uint64_t> bits;
+};
+
+void spec_assign_tpv(Wave& w, Mask m, const Vec<std::uint32_t>& items,
+                     const ColorCtx& ctx, std::span<color_t> tentative,
+                     ForbiddenScratch& scratch) {
+  if (!m.any()) {
+    w.salu();
+    return;
+  }
+  const Vec<eid_t> row_begin = w.load(ctx.g.rows, items, m);
+  Vec<std::uint32_t> items1;
+  for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+  w.valu(m);
+  const Vec<eid_t> row_end = w.load(ctx.g.rows, items1, m);
+
+  // Private forbidden arrays live in scratch memory on hardware; clearing
+  // them costs one instruction per word.
+  for (unsigned i = 0; i < w.width(); ++i) {
+    if (m.test(i)) scratch.clear_lane(i);
+  }
+  w.valu(m, static_cast<double>(scratch.words));
+
+  Vec<eid_t> cur = row_begin;
+  w.valu(m);
+  Mask loop = where2(cur, row_end, m, [](eid_t a, eid_t b) { return a < b; });
+  while (loop.any()) {
+    const Vec<vid_t> nbr = w.load(ctx.g.cols, cur, loop);
+    const Vec<color_t> ncol = w.load(ctx.colors_const(), nbr, loop);
+    w.valu(loop, 2.0);  // uncolored test + bit set
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (!loop.test(i) || ncol[i] == kUncolored) continue;
+      const auto c = static_cast<std::size_t>(ncol[i]);
+      if (c / 64 < scratch.words) {
+        scratch.lane(i)[c / 64] |= std::uint64_t{1} << (c % 64);
+      }
+    }
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (loop.test(i)) ++cur[i];
+    }
+    w.valu(loop);
+    loop = where2(cur, row_end, loop, [](eid_t a, eid_t b) { return a < b; });
+  }
+
+  // First-fit: find the first zero bit per lane.
+  w.valu(m, static_cast<double>(scratch.words));
+  Vec<color_t> tv;
+  for (unsigned i = 0; i < w.width(); ++i) {
+    if (!m.test(i)) continue;
+    color_t c = 0;
+    for (std::size_t word = 0; word < scratch.words; ++word) {
+      const std::uint64_t inv = ~scratch.lane(i)[word];
+      if (inv != 0) {
+        c = static_cast<color_t>(word * 64 +
+                                 static_cast<std::size_t>(std::countr_zero(inv)));
+        break;
+      }
+    }
+    tv[i] = c;
+  }
+  w.store(tentative, items, tv, m);
+}
+
+/// Returns the mask of lanes that committed their speculation.
+Mask spec_resolve_tpv(Wave& w, Mask m, const Vec<std::uint32_t>& items,
+                      const ColorCtx& ctx, std::span<const color_t> tentative,
+                      FrontierAppender* lose_out) {
+  if (!m.any()) {
+    w.salu();
+    return Mask::none();
+  }
+  const Vec<color_t> tv = w.load(tentative, items, m);
+  const Vec<std::uint32_t> pv = w.load(ctx.prio, items, m);
+  const Vec<eid_t> row_begin = w.load(ctx.g.rows, items, m);
+  Vec<std::uint32_t> items1;
+  for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+  w.valu(m);
+  const Vec<eid_t> row_end = w.load(ctx.g.rows, items1, m);
+
+  Mask win = m;
+  Vec<eid_t> cur = row_begin;
+  w.valu(m);
+  Mask loop = where2(cur, row_end, m, [](eid_t a, eid_t b) { return a < b; });
+  while (loop.any()) {
+    const Vec<vid_t> nbr = w.load(ctx.g.cols, cur, loop);
+    const Vec<color_t> ncol = w.load(ctx.colors_const(), nbr, loop);
+    const Vec<color_t> ntv = w.load(tentative, nbr, loop);
+    const Vec<std::uint32_t> np = w.load(ctx.prio, nbr, loop);
+    w.valu(loop, 4.0);
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (!loop.test(i)) continue;
+      if (ncol[i] == kUncolored && ntv[i] == tv[i] &&
+          priority_less(pv[i], items[i], np[i], nbr[i])) {
+        win.clear(i);  // a stronger neighbour speculated the same color
+      } else if (ncol[i] == tv[i]) {
+        // The neighbour already owns this color. Tentative assignment
+        // excluded previously-committed colors, so this only happens when
+        // the neighbour committed earlier in this same phase — the benign
+        // read race real GM kernels guard against with exactly this test.
+        win.clear(i);
+      }
+    }
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (loop.test(i)) ++cur[i];
+    }
+    w.valu(loop);
+    loop &= win;  // lanes that already lost exit early
+    loop = where2(cur, row_end, loop, [](eid_t a, eid_t b) { return a < b; });
+  }
+
+  if (win.any()) {
+    w.store(ctx.colors, items, tv, win);
+  }
+  if (lose_out) {
+    const Mask lost = m.andnot(win);
+    if (lost.any()) {
+      const Vec<std::uint32_t> rank = w.rank_within(lost);
+      const std::uint32_t slot = w.atomic_add_uniform(
+          lose_out->counter, 0, static_cast<std::uint32_t>(lost.count()));
+      Vec<std::uint32_t> dst;
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (lost.test(i)) dst[i] = slot + rank[i];
+      }
+      w.valu(lost);
+      GCG_ASSERT(slot + lost.count() <= lose_out->out.size());
+      w.store(lose_out->out, dst, items, lost);
+    }
+  }
+  return win;
+}
+
+}  // namespace
+
+void run_speculative(DriverState& st) {
+  const vid_t n = st.g.num_vertices();
+  std::vector<vid_t> frontier_in(n);
+  std::iota(frontier_in.begin(), frontier_in.end(), vid_t{0});
+  std::vector<vid_t> frontier_out(n);
+  std::vector<std::uint32_t> counter(1, 0);
+  std::vector<color_t> tentative(n, kUncolored);
+  std::uint32_t frontier_size = n;
+  ForbiddenScratch scratch(st.g.max_degree());
+
+  for (unsigned iter = 0; frontier_size > 0; ++iter) {
+    GCG_ASSERT(iter < st.opts.max_iterations);
+    ColorCtx ctx = st.ctx();
+    const std::span<const vid_t> fin(frontier_in.data(), frontier_size);
+
+    st.dev.launch_waves(frontier_size, st.opts.group_size, [&](Wave& w) {
+      const Mask m = w.valid();
+      const auto items = w.load(fin, w.global_ids(), m);
+      spec_assign_tpv(w, m, items, ctx, tentative, scratch);
+    });
+
+    counter[0] = 0;
+    FrontierAppender app{frontier_out, counter};
+    std::uint64_t committed = 0;
+    st.dev.launch_waves(frontier_size, st.opts.group_size, [&](Wave& w) {
+      const Mask m = w.valid();
+      const auto items = w.load(fin, w.global_ids(), m);
+      const Mask won = spec_resolve_tpv(w, m, items, ctx, tentative, &app);
+      committed += won.count();
+    });
+
+    GCG_ASSERT(committed > 0);
+    st.colored_total += static_cast<vid_t>(committed);
+    st.note_iteration(frontier_size, committed);
+    frontier_in.swap(frontier_out);
+    frontier_size = counter[0];
+  }
+}
+
+}  // namespace gcg::detail

@@ -1,0 +1,39 @@
+// Topology-driven coloring: every iteration launches phase A and phase B
+// over ALL vertices, colored or not — the paper's baseline. Late
+// iterations scan a nearly-fully-colored graph, wasting most lanes; that
+// waste is precisely what the worklist/steal/hybrid variants attack.
+#include "coloring/detail/driver.hpp"
+#include "util/expect.hpp"
+
+namespace gcg::detail {
+
+void run_topology(DriverState& st, bool min_too) {
+  const vid_t n = st.g.num_vertices();
+  const color_t stride = min_too ? 2 : 1;
+
+  for (unsigned iter = 0; st.colored_total < n; ++iter) {
+    GCG_ASSERT(iter < st.opts.max_iterations);
+    const std::uint64_t active = n - st.colored_total;
+    ColorCtx ctx = st.ctx();
+
+    st.dev.launch_waves(n, st.opts.group_size, [&](simgpu::Wave& w) {
+      scan_flags_tpv(w, w.valid(), w.global_ids(), ctx,
+                     /*check_colored=*/true, min_too);
+    });
+
+    const color_t base = static_cast<color_t>(iter) * stride;
+    std::uint64_t committed = 0;
+    st.dev.launch_waves(n, st.opts.group_size, [&](simgpu::Wave& w) {
+      const simgpu::Mask won =
+          commit_tpv(w, w.valid(), w.global_ids(), ctx, base, min_too,
+                     /*check_colored=*/true, nullptr);
+      committed += won.count();  // host-side statistic, not device work
+    });
+
+    GCG_ASSERT(committed > 0 && "independent-set round must make progress");
+    st.colored_total += static_cast<vid_t>(committed);
+    st.note_iteration(active, committed);
+  }
+}
+
+}  // namespace gcg::detail

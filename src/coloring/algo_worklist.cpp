@@ -1,0 +1,50 @@
+// Data-driven coloring: the frontier holds exactly the uncolored vertices.
+// Phase A scans only frontier entries; phase B commits winners and
+// compacts the losers into the next frontier with wave-aggregated atomics.
+#include <numeric>
+
+#include "coloring/detail/driver.hpp"
+#include "util/expect.hpp"
+
+namespace gcg::detail {
+
+void run_worklist(DriverState& st, bool min_too) {
+  const vid_t n = st.g.num_vertices();
+  std::vector<vid_t> frontier_in(n);
+  std::iota(frontier_in.begin(), frontier_in.end(), vid_t{0});
+  std::vector<vid_t> frontier_out(n);
+  std::vector<std::uint32_t> counter(1, 0);
+  std::uint32_t frontier_size = n;
+
+  for (unsigned iter = 0; frontier_size > 0; ++iter) {
+    GCG_ASSERT(iter < st.opts.max_iterations);
+    ColorCtx ctx = st.ctx();
+    const std::span<const vid_t> fin(frontier_in.data(), frontier_size);
+
+    st.dev.launch_waves(frontier_size, st.opts.group_size, [&](simgpu::Wave& w) {
+      const simgpu::Mask m = w.valid();
+      const auto items = w.load(fin, w.global_ids(), m);
+      scan_flags_tpv(w, m, items, ctx, /*check_colored=*/false, min_too);
+    });
+
+    counter[0] = 0;
+    FrontierAppender app{frontier_out, counter};
+    const color_t base = static_cast<color_t>(iter) * (min_too ? 2 : 1);
+    std::uint64_t committed = 0;
+    st.dev.launch_waves(frontier_size, st.opts.group_size, [&](simgpu::Wave& w) {
+      const simgpu::Mask m = w.valid();
+      const auto items = w.load(fin, w.global_ids(), m);
+      const simgpu::Mask won = commit_tpv(w, m, items, ctx, base, min_too,
+                                          /*check_colored=*/false, &app);
+      committed += won.count();
+    });
+
+    GCG_ASSERT(committed > 0);
+    st.colored_total += static_cast<vid_t>(committed);
+    st.note_iteration(frontier_size, committed);
+    frontier_in.swap(frontier_out);
+    frontier_size = counter[0];
+  }
+}
+
+}  // namespace gcg::detail

@@ -1,0 +1,64 @@
+#include "coloring/balance.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace gcg {
+
+namespace {
+double class_cv(const std::vector<std::uint32_t>& sizes) {
+  RunningStats rs;
+  for (auto s : sizes) rs.add(s);
+  return rs.cv();
+}
+}  // namespace
+
+BalanceResult balance_colors(const Csr& g, std::span<const color_t> colors,
+                             int max_rounds) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  GCG_EXPECT(max_rounds >= 1);
+  BalanceResult out;
+  out.colors.assign(colors.begin(), colors.end());
+  out.num_colors = compact_colors(out.colors);
+  if (out.num_colors == 0) return out;
+
+  std::vector<std::uint32_t> size(out.num_colors, 0);
+  for (color_t c : out.colors) {
+    GCG_EXPECT(c != kUncolored);
+    ++size[c];
+  }
+  out.cv_before = class_cv(size);
+
+  const double target =
+      static_cast<double>(g.num_vertices()) / out.num_colors;
+  std::vector<int> mark(out.num_colors, -1);
+  for (int round = 0; round < max_rounds; ++round) {
+    std::uint32_t moved_this_round = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      const color_t current = out.colors[v];
+      if (static_cast<double>(size[current]) <= target) continue;
+      // Colors forbidden by neighbours.
+      for (vid_t u : g.neighbors(v)) mark[out.colors[u]] = static_cast<int>(v);
+      // Smallest legal class strictly smaller than the current one.
+      color_t best = current;
+      for (color_t c = 0; c < static_cast<color_t>(out.num_colors); ++c) {
+        if (mark[c] == static_cast<int>(v)) continue;
+        if (size[c] < size[best]) best = c;
+      }
+      if (best != current && size[best] + 1 < size[current]) {
+        --size[current];
+        ++size[best];
+        out.colors[v] = best;
+        ++moved_this_round;
+      }
+    }
+    out.moved += moved_this_round;
+    if (moved_this_round == 0) break;
+  }
+  out.cv_after = class_cv(size);
+  return out;
+}
+
+}  // namespace gcg

@@ -1,0 +1,28 @@
+// Class-size balancing post-pass. Downstream parallel loops execute one
+// color class at a time, so a coloring with one giant class and many tiny
+// ones wastes parallelism at the tail. This pass moves vertices from
+// overfull classes into the smallest class legal for them, preserving
+// validity and never increasing the color count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct BalanceResult {
+  std::vector<color_t> colors;
+  int num_colors = 0;
+  std::uint32_t moved = 0;       ///< vertices that changed class
+  double cv_before = 0.0;        ///< class-size coefficient of variation
+  double cv_after = 0.0;
+};
+
+/// One balancing sweep. `max_rounds` sweeps run until no vertex moves.
+BalanceResult balance_colors(const Csr& g, std::span<const color_t> colors,
+                             int max_rounds = 8);
+
+}  // namespace gcg

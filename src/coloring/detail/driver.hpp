@@ -1,0 +1,52 @@
+// Internal driver plumbing shared by the algorithm implementations.
+// Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "coloring/kernels.hpp"
+#include "coloring/runner.hpp"
+#include "simgpu/persistent.hpp"
+
+namespace gcg::detail {
+
+/// Per-run state: device buffers plus the accumulating result record.
+struct DriverState {
+  const Csr& g;
+  const ColoringOptions& opts;
+  simgpu::Device dev;
+  std::vector<std::uint32_t> prio;
+  std::vector<color_t> colors;
+  std::vector<std::uint8_t> flags;
+  ColoringRun run;
+  vid_t colored_total = 0;
+  std::size_t launches_seen = 0;  ///< dev.history() already folded into run
+
+  DriverState(const simgpu::DeviceConfig& cfg, const Csr& graph,
+              const ColoringOptions& options, Algorithm algorithm);
+
+  ColorCtx ctx() {
+    return ColorCtx{DeviceGraph::of(g), prio, colors, flags};
+  }
+
+  /// Close out one iteration: fold launches recorded since the last call
+  /// (NDRange and persistent alike) into the run record.
+  void note_iteration(std::uint64_t active_vertices,
+                      std::uint64_t colored_this_iter);
+
+  /// Resident persistent waves per CU for this run (option, clamped).
+  unsigned persistent_waves_per_cu() const;
+
+  /// Final bookkeeping; returns the completed run.
+  ColoringRun finish();
+};
+
+// One driver per algorithm family.
+void run_topology(DriverState& st, bool min_too);
+void run_worklist(DriverState& st, bool min_too);
+void run_steal(DriverState& st, bool min_too, bool enable_steal);
+void run_hybrid(DriverState& st, bool min_too, bool steal_small_bin);
+void run_speculative(DriverState& st);
+void run_edge_parallel(DriverState& st, bool min_too);
+
+}  // namespace gcg::detail

@@ -1,0 +1,276 @@
+#include "coloring/distance2.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "coloring/detail/driver.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+
+namespace {
+
+/// Upper bound on colors a first-fit distance-2 coloring can use.
+std::size_t d2_color_bound(const Csr& g) {
+  const auto d = static_cast<std::size_t>(g.max_degree());
+  return std::min<std::size_t>(g.num_vertices(), d * d + 2);
+}
+
+}  // namespace
+
+SeqColoring greedy_color_d2(const Csr& g, GreedyOrder order,
+                            std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  // Reuse the distance-1 order machinery by delegating order construction
+  // to greedy_color's rules: we rebuild the visit order the same way.
+  std::vector<vid_t> visit(n);
+  std::iota(visit.begin(), visit.end(), vid_t{0});
+  switch (order) {
+    case GreedyOrder::kNatural:
+      break;
+    case GreedyOrder::kRandom: {
+      Xoshiro256ss rng(seed);
+      for (vid_t i = n; i > 1; --i) {
+        const auto j = static_cast<vid_t>(rng.bounded(i));
+        std::swap(visit[i - 1], visit[j]);
+      }
+      break;
+    }
+    case GreedyOrder::kLargestFirst:
+      std::stable_sort(visit.begin(), visit.end(), [&](vid_t a, vid_t b) {
+        return g.degree(a) > g.degree(b);
+      });
+      break;
+    default:
+      // Degeneracy-style orders are defined on the square graph; natural
+      // order is the documented fallback for them here.
+      break;
+  }
+
+  SeqColoring out;
+  out.colors.assign(n, kUncolored);
+  std::vector<int> mark(d2_color_bound(g) + 1, -1);
+  for (vid_t v : visit) {
+    for (vid_t u : g.neighbors(v)) {
+      if (out.colors[u] != kUncolored) mark[out.colors[u]] = static_cast<int>(v);
+      for (vid_t w : g.neighbors(u)) {
+        if (w != v && out.colors[w] != kUncolored) {
+          mark[out.colors[w]] = static_cast<int>(v);
+        }
+      }
+    }
+    color_t c = 0;
+    while (mark[c] == static_cast<int>(v)) ++c;
+    out.colors[v] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  return out;
+}
+
+std::optional<Violation> find_violation_d2(const Csr& g,
+                                           std::span<const color_t> colors,
+                                           bool require_complete) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] == kUncolored) {
+      if (require_complete) return Violation{v, v, kUncolored};
+      continue;
+    }
+    for (vid_t u : g.neighbors(v)) {
+      if (colors[u] != kUncolored && colors[u] == colors[v] && u != v) {
+        return Violation{std::min(u, v), std::max(u, v), colors[v]};
+      }
+      for (vid_t w : g.neighbors(u)) {
+        if (w == v) continue;
+        if (colors[w] != kUncolored && colors[w] == colors[v]) {
+          return Violation{std::min(w, v), std::max(w, v), colors[v]};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_valid_coloring_d2(const Csr& g, std::span<const color_t> colors,
+                          bool require_complete) {
+  return !find_violation_d2(g, colors, require_complete).has_value();
+}
+
+namespace {
+
+using simgpu::Mask;
+using simgpu::Vec;
+using simgpu::Wave;
+
+struct D2Scratch {
+  explicit D2Scratch(std::size_t bound)
+      : words((bound + 63) / 64), bits(words * simgpu::kMaxLanes, 0) {}
+  std::uint64_t* lane(unsigned i) { return bits.data() + i * words; }
+  void clear_lane(unsigned i) { std::fill_n(lane(i), words, std::uint64_t{0}); }
+  std::size_t words;
+  std::vector<std::uint64_t> bits;
+};
+
+/// Per-lane 2-hop walk: calls fn(lane, hop_vertex) for every u in N(v) and
+/// every w in N(u)\{v}; charges loads as the kernels would issue them.
+/// Returns after all active lanes finish (divergence = max 2-hop size).
+template <class Fn>
+void walk_two_hops(Wave& w, Mask m, const Vec<std::uint32_t>& items,
+                   const ColorCtx& ctx, Fn&& fn) {
+  const Vec<eid_t> row_begin = w.load(ctx.g.rows, items, m);
+  Vec<std::uint32_t> items1;
+  for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+  w.valu(m);
+  const Vec<eid_t> row_end = w.load(ctx.g.rows, items1, m);
+
+  // Outer loop over first-hop cursor (lockstep, masked).
+  Vec<eid_t> cur = row_begin;
+  w.valu(m);
+  Mask loop = where2(cur, row_end, m, [](eid_t a, eid_t b) { return a < b; });
+  while (loop.any()) {
+    const Vec<vid_t> nbr = w.load(ctx.g.cols, cur, loop);
+    // First hop visit.
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (loop.test(i)) fn(i, nbr[i]);
+    }
+    w.valu(loop, 2.0);
+    // Inner loop over the neighbour's list.
+    Vec<std::uint32_t> nbr1;
+    for (unsigned i = 0; i < w.width(); ++i) nbr1[i] = nbr[i] + 1;
+    w.valu(loop);
+    const Vec<eid_t> in_begin = w.load(ctx.g.rows, nbr, loop);
+    const Vec<eid_t> in_end = w.load(ctx.g.rows, nbr1, loop);
+    Vec<eid_t> icur = in_begin;
+    w.valu(loop);
+    Mask iloop =
+        where2(icur, in_end, loop, [](eid_t a, eid_t b) { return a < b; });
+    while (iloop.any()) {
+      const Vec<vid_t> hop2 = w.load(ctx.g.cols, icur, iloop);
+      w.valu(iloop, 2.0);
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (iloop.test(i) && hop2[i] != items[i]) fn(i, hop2[i]);
+      }
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (iloop.test(i)) ++icur[i];
+      }
+      w.valu(iloop);
+      iloop = where2(icur, in_end, iloop, [](eid_t a, eid_t b) { return a < b; });
+    }
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (loop.test(i)) ++cur[i];
+    }
+    w.valu(loop);
+    loop = where2(cur, row_end, loop, [](eid_t a, eid_t b) { return a < b; });
+  }
+}
+
+}  // namespace
+
+ColoringRun run_coloring_d2(const simgpu::DeviceConfig& cfg, const Csr& g,
+                            const ColoringOptions& opts) {
+  ColoringOptions eff = opts;
+  eff.group_size = std::min(eff.group_size, cfg.max_group_size);
+  detail::DriverState st(cfg, g, eff, Algorithm::kSpeculative);
+
+  const vid_t n = g.num_vertices();
+  const std::size_t bound = d2_color_bound(g);
+  // Scratch = 64 lanes x bound bits; refuse absurd configurations early.
+  GCG_EXPECT(bound <= (std::size_t{1} << 24));
+  D2Scratch scratch(bound);
+
+  std::vector<vid_t> frontier_in(n);
+  std::iota(frontier_in.begin(), frontier_in.end(), vid_t{0});
+  std::vector<vid_t> frontier_out(n);
+  std::vector<std::uint32_t> counter(1, 0);
+  std::vector<color_t> tentative(n, kUncolored);
+  std::uint32_t frontier_size = n;
+
+  for (unsigned iter = 0; frontier_size > 0; ++iter) {
+    GCG_ASSERT(iter < eff.max_iterations);
+    ColorCtx ctx = st.ctx();
+    const std::span<const vid_t> fin(frontier_in.data(), frontier_size);
+    const std::span<const color_t> tentative_c(tentative.data(), tentative.size());
+
+    // Phase A: speculative first-fit against committed 2-hop colors.
+    st.dev.launch_waves(frontier_size, eff.group_size, [&](Wave& w) {
+      const Mask m = w.valid();
+      const auto items = w.load(fin, w.global_ids(), m);
+      if (!m.any()) return;
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (m.test(i)) scratch.clear_lane(i);
+      }
+      w.valu(m, static_cast<double>(scratch.words));
+      walk_two_hops(w, m, items, ctx, [&](unsigned lane, vid_t hop) {
+        const color_t c = ctx.colors[hop];
+        if (c != kUncolored && static_cast<std::size_t>(c) < bound) {
+          scratch.lane(lane)[c / 64] |= std::uint64_t{1} << (c % 64);
+        }
+      });
+      // Extra gathers for the hop colors are charged inside walk (valu);
+      // the color loads themselves:
+      w.valu(m, static_cast<double>(scratch.words));
+      Vec<color_t> tv;
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (!m.test(i)) continue;
+        color_t c = 0;
+        for (std::size_t word = 0; word < scratch.words; ++word) {
+          const std::uint64_t inv = ~scratch.lane(i)[word];
+          if (inv != 0) {
+            c = static_cast<color_t>(
+                word * 64 + static_cast<std::size_t>(std::countr_zero(inv)));
+            break;
+          }
+        }
+        tv[i] = c;
+      }
+      w.store(std::span<color_t>(tentative), items, tv, m);
+    });
+
+    // Phase B: conflict resolution across the 2-hop neighbourhood.
+    counter[0] = 0;
+    FrontierAppender app{frontier_out, counter};
+    std::uint64_t committed = 0;
+    st.dev.launch_waves(frontier_size, eff.group_size, [&](Wave& w) {
+      const Mask m = w.valid();
+      const auto items = w.load(fin, w.global_ids(), m);
+      if (!m.any()) return;
+      const Vec<color_t> tv = w.load(tentative_c, items, m);
+      const Vec<std::uint32_t> pv = w.load(ctx.prio, items, m);
+      Mask win = m;
+      walk_two_hops(w, m, items, ctx, [&](unsigned lane, vid_t hop) {
+        if (!win.test(lane)) return;
+        const color_t hop_color = ctx.colors[hop];
+        if (hop_color == tv[lane]) {
+          win.clear(lane);  // committed earlier (incl. this phase)
+        } else if (hop_color == kUncolored && tentative[hop] == tv[lane] &&
+                   priority_less(pv[lane], items[lane], ctx.prio[hop], hop)) {
+          win.clear(lane);
+        }
+      });
+      if (win.any()) w.store(ctx.colors, items, tv, win);
+      const Mask lost = m.andnot(win);
+      if (lost.any()) {
+        const Vec<std::uint32_t> rank = w.rank_within(lost);
+        const std::uint32_t slot = w.atomic_add_uniform(
+            app.counter, 0, static_cast<std::uint32_t>(lost.count()));
+        Vec<std::uint32_t> dst;
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (lost.test(i)) dst[i] = slot + rank[i];
+        }
+        w.valu(lost);
+        w.store(app.out, dst, items, lost);
+      }
+      committed += win.count();
+    });
+
+    GCG_ASSERT(committed > 0);
+    st.colored_total += static_cast<vid_t>(committed);
+    st.note_iteration(frontier_size, committed);
+    frontier_in.swap(frontier_out);
+    frontier_size = counter[0];
+  }
+  return st.finish();
+}
+
+}  // namespace gcg

@@ -1,0 +1,37 @@
+// Distance-2 coloring: vertices at distance <= 2 get distinct colors
+// (equivalently: a proper coloring of the square graph). The standard tool
+// for compressing Jacobian/Hessian evaluations and for channel assignment.
+// Included as the natural extension of the paper's framework: the same
+// two-phase speculative kernels, with 2-hop neighbourhood scans.
+#pragma once
+
+#include <optional>
+
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+
+namespace gcg {
+
+/// Sequential greedy distance-2 coloring under a vertex order.
+SeqColoring greedy_color_d2(const Csr& g,
+                            GreedyOrder order = GreedyOrder::kNatural,
+                            std::uint64_t seed = 1);
+
+/// First distance-2 conflict (two vertices with a common neighbour — or
+/// adjacent — sharing a color), or first uncolored vertex.
+std::optional<Violation> find_violation_d2(const Csr& g,
+                                           std::span<const color_t> colors,
+                                           bool require_complete = true);
+
+bool is_valid_coloring_d2(const Csr& g, std::span<const color_t> colors,
+                          bool require_complete = true);
+
+/// GPU distance-2 coloring: speculative first-fit over the square graph,
+/// conflicts resolved by (priority, id). Uses thread-per-vertex kernels
+/// with explicit 2-hop scans; intended for bounded-degree graphs (the
+/// scratch forbidden set is O(min(n, max_degree^2)) bits per lane).
+ColoringRun run_coloring_d2(const simgpu::DeviceConfig& cfg, const Csr& g,
+                            const ColoringOptions& opts = {});
+
+}  // namespace gcg

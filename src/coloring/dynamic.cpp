@@ -1,0 +1,80 @@
+#include "coloring/dynamic.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+DynamicColoring::DynamicColoring(const Csr& g, std::span<const color_t> colors)
+    : colors_(colors.begin(), colors.end()) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  adj_.resize(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    adj_[v].assign(nb.begin(), nb.end());
+    GCG_EXPECT(colors_[v] != kUncolored);
+    num_colors_ = std::max(num_colors_, colors_[v] + 1);
+    for (vid_t u : nb) GCG_EXPECT(colors[u] != colors[v]);
+  }
+}
+
+color_t DynamicColoring::smallest_free_color(vid_t v) const {
+  // Neighbour color set is small; collect + sort beats a bitmap here.
+  std::vector<color_t> used;
+  used.reserve(adj_[v].size());
+  for (vid_t u : adj_[v]) used.push_back(colors_[u]);
+  std::sort(used.begin(), used.end());
+  color_t c = 0;
+  for (color_t uc : used) {
+    if (uc == c) {
+      ++c;
+    } else if (uc > c) {
+      break;
+    }
+  }
+  return c;
+}
+
+void DynamicColoring::add_edge(vid_t u, vid_t v) {
+  GCG_EXPECT(u < num_vertices() && v < num_vertices());
+  if (u == v) return;
+  const auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) return;  // already present
+
+  adj_[u].insert(it, v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++stats_.edges_added;
+
+  if (colors_[u] != colors_[v]) return;  // still proper
+
+  ++stats_.conflicts_repaired;
+  // Try to move whichever endpoint has a free color; prefer the one whose
+  // new color is smaller (keeps the palette compact).
+  const color_t cu = smallest_free_color(u);
+  const color_t cv = smallest_free_color(v);
+  // smallest_free_color never returns the current (now conflicting) color
+  // because the other endpoint holds it in the neighbourhood.
+  const color_t chosen = std::min(cu, cv);
+  if (cu <= cv) {
+    colors_[u] = cu;
+  } else {
+    colors_[v] = cv;
+  }
+  ++stats_.vertices_recolored;
+  num_colors_ = std::max(num_colors_, chosen + 1);
+  stats_.num_colors = num_colors_;
+}
+
+Csr DynamicColoring::snapshot() const {
+  GraphBuilder b(num_vertices());
+  for (vid_t v = 0; v < num_vertices(); ++v) {
+    for (vid_t u : adj_[v]) {
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace gcg

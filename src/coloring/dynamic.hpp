@@ -1,0 +1,56 @@
+// Incremental coloring maintenance for dynamic graphs (future-work
+// territory for the paper): when edges arrive, repair the existing
+// coloring locally instead of recoloring from scratch. Insertions only
+// ever create one conflict edge at a time, so repair is a bounded local
+// search; deletions never invalidate a coloring.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct DynamicColoringStats {
+  std::uint64_t edges_added = 0;
+  std::uint64_t conflicts_repaired = 0;   ///< insertions that forced a change
+  std::uint64_t vertices_recolored = 0;
+  int num_colors = 0;
+};
+
+/// Maintains a proper coloring of a growing graph. Starts from an existing
+/// graph+coloring; add_edge keeps the coloring proper at all times.
+class DynamicColoring {
+ public:
+  /// `colors` must be a valid coloring of `g`.
+  DynamicColoring(const Csr& g, std::span<const color_t> colors);
+
+  /// Adds undirected edge (u,v) (ignored if it already exists or u==v).
+  /// If colors[u]==colors[v], recolors the endpoint whose repair touches
+  /// fewer colors, cascading only if no free color exists (Kempe-lite:
+  /// take the smallest color unused in the neighbourhood; if both
+  /// endpoints are saturated, open a fresh color).
+  void add_edge(vid_t u, vid_t v);
+
+  const std::vector<color_t>& colors() const { return colors_; }
+  int num_colors() const { return num_colors_; }
+  const DynamicColoringStats& stats() const { return stats_; }
+
+  /// Materialize the current graph (adjacency built so far) as a CSR —
+  /// mainly for verification in tests.
+  Csr snapshot() const;
+
+  vid_t num_vertices() const { return static_cast<vid_t>(adj_.size()); }
+
+ private:
+  color_t smallest_free_color(vid_t v) const;
+
+  std::vector<std::vector<vid_t>> adj_;  ///< sorted adjacency sets
+  std::vector<color_t> colors_;
+  int num_colors_ = 0;
+  DynamicColoringStats stats_;
+};
+
+}  // namespace gcg

@@ -1,0 +1,231 @@
+#include "coloring/kernels.hpp"
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+using simgpu::Group;
+using simgpu::Mask;
+using simgpu::Vec;
+using simgpu::Wave;
+
+void scan_flags_tpv(Wave& w, Mask m, const Vec<std::uint32_t>& items,
+                    const ColorCtx& ctx, bool check_colored, bool min_too) {
+  if (check_colored) {
+    const Vec<color_t> col = w.load(ctx.colors_const(), items, m);
+    w.valu(m);  // compare against kUncolored
+    m = where(col, m, [](color_t c) { return c == kUncolored; });
+  }
+  if (!m.any()) {
+    w.salu();  // whole wave exits on the scalar branch
+    return;
+  }
+
+  const Vec<std::uint32_t> pv = w.load(ctx.prio, items, m);
+  const Vec<eid_t> row_begin = w.load(ctx.g.rows, items, m);
+  Vec<std::uint32_t> items1;
+  for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+  w.valu(m);
+  const Vec<eid_t> row_end = w.load(ctx.g.rows, items1, m);
+
+  Mask is_max = m;
+  Mask is_min = min_too ? m : Mask::none();
+  Vec<eid_t> cur = row_begin;
+  w.valu(m);  // initial bounds compare
+  Mask loop = where2(cur, row_end, m, [](eid_t a, eid_t b) { return a < b; });
+
+  while (loop.any()) {
+    const Vec<vid_t> nbr = w.load(ctx.g.cols, cur, loop);
+    const Vec<color_t> ncol = w.load(ctx.colors_const(), nbr, loop);
+    const Vec<std::uint32_t> np = w.load(ctx.prio, nbr, loop);
+    w.valu(loop, 4.0);  // uncolored test + 2 ordered compares + flag update
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (!loop.test(i) || ncol[i] != kUncolored) continue;
+      // Strict total order (priority, id): exactly one branch fires.
+      if (priority_less(pv[i], items[i], np[i], nbr[i])) {
+        is_max.clear(i);
+      } else {
+        is_min.clear(i);
+      }
+    }
+    for (unsigned i = 0; i < w.width(); ++i) {
+      if (loop.test(i)) ++cur[i];
+    }
+    w.valu(loop);  // cursor increment + bound check
+    // A lane that can no longer win either verdict exits its loop early.
+    loop &= (is_max | is_min);
+    loop = where2(cur, row_end, loop, [](eid_t a, eid_t b) { return a < b; });
+  }
+
+  Vec<std::uint8_t> f{};
+  for (unsigned i = 0; i < w.width(); ++i) {
+    if (!m.test(i)) continue;
+    f[i] = static_cast<std::uint8_t>((is_max.test(i) ? kFlagMax : kFlagNone) |
+                                     (is_min.test(i) ? kFlagMin : kFlagNone));
+  }
+  w.valu(m);  // flag packing
+  w.store(ctx.flags, items, f, m);
+}
+
+void scan_flags_wpv(Wave& w, vid_t v, const ColorCtx& ctx, bool min_too) {
+  const std::uint32_t pv = w.load_uniform(ctx.prio, v);
+  const eid_t row_begin = w.load_uniform(ctx.g.rows, v);
+  const eid_t row_end = w.load_uniform(ctx.g.rows, static_cast<std::size_t>(v) + 1);
+
+  bool is_max = true;
+  bool is_min = min_too;
+  const unsigned width = w.width();
+  for (eid_t base = row_begin; base < row_end && (is_max || is_min);
+       base += width) {
+    Mask m = Mask::none();
+    Vec<eid_t> cur;
+    for (unsigned i = 0; i < width; ++i) {
+      cur[i] = base + i;
+      if (cur[i] < row_end) m.set(i);
+    }
+    w.valu(m);  // index setup
+    // Consecutive edge indices: this gather coalesces near-perfectly —
+    // the whole point of wave-per-vertex for hub vertices.
+    const Vec<vid_t> nbr = w.load(ctx.g.cols, cur, m);
+    const Vec<color_t> ncol = w.load(ctx.colors_const(), nbr, m);
+    const Vec<std::uint32_t> np = w.load(ctx.prio, nbr, m);
+    w.valu(m, 4.0);
+    Mask beats = Mask::none();  // uncolored neighbour ranked above v
+    Mask below = Mask::none();
+    for (unsigned i = 0; i < width; ++i) {
+      if (!m.test(i) || ncol[i] != kUncolored) continue;
+      if (priority_less(pv, v, np[i], nbr[i])) {
+        beats.set(i);
+      } else {
+        below.set(i);
+      }
+    }
+    // Ballot across lanes is a scalar-unit op on GCN.
+    w.salu(2.0);
+    if (beats.any()) is_max = false;
+    if (below.any()) is_min = false;
+  }
+
+  const auto f = static_cast<std::uint8_t>(
+      (is_max ? kFlagMax : kFlagNone) | (is_min ? kFlagMin : kFlagNone));
+  w.store_uniform(ctx.flags, v, f);
+}
+
+void scan_flags_gpv(Group& grp, vid_t v, const ColorCtx& ctx, bool min_too) {
+  const auto nwaves = static_cast<unsigned>(grp.waves().size());
+  // Two partial-verdict bytes per wave in LDS.
+  auto partial = grp.lds_alloc<std::uint8_t>(static_cast<std::size_t>(nwaves) * 2);
+
+  for (unsigned wi = 0; wi < nwaves; ++wi) {
+    Wave& w = grp.waves()[wi];
+    const std::uint32_t pv = w.load_uniform(ctx.prio, v);
+    const eid_t row_begin = w.load_uniform(ctx.g.rows, v);
+    const eid_t row_end =
+        w.load_uniform(ctx.g.rows, static_cast<std::size_t>(v) + 1);
+
+    bool is_max = true;
+    bool is_min = min_too;
+    const unsigned width = w.width();
+    const eid_t stride = static_cast<eid_t>(width) * nwaves;
+    for (eid_t base = row_begin + static_cast<eid_t>(wi) * width;
+         base < row_end && (is_max || is_min); base += stride) {
+      Mask m = Mask::none();
+      Vec<eid_t> cur;
+      for (unsigned i = 0; i < width; ++i) {
+        cur[i] = base + i;
+        if (cur[i] < row_end) m.set(i);
+      }
+      w.valu(m);
+      const Vec<vid_t> nbr = w.load(ctx.g.cols, cur, m);
+      const Vec<color_t> ncol = w.load(ctx.colors_const(), nbr, m);
+      const Vec<std::uint32_t> np = w.load(ctx.prio, nbr, m);
+      w.valu(m, 4.0);
+      Mask beats = Mask::none();
+      Mask below = Mask::none();
+      for (unsigned i = 0; i < width; ++i) {
+        if (!m.test(i) || ncol[i] != kUncolored) continue;
+        if (priority_less(pv, v, np[i], nbr[i])) {
+          beats.set(i);
+        } else {
+          below.set(i);
+        }
+      }
+      w.salu(2.0);
+      if (beats.any()) is_max = false;
+      if (below.any()) is_min = false;
+    }
+    partial[wi * 2] = is_max ? 1 : 0;
+    partial[wi * 2 + 1] = is_min ? 1 : 0;
+    w.valu(Mask::lane(0), 1.0);  // LDS write by lane 0
+  }
+
+  grp.barrier();
+
+  // Wave 0 combines partial verdicts and publishes the flag.
+  Wave& w0 = grp.waves().front();
+  bool is_max = true, is_min = min_too;
+  for (unsigned wi = 0; wi < nwaves; ++wi) {
+    is_max &= partial[wi * 2] != 0;
+    is_min &= partial[wi * 2 + 1] != 0;
+  }
+  w0.salu(nwaves);  // LDS reduction
+  const auto f = static_cast<std::uint8_t>(
+      (is_max ? kFlagMax : kFlagNone) | (is_min ? kFlagMin : kFlagNone));
+  w0.store_uniform(ctx.flags, v, f);
+}
+
+Mask commit_tpv(Wave& w, Mask m, const Vec<std::uint32_t>& items,
+                const ColorCtx& ctx, color_t base, bool min_too,
+                bool check_colored, FrontierAppender* lose_out) {
+  if (check_colored) {
+    const Vec<color_t> col = w.load(ctx.colors_const(), items, m);
+    w.valu(m);
+    m = where(col, m, [](color_t c) { return c == kUncolored; });
+  }
+  if (!m.any()) {
+    w.salu();
+    return Mask::none();
+  }
+
+  const Vec<std::uint8_t> f = w.load(ctx.flags_const(), items, m);
+  w.valu(m, 2.0);  // flag tests
+  Mask win_max = Mask::none();
+  Mask win_min = Mask::none();
+  for (unsigned i = 0; i < w.width(); ++i) {
+    if (!m.test(i)) continue;
+    if (f[i] & kFlagMax) {
+      win_max.set(i);  // a vertex isolated in the uncolored subgraph has
+                       // both flags; the max color wins
+    } else if (min_too && (f[i] & kFlagMin)) {
+      win_min.set(i);
+    }
+  }
+
+  if (win_max.any()) {
+    w.store(ctx.colors, items, Vec<color_t>::splat(base), win_max);
+  }
+  if (win_min.any()) {
+    w.store(ctx.colors, items, Vec<color_t>::splat(base + 1), win_min);
+  }
+
+  const Mask won = win_max | win_min;
+  if (lose_out) {
+    const Mask lost = m.andnot(won);
+    if (lost.any()) {
+      // Wave-aggregated append: one atomic reserves slots for all losers.
+      const Vec<std::uint32_t> rank = w.rank_within(lost);
+      const std::uint32_t slot = w.atomic_add_uniform(
+          lose_out->counter, 0, static_cast<std::uint32_t>(lost.count()));
+      Vec<std::uint32_t> dst;
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (lost.test(i)) dst[i] = slot + rank[i];
+      }
+      w.valu(lost);
+      GCG_ASSERT(slot + lost.count() <= lose_out->out.size());
+      w.store(lose_out->out, dst, items, lost);
+    }
+  }
+  return won;
+}
+
+}  // namespace gcg

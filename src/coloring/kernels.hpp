@@ -1,0 +1,74 @@
+// SIMT kernel bodies shared by the coloring algorithms. Each function is
+// the body of (part of) an OpenCL kernel from the paper, written against
+// the simulator's Wave/Group API so divergence and coalescing are measured.
+//
+// All algorithms follow the two-phase independent-set pattern:
+//   phase A (scan):   for each candidate vertex, decide whether it is a
+//                     local max (and, for max-min, local min) among its
+//                     *uncolored* neighbours by (priority, id) order.
+//   phase B (commit): winners take this iteration's color(s); losers are
+//                     optionally appended to the next frontier.
+// Phase A never writes colors and phase B never reads neighbours, so the
+// result is independent of wave execution order (race-free by design).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coloring/common.hpp"
+#include "coloring/priorities.hpp"
+#include "simgpu/group.hpp"
+#include "simgpu/wave.hpp"
+
+namespace gcg {
+
+inline constexpr std::uint8_t kFlagNone = 0;
+inline constexpr std::uint8_t kFlagMax = 1;
+inline constexpr std::uint8_t kFlagMin = 2;
+
+/// Device buffers every coloring kernel sees.
+struct ColorCtx {
+  DeviceGraph g;
+  std::span<const std::uint32_t> prio;
+  std::span<color_t> colors;
+  std::span<std::uint8_t> flags;
+
+  std::span<const color_t> colors_const() const {
+    return {colors.data(), colors.size()};
+  }
+  std::span<const std::uint8_t> flags_const() const {
+    return {flags.data(), flags.size()};
+  }
+};
+
+/// Scatter-append target for frontier rebuilds (wave-aggregated atomics).
+struct FrontierAppender {
+  std::span<vid_t> out;
+  std::span<std::uint32_t> counter;  ///< single element
+};
+
+/// Thread-per-vertex phase A over the lane-held vertex ids `items`.
+/// `check_colored` filters already-colored lanes (topology-driven kernels
+/// pass true; frontier-driven kernels carry only uncolored vertices).
+/// `min_too` selects max-min (Che) vs plain JPL (max only).
+void scan_flags_tpv(simgpu::Wave& w, simgpu::Mask m,
+                    const simgpu::Vec<std::uint32_t>& items,
+                    const ColorCtx& ctx, bool check_colored, bool min_too);
+
+/// Wave-per-vertex phase A: all lanes cooperate on one vertex's adjacency
+/// list (coalesced, divergence-free — the hybrid algorithm's mid bin).
+void scan_flags_wpv(simgpu::Wave& w, vid_t v, const ColorCtx& ctx, bool min_too);
+
+/// Workgroup-per-vertex phase A: all waves of the group stride the list,
+/// partial verdicts combined through LDS (the hybrid's huge-degree bin).
+void scan_flags_gpv(simgpu::Group& grp, vid_t v, const ColorCtx& ctx, bool min_too);
+
+/// Phase B: commit flagged winners with colors `base` (max) / `base+1`
+/// (min, when min_too). Losers are appended through `lose_out` if given.
+/// Returns the mask of lanes that took a color.
+simgpu::Mask commit_tpv(simgpu::Wave& w, simgpu::Mask m,
+                        const simgpu::Vec<std::uint32_t>& items,
+                        const ColorCtx& ctx, color_t base, bool min_too,
+                        bool check_colored, FrontierAppender* lose_out);
+
+}  // namespace gcg

@@ -1,0 +1,180 @@
+#include "coloring/mis.hpp"
+
+#include <numeric>
+
+#include "coloring/kernels.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+namespace {
+// Per-vertex state in device memory.
+constexpr std::uint8_t kUndecided = 0;
+constexpr std::uint8_t kIn = 1;
+constexpr std::uint8_t kOut = 2;
+}  // namespace
+
+MisResult luby_mis(const simgpu::DeviceConfig& cfg, const Csr& g,
+                   const ColoringOptions& opts) {
+  using simgpu::Mask;
+  using simgpu::Vec;
+  using simgpu::Wave;
+
+  const vid_t n = g.num_vertices();
+  const auto prio = make_priorities(g, opts.priority, opts.seed);
+  const DeviceGraph dg = DeviceGraph::of(g);
+  std::vector<std::uint8_t> state(n, kUndecided);
+  std::vector<std::uint8_t> winner(n, 0);
+  simgpu::Device dev(cfg);
+  const unsigned gs = std::min(opts.group_size, cfg.max_group_size);
+
+  MisResult out;
+  vid_t undecided = n;
+  while (undecided > 0) {
+    GCG_ASSERT(out.rounds < opts.max_iterations);
+    const std::span<const std::uint8_t> state_c(state.data(), state.size());
+
+    // Kernel 1: undecided local maxima (vs undecided neighbours) win.
+    dev.launch_waves(n, gs, [&](Wave& w) {
+      const Mask valid = w.valid();
+      const auto items = w.global_ids();
+      const Vec<std::uint8_t> s = w.load(state_c, items, valid);
+      w.valu(valid);
+      Mask m = where(s, valid, [](std::uint8_t x) { return x == kUndecided; });
+      if (!m.any()) {
+        w.salu();
+        return;
+      }
+      const Vec<std::uint32_t> pv = w.load(std::span<const std::uint32_t>(prio),
+                                           items, m);
+      const Vec<eid_t> rb = w.load(dg.rows, items, m);
+      Vec<std::uint32_t> items1;
+      for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+      w.valu(m);
+      const Vec<eid_t> re = w.load(dg.rows, items1, m);
+      Mask is_max = m;
+      Vec<eid_t> cur = rb;
+      w.valu(m);
+      Mask loop = where2(cur, re, m, [](eid_t a, eid_t b) { return a < b; });
+      while (loop.any()) {
+        const Vec<vid_t> nbr = w.load(dg.cols, cur, loop);
+        const Vec<std::uint8_t> ns = w.load(state_c, nbr, loop);
+        const Vec<std::uint32_t> np =
+            w.load(std::span<const std::uint32_t>(prio), nbr, loop);
+        w.valu(loop, 3.0);
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (!loop.test(i) || ns[i] != kUndecided) continue;
+          if (priority_less(pv[i], items[i], np[i], nbr[i])) is_max.clear(i);
+        }
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (loop.test(i)) ++cur[i];
+        }
+        w.valu(loop);
+        loop &= is_max;  // a loser can stop scanning
+        loop = where2(cur, re, loop, [](eid_t a, eid_t b) { return a < b; });
+      }
+      Vec<std::uint8_t> flag{};
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (m.test(i)) flag[i] = is_max.test(i) ? 1 : 0;
+      }
+      w.valu(m);
+      w.store(std::span<std::uint8_t>(winner), items, flag, m);
+    });
+
+    // Kernel 2: winners join; their undecided neighbours drop out.
+    std::uint64_t decided = 0;
+    dev.launch_waves(n, gs, [&](Wave& w) {
+      const Mask valid = w.valid();
+      const auto items = w.global_ids();
+      const Vec<std::uint8_t> s = w.load(state_c, items, valid);
+      const Vec<std::uint8_t> win =
+          w.load(std::span<const std::uint8_t>(winner), items, valid);
+      w.valu(valid, 2.0);
+      Mask joining = Mask::none();
+      for (unsigned i = 0; i < w.width(); ++i) {
+        if (valid.test(i) && s[i] == kUndecided && win[i]) joining.set(i);
+      }
+      if (!joining.any()) {
+        w.salu();
+        return;
+      }
+      w.store(std::span<std::uint8_t>(state), items,
+              Vec<std::uint8_t>::splat(kIn), joining);
+      decided += joining.count();
+      // Knock out neighbours (scatter stores; races are write-same-value
+      // or kOut-over-kUndecided, both benign).
+      const Vec<eid_t> rb = w.load(dg.rows, items, joining);
+      Vec<std::uint32_t> items1;
+      for (unsigned i = 0; i < w.width(); ++i) items1[i] = items[i] + 1;
+      w.valu(joining);
+      const Vec<eid_t> re = w.load(dg.rows, items1, joining);
+      Vec<eid_t> cur = rb;
+      w.valu(joining);
+      Mask loop = where2(cur, re, joining, [](eid_t a, eid_t b) { return a < b; });
+      while (loop.any()) {
+        const Vec<vid_t> nbr = w.load(dg.cols, cur, loop);
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (loop.test(i) && state[nbr[i]] == kUndecided) {
+            state[nbr[i]] = kOut;
+            ++decided;
+          }
+        }
+        w.valu(loop);
+        Vec<std::uint8_t> outv = Vec<std::uint8_t>::splat(kOut);
+        w.store(std::span<std::uint8_t>(state), nbr, outv, loop);
+        for (unsigned i = 0; i < w.width(); ++i) {
+          if (loop.test(i)) ++cur[i];
+        }
+        w.valu(loop);
+        loop = where2(cur, re, loop, [](eid_t a, eid_t b) { return a < b; });
+      }
+    });
+
+    GCG_ASSERT(decided > 0);
+    undecided -= static_cast<vid_t>(decided);
+    ++out.rounds;
+  }
+
+  out.in_set.assign(n, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    if (state[v] == kIn) {
+      out.in_set[v] = 1;
+      ++out.set_size;
+    }
+  }
+  out.total_cycles = dev.total_cycles();
+  return out;
+}
+
+MisResult greedy_mis(const Csr& g) {
+  MisResult out;
+  const vid_t n = g.num_vertices();
+  out.in_set.assign(n, 0);
+  std::vector<bool> blocked(n, false);
+  for (vid_t v = 0; v < n; ++v) {
+    if (blocked[v]) continue;
+    out.in_set[v] = 1;
+    ++out.set_size;
+    for (vid_t u : g.neighbors(v)) blocked[u] = true;
+  }
+  out.rounds = 1;
+  return out;
+}
+
+bool is_maximal_independent_set(const Csr& g,
+                                std::span<const std::uint8_t> in_set) {
+  GCG_EXPECT(in_set.size() == g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    bool has_in_neighbor = false;
+    for (vid_t u : g.neighbors(v)) {
+      if (in_set[u]) {
+        has_in_neighbor = true;
+        if (in_set[v]) return false;  // not independent
+      }
+    }
+    if (!in_set[v] && !has_in_neighbor) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace gcg

@@ -1,0 +1,35 @@
+// Maximal independent set (Luby's algorithm) — the primitive one iteration
+// of JPL coloring extracts, exposed as a standalone API. Many downstream
+// graph applications (the paper's motivation) only need one independent
+// set, not a full coloring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coloring/runner.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct MisResult {
+  std::vector<std::uint8_t> in_set;  ///< 1 if the vertex is in the MIS
+  vid_t set_size = 0;
+  unsigned rounds = 0;               ///< Luby rounds until fixpoint
+  double total_cycles = 0.0;
+};
+
+/// GPU Luby MIS on the simulated device: each round, undecided local
+/// priority-maxima join the set and knock out their neighbours.
+MisResult luby_mis(const simgpu::DeviceConfig& cfg, const Csr& g,
+                   const ColoringOptions& opts = {});
+
+/// Host reference: sequential greedy MIS over a vertex order (for tests
+/// and quality comparison).
+MisResult greedy_mis(const Csr& g);
+
+/// True iff in_set marks an independent set that is maximal.
+bool is_maximal_independent_set(const Csr& g,
+                                std::span<const std::uint8_t> in_set);
+
+}  // namespace gcg

@@ -1,0 +1,38 @@
+#include "coloring/priorities.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace gcg {
+
+const char* priority_mode_name(PriorityMode m) {
+  switch (m) {
+    case PriorityMode::kRandom: return "random";
+    case PriorityMode::kDegreeBiased: return "degree-biased";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> make_priorities(const Csr& g, PriorityMode mode,
+                                           std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::uint32_t> prio(n);
+  const CounterHash hash(seed);
+  switch (mode) {
+    case PriorityMode::kRandom:
+      for (vid_t v = 0; v < n; ++v) prio[v] = hash.u32(v);
+      break;
+    case PriorityMode::kDegreeBiased:
+      // Degree in the top bits, hash noise below: hubs become local maxima
+      // early, mimicking largest-degree-first.
+      for (vid_t v = 0; v < n; ++v) {
+        const std::uint32_t d = std::min<vid_t>(g.degree(v), 0xFFFu);
+        prio[v] = (d << 20) | (hash.u32(v) & 0xFFFFFu);
+      }
+      break;
+  }
+  return prio;
+}
+
+}  // namespace gcg

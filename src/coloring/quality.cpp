@@ -1,0 +1,34 @@
+#include "coloring/quality.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace gcg {
+
+QualityReport analyze_quality(const Csr& g, std::span<const color_t> colors) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  QualityReport rep;
+  std::vector<color_t> dense(colors.begin(), colors.end());
+  rep.num_colors = compact_colors(dense);
+  rep.class_sizes.assign(rep.num_colors, 0);
+  for (color_t c : dense) {
+    if (c != kUncolored) ++rep.class_sizes[c];
+  }
+  RunningStats rs;
+  std::uint32_t largest = 0;
+  for (std::uint32_t s : rep.class_sizes) {
+    rs.add(s);
+    largest = std::max(largest, s);
+  }
+  const auto n = static_cast<double>(g.num_vertices());
+  if (n > 0 && rep.num_colors > 0) {
+    rep.largest_class_fraction = largest / n;
+    rep.class_size_cv = rs.cv();
+    rep.mean_parallelism = n / rep.num_colors;
+  }
+  return rep;
+}
+
+}  // namespace gcg

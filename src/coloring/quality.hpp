@@ -1,0 +1,26 @@
+// Color-quality analytics: class sizes and balance. Downstream users of
+// coloring (e.g. parallel Gauss–Seidel) care about both the number of
+// classes and how evenly vertices spread across them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct QualityReport {
+  int num_colors = 0;
+  std::vector<std::uint32_t> class_sizes;  ///< after dense renumbering
+  double largest_class_fraction = 0.0;
+  double class_size_cv = 0.0;
+  /// Mean parallelism if classes execute one-by-one with unit work per
+  /// vertex (n / num_colors).
+  double mean_parallelism = 0.0;
+};
+
+QualityReport analyze_quality(const Csr& g, std::span<const color_t> colors);
+
+}  // namespace gcg

@@ -1,0 +1,103 @@
+#include "coloring/recolor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+namespace {
+
+/// Greedy first-fit over an explicit visit order.
+RecolorResult greedy_over(const Csr& g, const std::vector<vid_t>& visit) {
+  RecolorResult out;
+  out.colors.assign(g.num_vertices(), kUncolored);
+  std::vector<int> mark(static_cast<std::size_t>(g.max_degree()) + 2, -1);
+  for (vid_t v : visit) {
+    for (vid_t u : g.neighbors(v)) {
+      if (out.colors[u] != kUncolored) mark[out.colors[u]] = static_cast<int>(v);
+    }
+    color_t c = 0;
+    while (mark[c] == static_cast<int>(v)) ++c;
+    out.colors[v] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  out.passes = 1;
+  return out;
+}
+
+std::vector<vid_t> class_grouped_order(const Csr& g,
+                                       std::span<const color_t> colors,
+                                       ClassOrder order) {
+  // Dense class ids + sizes.
+  std::vector<color_t> dense(colors.begin(), colors.end());
+  const int k = compact_colors(dense);
+  std::vector<std::uint32_t> size(k, 0);
+  for (color_t c : dense) {
+    GCG_EXPECT(c != kUncolored);
+    ++size[c];
+  }
+  std::vector<int> class_rank(k);
+  std::iota(class_rank.begin(), class_rank.end(), 0);
+  switch (order) {
+    case ClassOrder::kLargestFirst:
+      std::stable_sort(class_rank.begin(), class_rank.end(),
+                       [&](int a, int b) { return size[a] > size[b]; });
+      break;
+    case ClassOrder::kSmallestFirst:
+      std::stable_sort(class_rank.begin(), class_rank.end(),
+                       [&](int a, int b) { return size[a] < size[b]; });
+      break;
+    case ClassOrder::kReverse:
+      std::reverse(class_rank.begin(), class_rank.end());
+      break;
+  }
+  std::vector<int> position(k);
+  for (int r = 0; r < k; ++r) position[class_rank[r]] = r;
+
+  std::vector<vid_t> visit(g.num_vertices());
+  std::iota(visit.begin(), visit.end(), vid_t{0});
+  std::stable_sort(visit.begin(), visit.end(), [&](vid_t a, vid_t b) {
+    return position[dense[a]] < position[dense[b]];
+  });
+  return visit;
+}
+
+}  // namespace
+
+RecolorResult recolor_pass(const Csr& g, std::span<const color_t> colors,
+                           ClassOrder order) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  if (g.num_vertices() == 0) return {};
+  // Key property: visiting a proper coloring class-by-class means every
+  // vertex's already-colored neighbours sit in previously visited classes,
+  // so greedy assigns each class a color <= its visit rank. Hence the
+  // result never uses more colors than the input had classes.
+  return greedy_over(g, class_grouped_order(g, colors, order));
+}
+
+RecolorResult reduce_colors(const Csr& g, std::span<const color_t> colors,
+                            int max_passes, int patience) {
+  GCG_EXPECT(max_passes >= 1 && patience >= 1);
+  RecolorResult best = recolor_pass(g, colors, ClassOrder::kLargestFirst);
+  int since_improvement = 0;
+  const ClassOrder cycle[] = {ClassOrder::kReverse, ClassOrder::kLargestFirst,
+                              ClassOrder::kSmallestFirst};
+  for (int pass = 1; pass < max_passes && since_improvement < patience; ++pass) {
+    RecolorResult next =
+        recolor_pass(g, best.colors, cycle[pass % 3]);
+    next.passes = best.passes + 1;
+    if (next.num_colors < best.num_colors) {
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+    // Equal color counts still adopt the new coloring: permuting classes
+    // is what lets later passes escape plateaus.
+    if (next.num_colors <= best.num_colors) best = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace gcg

@@ -1,0 +1,37 @@
+// Color-count reduction post-pass (Culberson's iterated greedy): re-run
+// greedy with vertices grouped by their current color class — the result
+// never uses more colors and often uses fewer. The standard cleanup for
+// independent-set colorings, whose color counts run well above greedy's.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+enum class ClassOrder {
+  kLargestFirst,   ///< biggest color classes first (usually best)
+  kSmallestFirst,
+  kReverse,        ///< classes in reverse color order (Culberson's classic)
+};
+
+struct RecolorResult {
+  std::vector<color_t> colors;
+  int num_colors = 0;
+  int passes = 0;  ///< greedy passes actually executed
+};
+
+/// One iterated-greedy pass: recolors by visiting whole color classes in
+/// the given order. Guarantees num_colors <= input colors.
+RecolorResult recolor_pass(const Csr& g, std::span<const color_t> colors,
+                           ClassOrder order = ClassOrder::kLargestFirst);
+
+/// Repeat passes (cycling class orders) until no improvement for
+/// `patience` consecutive passes or `max_passes` reached.
+RecolorResult reduce_colors(const Csr& g, std::span<const color_t> colors,
+                            int max_passes = 16, int patience = 3);
+
+}  // namespace gcg

@@ -1,0 +1,136 @@
+#include "coloring/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "coloring/detail/driver.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBaseline: return "baseline";
+    case Algorithm::kJpl: return "jpl";
+    case Algorithm::kSpeculative: return "speculative";
+    case Algorithm::kEdgeParallel: return "edge";
+    case Algorithm::kWorklist: return "worklist";
+    case Algorithm::kPersistentStatic: return "persist-static";
+    case Algorithm::kSteal: return "steal";
+    case Algorithm::kHybrid: return "hybrid";
+    case Algorithm::kHybridSteal: return "hybrid+steal";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_name(const std::string& name) {
+  for (Algorithm a : all_algorithms()) {
+    if (name == algorithm_name(a)) return a;
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kBaseline,         Algorithm::kJpl,
+          Algorithm::kSpeculative,      Algorithm::kEdgeParallel,
+          Algorithm::kWorklist,         Algorithm::kPersistentStatic,
+          Algorithm::kSteal,            Algorithm::kHybrid,
+          Algorithm::kHybridSteal};
+}
+
+namespace detail {
+
+DriverState::DriverState(const simgpu::DeviceConfig& cfg, const Csr& graph,
+                         const ColoringOptions& options, Algorithm algorithm)
+    : g(graph),
+      opts(options),
+      dev(cfg),
+      prio(make_priorities(graph, options.priority, options.seed)),
+      colors(graph.num_vertices(), kUncolored),
+      flags(graph.num_vertices(), kFlagNone) {
+  run.algorithm = algorithm;
+}
+
+unsigned DriverState::persistent_waves_per_cu() const {
+  const unsigned device_max = dev.config().max_waves_per_cu;
+  return opts.waves_per_cu == 0 ? device_max
+                                : std::min(opts.waves_per_cu, device_max);
+}
+
+void DriverState::note_iteration(std::uint64_t active_vertices,
+                                 std::uint64_t colored_this_iter) {
+  ActivityPoint pt;
+  pt.iteration = static_cast<unsigned>(run.activity.size());
+  pt.active_vertices = active_vertices;
+  pt.colored_this_iter = colored_this_iter;
+  pt.cycles = 0.0;
+
+  double lane_ops = 0.0, issued = 0.0, imb_weight = 0.0, imb_sum = 0.0;
+  const auto& hist = dev.history();
+  for (std::size_t i = launches_seen; i < hist.size(); ++i) {
+    const auto& l = hist[i];
+    pt.cycles += l.kernel_cycles;
+    lane_ops += l.total.valu_lane_ops;
+    issued += l.total.valu_instructions * dev.config().wavefront_size;
+    imb_sum += l.cu_imbalance() * l.kernel_cycles;
+    imb_weight += l.kernel_cycles;
+    if (opts.collect_launches) run.launches.push_back(l);
+  }
+  launches_seen = hist.size();
+  pt.simd_efficiency = issued > 0 ? lane_ops / issued : 1.0;
+  pt.cu_imbalance = imb_weight > 0 ? imb_sum / imb_weight : 1.0;
+  run.activity.push_back(pt);
+}
+
+ColoringRun DriverState::finish() {
+  run.colors = std::move(colors);
+  run.num_colors = count_colors(run.colors);
+  run.iterations = static_cast<unsigned>(run.activity.size());
+  run.total_cycles = dev.total_cycles();
+  run.total_ms = dev.total_ms();
+  return std::move(run);
+}
+
+}  // namespace detail
+
+ColoringRun run_coloring(const simgpu::DeviceConfig& cfg, const Csr& g,
+                         Algorithm algorithm, const ColoringOptions& opts) {
+  // Clamp the requested workgroup size to what the device supports (real
+  // host code queries CL_DEVICE_MAX_WORK_GROUP_SIZE and does the same).
+  ColoringOptions eff = opts;
+  eff.group_size = std::min(eff.group_size, cfg.max_group_size);
+  GCG_EXPECT(eff.group_size >= cfg.wavefront_size);
+  detail::DriverState st(cfg, g, eff, algorithm);
+  switch (algorithm) {
+    case Algorithm::kBaseline:
+      detail::run_topology(st, /*min_too=*/true);
+      break;
+    case Algorithm::kJpl:
+      detail::run_topology(st, /*min_too=*/false);
+      break;
+    case Algorithm::kSpeculative:
+      detail::run_speculative(st);
+      break;
+    case Algorithm::kEdgeParallel:
+      detail::run_edge_parallel(st, /*min_too=*/true);
+      break;
+    case Algorithm::kWorklist:
+      detail::run_worklist(st, /*min_too=*/true);
+      break;
+    case Algorithm::kPersistentStatic:
+      detail::run_steal(st, /*min_too=*/true, /*enable_steal=*/false);
+      break;
+    case Algorithm::kSteal:
+      detail::run_steal(st, /*min_too=*/true, /*enable_steal=*/true);
+      break;
+    case Algorithm::kHybrid:
+      detail::run_hybrid(st, /*min_too=*/true, /*steal_small_bin=*/false);
+      break;
+    case Algorithm::kHybridSteal:
+      detail::run_hybrid(st, /*min_too=*/true, /*steal_small_bin=*/true);
+      break;
+  }
+  return st.finish();
+}
+
+}  // namespace gcg

@@ -1,0 +1,81 @@
+// Public entry point for GPU coloring: pick an algorithm, get a colored
+// graph plus the full simulated-performance record the paper's evaluation
+// is built from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "coloring/priorities.hpp"
+#include "graph/csr.hpp"
+#include "metrics/imbalance.hpp"
+#include "sched/steal_queues.hpp"
+#include "simgpu/dispatch.hpp"
+
+namespace gcg {
+
+enum class Algorithm {
+  kBaseline,    ///< topology-driven max-min, thread-per-vertex (the paper's
+                ///< baseline GPU implementation)
+  kJpl,         ///< Jones–Plassmann–Luby, max only (comparison approach)
+  kSpeculative, ///< speculative greedy + conflict resolution (comparison)
+  kEdgeParallel,///< thread-per-arc max-min: divergence-free by construction,
+                ///< pays |arcs| lane-visits and hub atomic contention instead
+  kWorklist,    ///< data-driven max-min: frontier of uncolored vertices
+  kPersistentStatic,  ///< frontier statically partitioned over persistent
+                      ///< waves, no rebalancing (the stealing comparator)
+  kSteal,       ///< worklist + persistent waves + work stealing
+  kHybrid,      ///< degree-binned: thread-/wave-/workgroup-per-vertex
+  kHybridSteal, ///< hybrid with stealing in the thread-per-vertex bin
+};
+
+const char* algorithm_name(Algorithm a);
+Algorithm algorithm_from_name(const std::string& name);
+std::vector<Algorithm> all_algorithms();
+
+struct ColoringOptions {
+  PriorityMode priority = PriorityMode::kRandom;
+  std::uint64_t seed = 1;
+  unsigned group_size = 256;      ///< workgroup size for NDRange kernels
+  unsigned max_iterations = 1u << 20;  ///< safety cap
+
+  // Work stealing (kSteal, kHybridSteal). One work queue per CU, shared
+  // by that CU's resident waves (the classic persistent-kernel layout).
+  // Small chunks split hub vertices across steps and balance better; the
+  // lane slots a partial wave leaves idle are cheap for latency-bound
+  // kernels (see bench_fig6_chunk for the sweep).
+  std::uint32_t chunk_size = 16;  ///< frontier items per task
+  VictimPolicy victim = VictimPolicy::kRandom;
+  /// Persistent waves resident per CU; 0 = fill the device (the usual
+  /// persistent-kernel launch: one workgroup set at max occupancy).
+  unsigned waves_per_cu = 0;
+
+  // Hybrid degree binning.
+  vid_t wave_degree_threshold = 32;    ///< degree >  this -> wave-per-vertex
+  vid_t group_degree_threshold = 1024; ///< degree >  this -> group-per-vertex
+  /// kHybridSteal only: set false to run the small bin on persistent waves
+  /// *without* stealing (the ablation separating persistent execution from
+  /// the stealing itself).
+  bool hybrid_small_bin_steal = true;
+
+  bool collect_launches = true;   ///< keep per-launch results (for metrics)
+};
+
+struct ColoringRun {
+  Algorithm algorithm = Algorithm::kBaseline;
+  std::vector<color_t> colors;
+  int num_colors = 0;
+  unsigned iterations = 0;
+  double total_cycles = 0.0;      ///< device-timeline total (all launches)
+  double total_ms = 0.0;          ///< at the device's model clock
+  std::vector<simgpu::LaunchResult> launches;  ///< when collect_launches
+  std::vector<ActivityPoint> activity;         ///< one per iteration
+  StealStats steal;               ///< zero unless a stealing variant ran
+};
+
+/// Colors `g` on the simulated device. Deterministic for fixed options.
+ColoringRun run_coloring(const simgpu::DeviceConfig& cfg, const Csr& g,
+                         Algorithm algorithm, const ColoringOptions& opts = {});
+
+}  // namespace gcg

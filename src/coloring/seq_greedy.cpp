@@ -1,0 +1,173 @@
+#include "coloring/seq_greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+
+const char* greedy_order_name(GreedyOrder o) {
+  switch (o) {
+    case GreedyOrder::kNatural: return "natural";
+    case GreedyOrder::kRandom: return "random";
+    case GreedyOrder::kLargestFirst: return "largest-first";
+    case GreedyOrder::kSmallestLast: return "smallest-last";
+    case GreedyOrder::kIncidence: return "incidence";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Smallest-last (degeneracy) order via bucketed min-degree peeling.
+std::vector<vid_t> smallest_last_order(const Csr& g, vid_t* degeneracy_out) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> deg(n);
+  vid_t maxd = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    maxd = std::max(maxd, deg[v]);
+  }
+  // Bucket queue keyed by current degree.
+  std::vector<std::vector<vid_t>> buckets(maxd + 1);
+  for (vid_t v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::vector<vid_t> order;
+  order.reserve(n);
+  vid_t degen = 0;
+  vid_t floor = 0;
+  for (vid_t taken = 0; taken < n; ++taken) {
+    while (floor <= maxd && buckets[floor].empty()) ++floor;
+    // Entries can be stale (degree decreased since insertion); skip them.
+    vid_t v = n;
+    while (floor <= maxd) {
+      while (!buckets[floor].empty()) {
+        const vid_t cand = buckets[floor].back();
+        buckets[floor].pop_back();
+        if (!removed[cand] && deg[cand] == floor) {
+          v = cand;
+          break;
+        }
+      }
+      if (v != n) break;
+      ++floor;
+    }
+    GCG_ASSERT(v != n);
+    removed[v] = true;
+    order.push_back(v);
+    degen = std::max(degen, deg[v]);
+    for (vid_t u : g.neighbors(v)) {
+      if (!removed[u]) {
+        --deg[u];
+        buckets[deg[u]].push_back(u);
+        if (deg[u] < floor) floor = deg[u];
+      }
+    }
+  }
+  // Peeling order lists the minimum-degree vertex first; coloring wants the
+  // reverse (so each vertex has few already-colored neighbours).
+  std::reverse(order.begin(), order.end());
+  if (degeneracy_out) *degeneracy_out = degen;
+  return order;
+}
+
+std::vector<vid_t> incidence_order(const Csr& g) {
+  // Greedy: repeatedly pick the vertex with most already-ordered neighbours
+  // (ties: higher degree). Bucketed by saturation-of-ordering count.
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> score(n, 0);
+  std::vector<bool> placed(n, false);
+  std::vector<std::vector<vid_t>> buckets(1);
+  for (vid_t v = 0; v < n; ++v) buckets[0].push_back(v);
+  vid_t top = 0;
+  std::vector<vid_t> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    while (top > 0 && buckets[top].empty()) --top;
+    vid_t v = n;
+    while (true) {
+      while (!buckets[top].empty()) {
+        const vid_t cand = buckets[top].back();
+        buckets[top].pop_back();
+        if (!placed[cand] && score[cand] == top) {
+          v = cand;
+          break;
+        }
+      }
+      if (v != n || top == 0) break;
+      --top;
+    }
+    GCG_ASSERT(v != n);
+    placed[v] = true;
+    order.push_back(v);
+    for (vid_t u : g.neighbors(v)) {
+      if (!placed[u]) {
+        ++score[u];
+        if (score[u] >= buckets.size()) buckets.resize(score[u] + 1);
+        buckets[score[u]].push_back(u);
+        top = std::max(top, score[u]);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+SeqColoring greedy_color(const Csr& g, GreedyOrder order, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> visit(n);
+  std::iota(visit.begin(), visit.end(), vid_t{0});
+
+  switch (order) {
+    case GreedyOrder::kNatural:
+      break;
+    case GreedyOrder::kRandom: {
+      Xoshiro256ss rng(seed);
+      for (vid_t i = n; i > 1; --i) {
+        const auto j = static_cast<vid_t>(rng.bounded(i));
+        std::swap(visit[i - 1], visit[j]);
+      }
+      break;
+    }
+    case GreedyOrder::kLargestFirst:
+      std::stable_sort(visit.begin(), visit.end(), [&](vid_t a, vid_t b) {
+        return g.degree(a) > g.degree(b);
+      });
+      break;
+    case GreedyOrder::kSmallestLast:
+      visit = smallest_last_order(g, nullptr);
+      break;
+    case GreedyOrder::kIncidence:
+      visit = incidence_order(g);
+      break;
+  }
+
+  SeqColoring out;
+  out.colors.assign(n, kUncolored);
+  std::vector<int> mark;  // mark[c] == v means color c is forbidden for v
+  mark.assign(static_cast<std::size_t>(g.max_degree()) + 2, -1);
+  for (std::size_t k = 0; k < visit.size(); ++k) {
+    const vid_t v = visit[k];
+    for (vid_t u : g.neighbors(v)) {
+      const color_t c = out.colors[u];
+      if (c != kUncolored) mark[c] = static_cast<int>(v);
+    }
+    color_t c = 0;
+    while (mark[c] == static_cast<int>(v)) ++c;
+    out.colors[v] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  return out;
+}
+
+vid_t degeneracy(const Csr& g) {
+  if (g.num_vertices() == 0) return 0;
+  vid_t d = 0;
+  smallest_last_order(g, &d);
+  return d;
+}
+
+}  // namespace gcg

@@ -1,0 +1,36 @@
+// Sequential greedy coloring — the CPU reference for color quality and the
+// host-side comparator the paper measures its GPU kernels against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+enum class GreedyOrder {
+  kNatural,       ///< vertex id order
+  kRandom,        ///< uniform random order
+  kLargestFirst,  ///< Welsh–Powell: descending degree
+  kSmallestLast,  ///< Matula–Beck: degeneracy order (best quality, O(n+m))
+  kIncidence,     ///< max colored neighbours first (simplified IDO)
+};
+
+const char* greedy_order_name(GreedyOrder o);
+
+struct SeqColoring {
+  std::vector<color_t> colors;
+  int num_colors = 0;
+};
+
+SeqColoring greedy_color(const Csr& g, GreedyOrder order = GreedyOrder::kNatural,
+                         std::uint64_t seed = 1);
+
+/// Degeneracy (max over the smallest-last order of remaining degree):
+/// greedy on that order uses at most degeneracy+1 colors.
+vid_t degeneracy(const Csr& g);
+
+}  // namespace gcg

@@ -1,0 +1,43 @@
+#include "coloring/verify.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  if (u == v) {
+    os << "vertex " << u << " is uncolored";
+  } else {
+    os << "edge (" << u << "," << v << ") has both endpoints color " << color;
+  }
+  return os.str();
+}
+
+std::optional<Violation> find_violation(const Csr& g,
+                                        std::span<const color_t> colors,
+                                        bool require_complete) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (colors[u] == kUncolored) {
+      if (require_complete) return Violation{u, u, kUncolored};
+      continue;
+    }
+    for (vid_t v : g.neighbors(u)) {
+      if (v > u) break;  // sorted lists: check each edge once via v < u side
+      if (colors[v] != kUncolored && colors[v] == colors[u]) {
+        return Violation{v, u, colors[u]};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_valid_coloring(const Csr& g, std::span<const color_t> colors,
+                       bool require_complete) {
+  return !find_violation(g, colors, require_complete).has_value();
+}
+
+}  // namespace gcg

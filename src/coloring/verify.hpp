@@ -1,0 +1,30 @@
+// Coloring validation — every test and bench checks results through this.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct Violation {
+  vid_t u = 0;
+  vid_t v = 0;
+  color_t color = kUncolored;
+  std::string to_string() const;
+};
+
+/// First adjacent pair sharing a color, or first uncolored vertex
+/// (when require_complete). nullopt = valid.
+std::optional<Violation> find_violation(const Csr& g,
+                                        std::span<const color_t> colors,
+                                        bool require_complete = true);
+
+/// True iff colors is a proper (and, by default, complete) coloring.
+bool is_valid_coloring(const Csr& g, std::span<const color_t> colors,
+                       bool require_complete = true);
+
+}  // namespace gcg

@@ -1,0 +1,61 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+GraphBuilder::GraphBuilder(vid_t num_vertices) : n_(num_vertices) {}
+
+void GraphBuilder::add_edge(vid_t u, vid_t v) {
+  GCG_EXPECT(u < n_ && v < n_);
+  edges_.emplace_back(u, v);
+}
+
+Csr GraphBuilder::build(const BuildOptions& opts) {
+  std::vector<std::pair<vid_t, vid_t>> arcs;
+  arcs.reserve(edges_.size() * (opts.symmetrize ? 2 : 1));
+  for (auto [u, v] : edges_) {
+    if (opts.remove_self_loops && u == v) continue;
+    arcs.emplace_back(u, v);
+    if (opts.symmetrize && u != v) arcs.emplace_back(v, u);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  if (opts.sort_neighbors || opts.dedup) {
+    std::sort(arcs.begin(), arcs.end());
+  }
+  if (opts.dedup) {
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  }
+
+  std::vector<eid_t> rows(static_cast<std::size_t>(n_) + 1, 0);
+  for (auto [u, v] : arcs) {
+    (void)v;
+    ++rows[u + 1];
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) rows[i] += rows[i - 1];
+
+  std::vector<vid_t> cols(arcs.size());
+  if (opts.sort_neighbors || opts.dedup) {
+    // arcs are globally sorted, so filling in order keeps lists sorted.
+    for (std::size_t i = 0; i < arcs.size(); ++i) cols[i] = arcs[i].second;
+  } else {
+    std::vector<eid_t> cursor(rows.begin(), rows.end() - 1);
+    for (auto [u, v] : arcs) cols[cursor[u]++] = v;
+  }
+  return Csr(std::move(rows), std::move(cols));
+}
+
+Csr GraphBuilder::from_edges(vid_t n,
+                             const std::vector<std::pair<vid_t, vid_t>>& edges,
+                             const BuildOptions& opts) {
+  GraphBuilder b(n);
+  b.reserve(edges.size());
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return b.build(opts);
+}
+
+}  // namespace gcg

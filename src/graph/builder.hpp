@@ -1,0 +1,42 @@
+// Edge-list accumulator that produces clean CSR graphs: symmetrized,
+// deduplicated, self-loop-free, sorted adjacency — the invariants every
+// coloring kernel in this library relies on.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct BuildOptions {
+  bool symmetrize = true;        ///< add (v,u) for every (u,v)
+  bool remove_self_loops = true; ///< drop (u,u)
+  bool dedup = true;             ///< drop parallel edges
+  bool sort_neighbors = true;    ///< sort each adjacency list ascending
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(vid_t num_vertices);
+
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+  void add_edge(vid_t u, vid_t v);
+  std::size_t pending_edges() const { return edges_.size(); }
+  vid_t num_vertices() const { return n_; }
+
+  /// Consumes the accumulated edges and builds the CSR.
+  Csr build(const BuildOptions& opts = {});
+
+  /// Convenience: build a CSR directly from an edge list.
+  static Csr from_edges(vid_t n, const std::vector<std::pair<vid_t, vid_t>>& edges,
+                        const BuildOptions& opts = {});
+
+ private:
+  vid_t n_;
+  std::vector<std::pair<vid_t, vid_t>> edges_;
+};
+
+}  // namespace gcg

@@ -1,0 +1,72 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+Csr::Csr(std::vector<eid_t> row_offsets, std::vector<vid_t> col_indices)
+    : rows_(std::move(row_offsets)), cols_(std::move(col_indices)) {
+  if (rows_.empty()) throw std::invalid_argument("csr: empty row offsets");
+  n_ = static_cast<vid_t>(rows_.size() - 1);
+  validate();
+}
+
+vid_t Csr::max_degree() const {
+  vid_t d = 0;
+  for (vid_t v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+double Csr::avg_degree() const {
+  return n_ ? static_cast<double>(num_arcs()) / static_cast<double>(n_) : 0.0;
+}
+
+bool Csr::is_symmetric() const {
+  for (vid_t u = 0; u < n_; ++u) {
+    for (vid_t v : neighbors(u)) {
+      const auto nb = neighbors(v);
+      if (!std::binary_search(nb.begin(), nb.end(), u)) return false;
+    }
+  }
+  return true;
+}
+
+bool Csr::has_no_self_loops() const {
+  for (vid_t u = 0; u < n_; ++u) {
+    for (vid_t v : neighbors(u)) {
+      if (v == u) return false;
+    }
+  }
+  return true;
+}
+
+bool Csr::is_sorted_unique() const {
+  for (vid_t u = 0; u < n_; ++u) {
+    const auto nb = neighbors(u);
+    for (std::size_t i = 1; i < nb.size(); ++i) {
+      if (nb[i] <= nb[i - 1]) return false;
+    }
+  }
+  return true;
+}
+
+void Csr::validate() const {
+  if (rows_.empty()) throw std::invalid_argument("csr: empty row offsets");
+  if (rows_.front() != 0) throw std::invalid_argument("csr: rows[0] != 0");
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i] < rows_[i - 1]) {
+      throw std::invalid_argument("csr: row offsets not monotone");
+    }
+  }
+  if (rows_.back() != cols_.size()) {
+    throw std::invalid_argument("csr: rows[n] != |cols|");
+  }
+  for (vid_t c : cols_) {
+    if (c >= n_) throw std::invalid_argument("csr: column index out of range");
+  }
+}
+
+}  // namespace gcg

@@ -1,0 +1,62 @@
+// Compressed Sparse Row graph storage — the device-side format the paper's
+// OpenCL kernels consume (row offsets + column indices in flat arrays).
+// Graphs are simple and undirected unless a builder is told otherwise:
+// every undirected edge appears in both adjacency lists.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gcg {
+
+using vid_t = std::uint32_t;  ///< vertex id
+using eid_t = std::uint64_t;  ///< edge index into the column array
+
+/// An immutable CSR graph. Construct via GraphBuilder or a generator.
+class Csr {
+ public:
+  Csr() = default;
+  Csr(std::vector<eid_t> row_offsets, std::vector<vid_t> col_indices);
+
+  vid_t num_vertices() const { return n_; }
+  /// Number of directed arcs stored (2x undirected edge count).
+  eid_t num_arcs() const { return static_cast<eid_t>(cols_.size()); }
+  /// Undirected edge count, assuming the graph is symmetric.
+  eid_t num_edges() const { return num_arcs() / 2; }
+
+  eid_t offset(vid_t v) const { return rows_[v]; }
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(rows_[v + 1] - rows_[v]);
+  }
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {cols_.data() + rows_[v], cols_.data() + rows_[v + 1]};
+  }
+
+  std::span<const eid_t> row_offsets() const { return rows_; }
+  std::span<const vid_t> col_indices() const { return cols_; }
+
+  vid_t max_degree() const;
+  double avg_degree() const;
+
+  /// True if every arc (u,v) has a matching (v,u).
+  bool is_symmetric() const;
+  /// True if no v appears in its own adjacency list.
+  bool has_no_self_loops() const;
+  /// True if each adjacency list is sorted ascending with no duplicates.
+  bool is_sorted_unique() const;
+
+  /// Throws std::invalid_argument describing the first structural problem
+  /// (bad offsets, out-of-range column, ...). Used by loaders and tests.
+  void validate() const;
+
+  bool empty() const { return n_ == 0; }
+
+ private:
+  vid_t n_ = 0;
+  std::vector<eid_t> rows_;  ///< size n+1, rows_[0]==0, non-decreasing
+  std::vector<vid_t> cols_;  ///< size rows_[n]
+};
+
+}  // namespace gcg

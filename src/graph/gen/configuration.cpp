@@ -1,0 +1,77 @@
+#include "graph/gen/configuration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+
+Csr make_configuration_model(const std::vector<vid_t>& degrees,
+                             std::uint64_t seed) {
+  const auto n = static_cast<vid_t>(degrees.size());
+  GCG_EXPECT(n >= 2);
+
+  // Stub list: vertex v appears degrees[v] times.
+  std::vector<vid_t> stubs;
+  for (vid_t v = 0; v < n; ++v) {
+    GCG_EXPECT(degrees[v] < n);  // simple graph upper bound
+    stubs.insert(stubs.end(), degrees[v], v);
+  }
+  if (stubs.size() % 2 == 1) stubs.pop_back();  // make the sum even
+
+  // Uniform stub shuffle, then pair consecutive stubs; retry bad pairs a
+  // few times against the tail before discarding them.
+  Xoshiro256ss rng(seed);
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  GraphBuilder b(n);
+  auto key = [](vid_t a, vid_t c) {
+    if (a > c) std::swap(a, c);
+    return (static_cast<std::uint64_t>(a) << 32) | c;
+  };
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    vid_t u = stubs[i];
+    vid_t v = stubs[i + 1];
+    int retries = 8;
+    while ((u == v || seen.count(key(u, v))) && retries-- > 0 &&
+           i + 2 < stubs.size()) {
+      // Swap the second stub with a random later stub and retry.
+      const std::size_t j = i + 2 + rng.bounded(stubs.size() - i - 2);
+      std::swap(stubs[i + 1], stubs[j]);
+      v = stubs[i + 1];
+    }
+    if (u == v || seen.count(key(u, v))) continue;  // discard this pair
+    seen.insert(key(u, v));
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+std::vector<vid_t> power_law_degrees(vid_t n, double alpha, vid_t d_min,
+                                     vid_t d_max, std::uint64_t seed) {
+  GCG_EXPECT(alpha > 1.0);
+  GCG_EXPECT(d_min >= 1 && d_max >= d_min && d_max < n);
+  // Inverse-CDF sampling of a truncated discrete power law.
+  Xoshiro256ss rng(seed);
+  const double a1 = 1.0 - alpha;
+  const double lo = std::pow(static_cast<double>(d_min), a1);
+  const double hi = std::pow(static_cast<double>(d_max) + 1.0, a1);
+  std::vector<vid_t> degrees(n);
+  for (vid_t v = 0; v < n; ++v) {
+    const double u = rng.uniform();
+    const double x = std::pow(lo + u * (hi - lo), 1.0 / a1);
+    degrees[v] = std::min<vid_t>(
+        d_max, std::max<vid_t>(d_min, static_cast<vid_t>(x)));
+  }
+  return degrees;
+}
+
+}  // namespace gcg

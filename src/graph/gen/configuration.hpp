@@ -1,0 +1,28 @@
+// Configuration-model generator: a random simple graph matching a target
+// degree sequence as closely as possible (stub matching with rejection of
+// self-loops/multi-edges). Lets experiments isolate "degree distribution"
+// from every other structural property — the control the characterization
+// experiments occasionally need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+/// Builds a graph whose degree sequence approximates `degrees` (sum must
+/// be even or it is adjusted by dropping one stub from the largest entry).
+/// Rejected stubs (self-loops / duplicates after retries) are discarded,
+/// so achieved degrees can fall slightly below targets on dense or very
+/// skewed sequences.
+Csr make_configuration_model(const std::vector<vid_t>& degrees,
+                             std::uint64_t seed = 1);
+
+/// Convenience: a power-law degree sequence d ~ x^{-alpha} truncated to
+/// [d_min, d_max], scaled to n vertices.
+std::vector<vid_t> power_law_degrees(vid_t n, double alpha, vid_t d_min,
+                                     vid_t d_max, std::uint64_t seed = 1);
+
+}  // namespace gcg

@@ -1,0 +1,45 @@
+#include "graph/gen/grid.hpp"
+
+#include "graph/builder.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+Csr make_grid2d(vid_t width, vid_t height, bool eight_connected) {
+  GCG_EXPECT(width > 0 && height > 0);
+  const auto id = [width](vid_t x, vid_t y) { return y * width + x; };
+  GraphBuilder b(width * height);
+  b.reserve(static_cast<std::size_t>(width) * height * (eight_connected ? 4 : 2));
+  for (vid_t y = 0; y < height; ++y) {
+    for (vid_t x = 0; x < width; ++x) {
+      if (x + 1 < width) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) b.add_edge(id(x, y), id(x, y + 1));
+      if (eight_connected) {
+        if (x + 1 < width && y + 1 < height) b.add_edge(id(x, y), id(x + 1, y + 1));
+        if (x > 0 && y + 1 < height) b.add_edge(id(x, y), id(x - 1, y + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+Csr make_grid3d(vid_t nx, vid_t ny, vid_t nz) {
+  GCG_EXPECT(nx > 0 && ny > 0 && nz > 0);
+  const auto id = [nx, ny](vid_t x, vid_t y, vid_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  GraphBuilder b(nx * ny * nz);
+  b.reserve(static_cast<std::size_t>(nx) * ny * nz * 3);
+  for (vid_t z = 0; z < nz; ++z) {
+    for (vid_t y = 0; y < ny; ++y) {
+      for (vid_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) b.add_edge(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) b.add_edge(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) b.add_edge(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace gcg

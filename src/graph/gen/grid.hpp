@@ -1,0 +1,15 @@
+// Regular-lattice generators — stand-ins for the paper's near-regular inputs
+// (ecology*, G3_circuit): low, uniform degree; excellent SIMD behaviour.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+/// width x height lattice, 4-neighbour (von Neumann) or 8-neighbour (Moore).
+Csr make_grid2d(vid_t width, vid_t height, bool eight_connected = false);
+
+/// nx x ny x nz lattice, 6-neighbour stencil.
+Csr make_grid3d(vid_t nx, vid_t ny, vid_t nz);
+
+}  // namespace gcg

@@ -1,0 +1,101 @@
+#include "graph/gen/powerlaw.hpp"
+
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+
+Csr make_barabasi_albert(vid_t n, vid_t edges_per_vertex, std::uint64_t seed) {
+  GCG_EXPECT(edges_per_vertex >= 1);
+  GCG_EXPECT(n > edges_per_vertex);
+  Xoshiro256ss rng(seed);
+  GraphBuilder b(n);
+
+  // `targets` holds one entry per edge endpoint: sampling uniformly from it
+  // is sampling proportionally to degree (the classic BA trick).
+  std::vector<vid_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * edges_per_vertex * 2);
+
+  // Seed clique over the first m+1 vertices.
+  const vid_t m = edges_per_vertex;
+  for (vid_t u = 0; u <= m; ++u) {
+    for (vid_t v = u + 1; v <= m; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<vid_t> picked;
+  for (vid_t v = m + 1; v < n; ++v) {
+    picked.clear();
+    // Sample m distinct targets by rejection; m is small so this is cheap.
+    while (picked.size() < m) {
+      const vid_t t = endpoints[rng.bounded(endpoints.size())];
+      bool dup = false;
+      for (vid_t p : picked) dup |= (p == t);
+      if (!dup) picked.push_back(t);
+    }
+    for (vid_t t : picked) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Csr make_rmat(unsigned scale, vid_t edge_factor, const RmatParams& p,
+              std::uint64_t seed) {
+  GCG_EXPECT(scale >= 1 && scale <= 30);
+  GCG_EXPECT(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0);
+  const vid_t n = vid_t{1} << scale;
+  const auto m = static_cast<eid_t>(edge_factor) * n;
+  Xoshiro256ss rng(seed);
+  GraphBuilder b(n);
+  b.reserve(m);
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < p.a) {
+        // quadrant (0,0)
+      } else if (r < p.a + p.b) {
+        v |= 1;
+      } else if (r < p.a + p.b + p.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    b.add_edge(u, v);
+  }
+  Csr g = b.build();
+  if (!p.scramble_ids) return g;
+  // Scramble ids with a fixed random permutation so that hub vertices are
+  // not clustered at low ids (matches Graph500 practice).
+  std::vector<vid_t> perm(n);
+  for (vid_t i = 0; i < n; ++i) perm[i] = i;
+  Xoshiro256ss prng(seed ^ 0xabcdef1234567890ULL);
+  for (vid_t i = n; i > 1; --i) {
+    const auto j = static_cast<vid_t>(prng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  // Relabel via builder to keep CSR invariants.
+  GraphBuilder rb(n);
+  rb.reserve(g.num_edges());
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.neighbors(u)) {
+      if (u < v) rb.add_edge(perm[u], perm[v]);
+    }
+  }
+  return rb.build();
+}
+
+}  // namespace gcg

@@ -1,0 +1,26 @@
+// Skewed-degree generators — the graphs where the paper's baseline suffers
+// worst load imbalance. Barabási–Albert (preferential attachment) stands in
+// for citation/co-author networks; R-MAT for the kron_g500 inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+/// Barabási–Albert: start from a small clique, each new vertex attaches
+/// `edges_per_vertex` edges preferentially by degree.
+Csr make_barabasi_albert(vid_t n, vid_t edges_per_vertex, std::uint64_t seed = 1);
+
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1-a-b-c; Graph500 defaults
+  bool scramble_ids = true;             ///< permute ids so hubs spread out
+};
+
+/// R-MAT over 2^scale vertices with edge_factor * 2^scale edges (before
+/// dedup/self-loop removal, so the final count is slightly lower).
+Csr make_rmat(unsigned scale, vid_t edge_factor, const RmatParams& params = {},
+              std::uint64_t seed = 1);
+
+}  // namespace gcg

@@ -1,0 +1,34 @@
+#include "graph/gen/smallworld.hpp"
+
+#include "graph/builder.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+
+Csr make_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
+  GCG_EXPECT(k >= 2 && k % 2 == 0);
+  GCG_EXPECT(n > k);
+  GCG_EXPECT(beta >= 0.0 && beta <= 1.0);
+  Xoshiro256ss rng(seed);
+  GraphBuilder b(n);
+  b.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t j = 1; j <= k / 2; ++j) {
+      vid_t v = (u + j) % n;
+      if (rng.uniform() < beta) {
+        // Rewire to a uniform random non-self endpoint. Parallel edges are
+        // possible here; the builder dedups them.
+        vid_t w;
+        do {
+          w = static_cast<vid_t>(rng.bounded(n));
+        } while (w == u);
+        v = w;
+      }
+      b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace gcg

@@ -1,0 +1,15 @@
+// Watts–Strogatz small-world generator — stand-in for co-authorship
+// networks: high clustering, modest degree variance, short diameter.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+/// Ring of n vertices, each connected to k nearest neighbours (k even),
+/// with each edge rewired to a random endpoint with probability beta.
+Csr make_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed = 1);
+
+}  // namespace gcg

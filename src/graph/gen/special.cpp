@@ -1,0 +1,73 @@
+#include "graph/gen/special.hpp"
+
+#include "graph/builder.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+Csr make_path(vid_t n) {
+  GCG_EXPECT(n >= 1);
+  GraphBuilder b(n);
+  for (vid_t v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Csr make_cycle(vid_t n) {
+  GCG_EXPECT(n >= 3);
+  GraphBuilder b(n);
+  for (vid_t v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+Csr make_star(vid_t leaves) {
+  GraphBuilder b(leaves + 1);
+  for (vid_t v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Csr make_complete(vid_t n) {
+  GCG_EXPECT(n >= 1);
+  GraphBuilder b(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Csr make_complete_bipartite(vid_t left, vid_t right) {
+  GCG_EXPECT(left >= 1 && right >= 1);
+  GraphBuilder b(left + right);
+  for (vid_t u = 0; u < left; ++u) {
+    for (vid_t v = 0; v < right; ++v) b.add_edge(u, left + v);
+  }
+  return b.build();
+}
+
+Csr make_binary_tree(vid_t n) {
+  GCG_EXPECT(n >= 1);
+  GraphBuilder b(n);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto l = static_cast<eid_t>(v) * 2 + 1;
+    const auto r = static_cast<eid_t>(v) * 2 + 2;
+    if (l < n) b.add_edge(v, static_cast<vid_t>(l));
+    if (r < n) b.add_edge(v, static_cast<vid_t>(r));
+  }
+  return b.build();
+}
+
+Csr make_empty(vid_t n) {
+  return Csr(std::vector<eid_t>(static_cast<std::size_t>(n) + 1, 0), {});
+}
+
+Csr make_petersen() {
+  GraphBuilder b(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (vid_t i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);
+    b.add_edge(5 + i, 5 + (i + 2) % 5);
+    b.add_edge(i, 5 + i);
+  }
+  return b.build();
+}
+
+}  // namespace gcg

@@ -1,0 +1,80 @@
+#include "graph/gen/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/random.hpp"
+#include "graph/gen/smallworld.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+std::vector<std::string> suite_names() {
+  return {"ecology-like", "circuit-like",  "road-like",    "rgg-like",
+          "coauthor-like", "er-like",      "citation-like", "kron-like"};
+}
+
+SuiteEntry make_suite_graph(const std::string& name, const SuiteOptions& opts) {
+  GCG_EXPECT(opts.scale > 0.0 && opts.scale <= 64.0);
+  const double s = opts.scale;
+  const auto lin = [s](double base) {
+    return static_cast<vid_t>(std::max(16.0, base * std::sqrt(s)));
+  };
+  const auto cnt = [s](double base) {
+    return static_cast<vid_t>(std::max(256.0, base * s));
+  };
+
+  if (name == "ecology-like") {
+    // ecology1/ecology2: 2D 5-point stencil, perfectly regular.
+    return {name, "grid2d", "DIMACS-10 ecology2", make_grid2d(lin(256), lin(256))};
+  }
+  if (name == "circuit-like") {
+    // G3_circuit: near-regular low-degree mesh; 3D stencil is the stand-in.
+    const auto side = static_cast<vid_t>(std::max(8.0, 40.0 * std::cbrt(s)));
+    return {name, "grid3d", "UF G3_circuit", make_grid3d(side, side, side)};
+  }
+  if (name == "road-like") {
+    // Road networks: planar-ish, degree <= 8, mild variance.
+    return {name, "grid2d8", "DIMACS-10 road central (shape)",
+            make_grid2d(lin(300), lin(200), /*eight_connected=*/true)};
+  }
+  if (name == "rgg-like") {
+    const vid_t n = cnt(60000);
+    // Radius for expected average degree ~12: d = n*pi*r^2.
+    const double radius = std::sqrt(12.0 / (3.14159265358979 * n));
+    return {name, "rgg", "DIMACS-10 rgg_n_2_17",
+            make_random_geometric(n, radius, opts.seed)};
+  }
+  if (name == "coauthor-like") {
+    return {name, "watts-strogatz", "DIMACS-10 coAuthorsDBLP",
+            make_watts_strogatz(cnt(60000), 10, 0.1, opts.seed)};
+  }
+  if (name == "er-like") {
+    const vid_t n = cnt(60000);
+    return {name, "erdos-renyi", "uniform random baseline",
+            make_erdos_renyi_gnm(n, static_cast<eid_t>(n) * 5, opts.seed)};
+  }
+  if (name == "citation-like") {
+    return {name, "barabasi-albert", "SNAP citationCiteseer",
+            make_barabasi_albert(cnt(60000), 8, opts.seed)};
+  }
+  if (name == "kron-like") {
+    const auto scale_log2 = static_cast<unsigned>(
+        std::max(10.0, std::round(16.0 + std::log2(s))));
+    return {name, "rmat", "DIMACS-10 kron_g500-logn16",
+            make_rmat(scale_log2, 8, {}, opts.seed)};
+  }
+  throw std::invalid_argument("unknown suite graph: " + name);
+}
+
+std::vector<SuiteEntry> make_suite(const SuiteOptions& opts) {
+  std::vector<SuiteEntry> out;
+  for (const auto& name : suite_names()) {
+    out.push_back(make_suite_graph(name, opts));
+  }
+  return out;
+}
+
+}  // namespace gcg

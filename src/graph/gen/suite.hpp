@@ -1,0 +1,38 @@
+// The evaluation suite: synthetic, structurally matched stand-ins for the
+// DIMACS-10 / SNAP graphs used by GPU graph-coloring papers of this era
+// (see DESIGN.md §1 for the substitution argument). Every entry is
+// deterministic for a given seed, so all experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct SuiteEntry {
+  std::string name;      ///< e.g. "ecology-like"
+  std::string family;    ///< "grid2d", "rmat", ...
+  std::string stands_for;///< the paper-era input it substitutes
+  Csr graph;
+};
+
+struct SuiteOptions {
+  /// Linear scale factor on vertex counts (1.0 = default ~64k-vertex
+  /// graphs; benches pass smaller values via --scale for quick runs).
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Names of all suite graphs, in canonical order.
+std::vector<std::string> suite_names();
+
+/// Builds one suite graph by name; throws std::invalid_argument on unknown.
+SuiteEntry make_suite_graph(const std::string& name, const SuiteOptions& opts = {});
+
+/// Builds the whole suite (eight graphs, regular -> highly skewed).
+std::vector<SuiteEntry> make_suite(const SuiteOptions& opts = {});
+
+}  // namespace gcg

@@ -1,0 +1,64 @@
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/io/io.hpp"
+
+namespace gcg {
+
+namespace {
+constexpr char kMagic[8] = {'g', 'c', 'g', 'b', 'i', 'n', '0', '1'};
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("gbin: truncated stream");
+  return v;
+}
+
+template <class T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+std::vector<T> read_vec(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) throw std::runtime_error("gbin: truncated array");
+  return v;
+}
+}  // namespace
+
+void save_binary(std::ostream& out, const Csr& g) {
+  out.write(kMagic, sizeof(kMagic));
+  std::vector<eid_t> rows(g.row_offsets().begin(), g.row_offsets().end());
+  std::vector<vid_t> cols(g.col_indices().begin(), g.col_indices().end());
+  write_vec(out, rows);
+  write_vec(out, cols);
+}
+
+Csr load_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("gbin: bad magic");
+  }
+  auto rows = read_vec<eid_t>(in);
+  auto cols = read_vec<vid_t>(in);
+  return Csr(std::move(rows), std::move(cols));
+}
+
+}  // namespace gcg

@@ -1,0 +1,46 @@
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/io/io.hpp"
+
+namespace gcg {
+
+namespace {
+std::string extension_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? "" : path.substr(dot + 1);
+}
+}  // namespace
+
+Csr load_graph(const std::string& path) {
+  const std::string ext = extension_of(path);
+  const bool binary = (ext == "gbin");
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  if (ext == "mtx") return load_matrix_market(in);
+  if (ext == "col" || ext == "dimacs") return load_dimacs_color(in);
+  if (ext == "gbin") return load_binary(in);
+  if (ext == "el" || ext == "txt" || ext == "edges") return load_edge_list(in);
+  throw std::runtime_error("unknown graph extension: ." + ext);
+}
+
+void save_graph(const std::string& path, const Csr& g) {
+  const std::string ext = extension_of(path);
+  const bool binary = (ext == "gbin");
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (ext == "mtx") {
+    save_matrix_market(out, g);
+  } else if (ext == "col" || ext == "dimacs") {
+    save_dimacs_color(out, g);
+  } else if (ext == "gbin") {
+    save_binary(out, g);
+  } else if (ext == "el" || ext == "txt" || ext == "edges") {
+    save_edge_list(out, g);
+  } else {
+    throw std::runtime_error("unknown graph extension: ." + ext);
+  }
+}
+
+}  // namespace gcg

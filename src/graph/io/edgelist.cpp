@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/io/io.hpp"
+
+namespace gcg {
+
+Csr load_edge_list(std::istream& in, vid_t min_vertices) {
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  vid_t max_id = min_vertices > 0 ? min_vertices - 1 : 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("edge list: parse error at line " +
+                               std::to_string(lineno));
+    }
+    if (u > 0xFFFFFFFEULL || v > 0xFFFFFFFEULL) {
+      throw std::runtime_error("edge list: vertex id too large at line " +
+                               std::to_string(lineno));
+    }
+    edges.emplace_back(static_cast<vid_t>(u), static_cast<vid_t>(v));
+    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+  }
+  const vid_t n = edges.empty() && min_vertices == 0 ? 0 : max_id + 1;
+  return GraphBuilder::from_edges(n, edges);
+}
+
+void save_edge_list(std::ostream& out, const Csr& g) {
+  out << "# gcgpu edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " undirected edges\n";
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+}  // namespace gcg

@@ -1,0 +1,34 @@
+// Graph file I/O. Formats:
+//  * edge list (.el / .txt): "u v" per line, '#' or '%' comments
+//  * Matrix Market (.mtx): coordinate pattern/real, general or symmetric
+//  * DIMACS coloring format (.col): "p edge N M" header, "e u v" lines (1-based)
+//  * gcgpu binary (.gbin): magic + CSR arrays, for fast reload
+// load_graph() dispatches on extension. All loaders produce clean symmetric
+// simple graphs via GraphBuilder.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+Csr load_edge_list(std::istream& in, vid_t min_vertices = 0);
+void save_edge_list(std::ostream& out, const Csr& g);
+
+Csr load_matrix_market(std::istream& in);
+void save_matrix_market(std::ostream& out, const Csr& g);
+
+Csr load_dimacs_color(std::istream& in);
+void save_dimacs_color(std::ostream& out, const Csr& g);
+
+Csr load_binary(std::istream& in);
+void save_binary(std::ostream& out, const Csr& g);
+
+/// Dispatch by extension; throws std::runtime_error on unknown extension
+/// or unreadable file.
+Csr load_graph(const std::string& path);
+void save_graph(const std::string& path, const Csr& g);
+
+}  // namespace gcg

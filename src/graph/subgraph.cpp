@@ -1,0 +1,68 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "util/expect.hpp"
+
+namespace gcg {
+
+Subgraph induced_subgraph(const Csr& g, const std::vector<bool>& keep) {
+  GCG_EXPECT(keep.size() == g.num_vertices());
+  Subgraph out;
+  out.to_new.assign(g.num_vertices(), Subgraph::kNotInSubgraph);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (keep[v]) {
+      out.to_new[v] = static_cast<vid_t>(out.to_old.size());
+      out.to_old.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<vid_t>(out.to_old.size()));
+  for (vid_t nv = 0; nv < out.to_old.size(); ++nv) {
+    const vid_t v = out.to_old[nv];
+    for (vid_t u : g.neighbors(v)) {
+      if (u > v) break;  // each edge once (sorted lists)
+      if (keep[u]) b.add_edge(out.to_new[u], nv);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+Subgraph k_core(const Csr& g, vid_t k) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> deg(n);
+  for (vid_t v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::vector<bool> removed(n, false);
+  std::vector<vid_t> stack;
+  for (vid_t v = 0; v < n; ++v) {
+    if (deg[v] < k) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const vid_t v = stack.back();
+    stack.pop_back();
+    if (removed[v]) continue;
+    removed[v] = true;
+    for (vid_t u : g.neighbors(v)) {
+      if (!removed[u] && deg[u]-- == k) stack.push_back(u);
+    }
+  }
+  std::vector<bool> keep(n);
+  for (vid_t v = 0; v < n; ++v) keep[v] = !removed[v];
+  return induced_subgraph(g, keep);
+}
+
+Subgraph largest_component(const Csr& g) {
+  std::vector<vid_t> labels;
+  const vid_t num_components = connected_components(g, &labels);
+  std::vector<vid_t> size(num_components, 0);
+  for (vid_t label : labels) ++size[label];
+  const vid_t biggest = static_cast<vid_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+  std::vector<bool> keep(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) keep[v] = (labels[v] == biggest);
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace gcg

@@ -1,0 +1,30 @@
+// Subgraph extraction utilities: induced subgraphs, k-cores, and largest
+// connected components. Downstream coloring users routinely preprocess
+// with these (color the 2-core, handle trees separately, etc.).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+struct Subgraph {
+  Csr graph;
+  /// old vertex id of each new vertex (new id = index).
+  std::vector<vid_t> to_old;
+  /// new id per old vertex; kNotInSubgraph for dropped vertices.
+  std::vector<vid_t> to_new;
+  static constexpr vid_t kNotInSubgraph = ~vid_t{0};
+};
+
+/// Induced subgraph on `keep` (mask over old ids; true = keep).
+Subgraph induced_subgraph(const Csr& g, const std::vector<bool>& keep);
+
+/// Maximal subgraph where every vertex has degree >= k (repeated peeling).
+Subgraph k_core(const Csr& g, vid_t k);
+
+/// Induced subgraph of the largest connected component.
+Subgraph largest_component(const Csr& g);
+
+}  // namespace gcg

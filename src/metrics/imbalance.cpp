@@ -1,0 +1,45 @@
+#include "metrics/imbalance.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace gcg {
+
+ImbalanceReport summarize_launches(
+    const std::vector<simgpu::LaunchResult>& launches, unsigned wavefront_size) {
+  ImbalanceReport rep;
+  if (launches.empty()) return rep;
+
+  double lane_ops = 0.0, issued_slots = 0.0, transactions = 0.0;
+  std::vector<double> cu(launches.front().cu_busy_cycles.size(), 0.0);
+  SampleStats groups;
+
+  for (const auto& l : launches) {
+    lane_ops += l.total.valu_lane_ops;
+    issued_slots += l.total.valu_instructions * wavefront_size;
+    transactions += static_cast<double>(l.total.mem_transactions);
+    rep.total_cycles += l.kernel_cycles;
+    for (std::size_t c = 0; c < cu.size() && c < l.cu_busy_cycles.size(); ++c) {
+      cu[c] += l.cu_busy_cycles[c];
+    }
+    for (double g : l.group_cycles) groups.add(g);
+  }
+
+  rep.simd_efficiency = issued_slots > 0 ? lane_ops / issued_slots : 1.0;
+  RunningStats cu_stats;
+  for (double c : cu) cu_stats.add(c);
+  rep.cu_max_over_mean =
+      cu_stats.count() ? std::max(1.0, cu_stats.max_over_mean()) : 1.0;
+  rep.cu_cv = cu_stats.cv();
+  if (groups.count()) {
+    rep.group_cycles_p50 = groups.percentile(50);
+    rep.group_cycles_p99 = groups.percentile(99);
+    rep.group_cycles_max = groups.summary().max();
+  }
+  rep.mem_transactions_per_lane_op =
+      lane_ops > 0 ? transactions / lane_ops : 0.0;
+  return rep;
+}
+
+}  // namespace gcg

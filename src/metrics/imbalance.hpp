@@ -1,0 +1,36 @@
+// Load-imbalance analytics aggregated over a whole coloring run (many
+// kernel launches). These are the quantities the paper's evaluation plots.
+#pragma once
+
+#include <vector>
+
+#include "simgpu/dispatch.hpp"
+
+namespace gcg {
+
+struct ImbalanceReport {
+  double simd_efficiency = 1.0;   ///< lane-slot utilization, work-weighted
+  double cu_max_over_mean = 1.0;  ///< per-CU busy-time skew, cycle-weighted
+  double cu_cv = 0.0;             ///< coefficient of variation of CU busy
+  double group_cycles_p50 = 0.0;  ///< median workgroup time
+  double group_cycles_p99 = 0.0;
+  double group_cycles_max = 0.0;
+  double total_cycles = 0.0;      ///< sum of kernel times
+  double mem_transactions_per_lane_op = 0.0;  ///< coalescing quality proxy
+};
+
+/// Aggregate launches (e.g. all iterations of one algorithm on one graph).
+ImbalanceReport summarize_launches(const std::vector<simgpu::LaunchResult>& launches,
+                                   unsigned wavefront_size);
+
+/// Per-iteration activity trace of an iterative coloring run.
+struct ActivityPoint {
+  unsigned iteration = 0;
+  std::uint64_t active_vertices = 0;   ///< frontier size entering the iter
+  std::uint64_t colored_this_iter = 0;
+  double cycles = 0.0;                 ///< device time spent on the iter
+  double simd_efficiency = 1.0;
+  double cu_imbalance = 1.0;
+};
+
+}  // namespace gcg

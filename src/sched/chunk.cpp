@@ -1,0 +1,36 @@
+#include "sched/chunk.hpp"
+
+namespace gcg {
+
+std::vector<Chunk> make_chunks(std::uint32_t total, std::uint32_t chunk_size) {
+  GCG_EXPECT(chunk_size >= 1);
+  std::vector<Chunk> out;
+  out.reserve((total + chunk_size - 1) / chunk_size);
+  for (std::uint32_t b = 0; b < total; b += chunk_size) {
+    out.push_back({b, std::min(total, b + chunk_size)});
+  }
+  return out;
+}
+
+std::vector<std::vector<Chunk>> deal_round_robin(const std::vector<Chunk>& chunks,
+                                                 unsigned workers) {
+  GCG_EXPECT(workers >= 1);
+  std::vector<std::vector<Chunk>> out(workers);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    out[i % workers].push_back(chunks[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<Chunk>> deal_blocked(const std::vector<Chunk>& chunks,
+                                             unsigned workers) {
+  GCG_EXPECT(workers >= 1);
+  std::vector<std::vector<Chunk>> out(workers);
+  const std::size_t per = (chunks.size() + workers - 1) / workers;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    out[per ? i / per : 0].push_back(chunks[i]);
+  }
+  return out;
+}
+
+}  // namespace gcg

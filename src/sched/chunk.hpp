@@ -1,0 +1,33 @@
+// Work chunks: half-open ranges over a shared work array (the frontier).
+// Static partitioning helpers produce the initial distribution the paper's
+// baseline uses; the stealing runtime rebalances from there.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+struct Chunk {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool operator==(const Chunk&) const = default;
+};
+
+/// Split [0, total) into chunks of `chunk_size` (last may be short).
+std::vector<Chunk> make_chunks(std::uint32_t total, std::uint32_t chunk_size);
+
+/// Deal chunks round-robin across `workers` queues (the paper's initial
+/// static assignment: contiguous chunks, interleaved owners).
+std::vector<std::vector<Chunk>> deal_round_robin(const std::vector<Chunk>& chunks,
+                                                 unsigned workers);
+
+/// Contiguous block partition: worker w gets one maximal run of chunks.
+std::vector<std::vector<Chunk>> deal_blocked(const std::vector<Chunk>& chunks,
+                                             unsigned workers);
+
+}  // namespace gcg

@@ -1,0 +1,132 @@
+#include "sched/steal_queues.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+const char* victim_policy_name(VictimPolicy p) {
+  switch (p) {
+    case VictimPolicy::kRandom: return "random";
+    case VictimPolicy::kRichest: return "richest";
+    case VictimPolicy::kRing: return "ring";
+  }
+  return "?";
+}
+
+StealQueues::StealQueues(unsigned workers) : queues_(workers) {
+  GCG_EXPECT(workers >= 1);
+}
+
+void StealQueues::fill(std::vector<std::vector<Chunk>> per_worker) {
+  GCG_EXPECT(per_worker.size() == queues_.size());
+  for (std::size_t w = 0; w < queues_.size(); ++w) {
+    queues_[w].chunks = std::move(per_worker[w]);
+    queues_[w].head = {0};
+    queues_[w].tail = {0};
+  }
+  stats_ = StealStats{};
+}
+
+std::uint32_t StealQueues::remaining(unsigned w) const {
+  const Queue& q = queues_[w];
+  const auto size = static_cast<std::uint32_t>(q.chunks.size());
+  const std::uint32_t taken = q.head[0] + q.tail[0];
+  return taken >= size ? 0 : size - taken;
+}
+
+std::uint32_t StealQueues::total_remaining() const {
+  std::uint32_t sum = 0;
+  for (unsigned w = 0; w < workers(); ++w) sum += remaining(w);
+  return sum;
+}
+
+std::optional<Chunk> StealQueues::take_from(simgpu::Wave& wave, unsigned victim,
+                                            bool stealing) {
+  Queue& q = queues_[victim];
+  // Read both cursors (one line each) to see whether work remains. The
+  // discrete-event executor makes each step atomic at chunk granularity,
+  // so a check-then-claim sequence cannot be interleaved; this idealizes
+  // away CAS retry storms (see DESIGN.md §4).
+  const std::uint32_t head =
+      wave.load_uniform<std::uint32_t>(std::span<const std::uint32_t>(q.head), 0);
+  const std::uint32_t tail =
+      wave.load_uniform<std::uint32_t>(std::span<const std::uint32_t>(q.tail), 0);
+  const auto size = static_cast<std::uint32_t>(q.chunks.size());
+  if (head + tail >= size) return std::nullopt;
+
+  std::uint32_t index;
+  if (stealing) {
+    const std::uint32_t old =
+        wave.atomic_add_uniform<std::uint32_t>(std::span<std::uint32_t>(q.tail), 0, 1);
+    index = size - 1 - old;  // thieves eat from the far end
+  } else {
+    index =
+        wave.atomic_add_uniform<std::uint32_t>(std::span<std::uint32_t>(q.head), 0, 1);
+  }
+  GCG_ASSERT(index < size);
+  // Fetch the chunk descriptor itself (one line).
+  wave.mutable_cost().mem_instructions += 1;
+  wave.mutable_cost().mem_transactions += 1;
+  return q.chunks[index];
+}
+
+std::optional<Chunk> StealQueues::pop_own(simgpu::Wave& wave, unsigned worker) {
+  auto c = take_from(wave, worker, /*stealing=*/false);
+  if (c) ++stats_.pops;
+  return c;
+}
+
+std::optional<Chunk> StealQueues::steal(simgpu::Wave& wave, unsigned thief,
+                                        VictimPolicy policy, Xoshiro256ss& rng) {
+  ++stats_.steal_attempts;
+  const unsigned n = workers();
+
+  auto try_victim = [&](unsigned victim) -> std::optional<Chunk> {
+    if (victim == thief) return std::nullopt;
+    return take_from(wave, victim, /*stealing=*/true);
+  };
+
+  std::optional<Chunk> got;
+  switch (policy) {
+    case VictimPolicy::kRandom: {
+      // A few random probes; each failed probe still cost the cursor reads.
+      for (int attempt = 0; attempt < 4 && !got; ++attempt) {
+        got = try_victim(static_cast<unsigned>(rng.bounded(n)));
+      }
+      break;
+    }
+    case VictimPolicy::kRichest: {
+      // Sweep every queue's cursors (paid for in loads), then hit the max.
+      unsigned best = thief;
+      std::uint32_t best_left = 0;
+      for (unsigned w = 0; w < n; ++w) {
+        if (w == thief) continue;
+        const Queue& q = queues_[w];
+        wave.load_uniform<std::uint32_t>(std::span<const std::uint32_t>(q.head), 0);
+        wave.load_uniform<std::uint32_t>(std::span<const std::uint32_t>(q.tail), 0);
+        const std::uint32_t left = remaining(w);
+        if (left > best_left) {
+          best_left = left;
+          best = w;
+        }
+      }
+      if (best != thief) got = try_victim(best);
+      break;
+    }
+    case VictimPolicy::kRing: {
+      for (unsigned d = 1; d < n && !got; ++d) {
+        got = try_victim((thief + d) % n);
+      }
+      break;
+    }
+  }
+  if (got) {
+    ++stats_.steal_hits;
+    ++stats_.chunks_stolen;
+  }
+  return got;
+}
+
+}  // namespace gcg

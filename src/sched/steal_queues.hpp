@@ -1,0 +1,76 @@
+// Global-memory work queues with stealing, as built by persistent-thread
+// GPU kernels: per-worker chunk arrays with head/tail cursors in device
+// memory, advanced by atomics. All operations go through a Wave so their
+// memory and atomic costs land on the calling wave's clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/chunk.hpp"
+#include "simgpu/wave.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+
+enum class VictimPolicy {
+  kRandom,   ///< uniform random victim, retry a few times
+  kRichest,  ///< scan all queues, steal from the fullest (costs a sweep)
+  kRing,     ///< next non-empty queue clockwise from the thief
+};
+
+const char* victim_policy_name(VictimPolicy p);
+
+struct StealStats {
+  std::uint64_t pops = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_hits = 0;
+  std::uint64_t chunks_stolen = 0;
+  StealStats& operator+=(const StealStats& o) {
+    pops += o.pops;
+    steal_attempts += o.steal_attempts;
+    steal_hits += o.steal_hits;
+    chunks_stolen += o.chunks_stolen;
+    return *this;
+  }
+};
+
+class StealQueues {
+ public:
+  explicit StealQueues(unsigned workers);
+
+  /// Load a distribution produced by deal_round_robin/deal_blocked.
+  void fill(std::vector<std::vector<Chunk>> per_worker);
+
+  unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
+  /// Chunks remaining in worker w's queue (host-side view, free).
+  std::uint32_t remaining(unsigned w) const;
+  std::uint32_t total_remaining() const;
+
+  /// Owner pop from the head. Charges one uniform atomic + a line read.
+  std::optional<Chunk> pop_own(simgpu::Wave& wave, unsigned worker);
+
+  /// Steal one chunk from someone else's tail, per `policy`. Charges the
+  /// victim-selection reads plus the steal atomic. Returns nullopt if every
+  /// candidate was empty.
+  std::optional<Chunk> steal(simgpu::Wave& wave, unsigned thief,
+                             VictimPolicy policy, Xoshiro256ss& rng);
+
+  const StealStats& stats() const { return stats_; }
+
+ private:
+  struct Queue {
+    std::vector<Chunk> chunks;
+    // Device-memory cursors (indices into `chunks`), touched via atomics.
+    std::vector<std::uint32_t> head = {0};  // owner side
+    std::vector<std::uint32_t> tail = {0};  // thief side: steals from end
+  };
+  std::optional<Chunk> take_from(simgpu::Wave& wave, unsigned victim,
+                                 bool stealing);
+  std::vector<Queue> queues_;
+  StealStats stats_;
+};
+
+}  // namespace gcg

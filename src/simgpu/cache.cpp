@@ -1,0 +1,53 @@
+#include "simgpu/cache.hpp"
+
+#include <bit>
+
+namespace gcg::simgpu {
+
+CacheSim::CacheSim(std::uint64_t capacity_bytes, unsigned line_bytes,
+                   unsigned ways)
+    : ways_(ways) {
+  GCG_EXPECT(line_bytes > 0 && ways > 0);
+  const std::uint64_t lines = capacity_bytes / line_bytes;
+  GCG_EXPECT(lines >= ways);
+  sets_ = std::bit_floor(lines / ways);  // power-of-two sets for cheap index
+  GCG_EXPECT(sets_ >= 1);
+  slots_.assign(sets_ * ways_, Way{});
+}
+
+bool CacheSim::access(std::uint64_t line_key) {
+  // Scramble the key so strided access patterns spread across sets.
+  std::uint64_t h = line_key * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  const std::uint64_t set = h & (sets_ - 1);
+  Way* row = slots_.data() + set * ways_;
+  ++clock_;
+
+  unsigned victim = 0;
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (row[w].tag == line_key) {
+      row[w].lru = clock_;
+      ++hits_;
+      return true;
+    }
+    if (row[w].lru < row[victim].lru) victim = w;
+  }
+  row[victim].tag = line_key;
+  row[victim].lru = clock_;
+  ++misses_;
+  return false;
+}
+
+std::uint64_t CacheSim::buffer_key(const void* base) {
+  const auto [it, inserted] = buffers_.emplace(base, buffers_.size());
+  (void)inserted;
+  // 2^40 lines (64 TiB) per buffer keeps keys collision-free.
+  return it->second << 40;
+}
+
+void CacheSim::reset() {
+  slots_.assign(slots_.size(), Way{});
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace gcg::simgpu

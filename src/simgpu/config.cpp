@@ -1,0 +1,20 @@
+#include "simgpu/config.hpp"
+
+namespace gcg::simgpu {
+
+DeviceConfig tahiti() { return DeviceConfig{}; }
+
+DeviceConfig test_device() {
+  DeviceConfig cfg;
+  cfg.name = "sim-test (4 CU, 8-lane)";
+  cfg.num_cus = 4;
+  cfg.wavefront_size = 8;
+  cfg.simds_per_cu = 2;
+  cfg.max_waves_per_cu = 8;
+  cfg.lds_bytes_per_group = 4096;
+  cfg.max_group_size = 64;
+  cfg.kernel_launch_cycles = 100.0;
+  return cfg;
+}
+
+}  // namespace gcg::simgpu

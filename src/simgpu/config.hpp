@@ -1,0 +1,61 @@
+// Device model parameters. The default instance approximates the AMD Radeon
+// HD 7950 (Tahiti, GCN 1.0) the paper evaluates on: 28 CUs, 64-lane
+// wavefronts, 4 SIMD units per CU, up to 40 resident waves per CU.
+// The *absolute* numbers only set scale; the experiments report ratios.
+#pragma once
+
+#include <string>
+
+namespace gcg::simgpu {
+
+inline constexpr unsigned kMaxLanes = 64;
+
+struct DeviceConfig {
+  std::string name = "sim-tahiti (AMD Radeon HD 7950 model)";
+
+  unsigned num_cus = 28;            ///< compute units
+  unsigned wavefront_size = 64;     ///< lanes per wavefront (<= kMaxLanes)
+  unsigned simds_per_cu = 4;        ///< concurrent wave issue slots per CU
+  unsigned max_waves_per_cu = 40;   ///< occupancy cap (10 per SIMD on GCN)
+  unsigned lds_bytes_per_group = 32768;  ///< LDS available to one workgroup
+  unsigned max_group_size = 1024;   ///< work-items per workgroup
+
+  unsigned cacheline_bytes = 64;    ///< memory transaction granularity
+
+  // Optional shared L2 model (off by default: the primary model prices all
+  // traffic at DRAM, the paper-era assumption for irregular gathers; the
+  // cache ablation bench turns this on).
+  bool enable_l2_cache = false;
+  std::uint64_t l2_bytes = 768 * 1024;  ///< Tahiti: 768 KiB shared L2
+  unsigned l2_ways = 16;
+  double l2_hit_latency_cycles = 80.0;  ///< vs mem_latency_cycles on miss
+  double l2_bytes_per_cycle_per_cu = 32.0;  ///< L2 bandwidth roof
+
+  // Cost model (all in wave-cycles; see DESIGN.md §4).
+  double cpi_valu = 1.0;            ///< per vector instruction
+  double cpi_salu = 0.25;           ///< scalar unit runs alongside
+  double mem_latency_cycles = 350.0;///< uncontended DRAM round trip
+  double mem_bytes_per_cycle_per_cu = 8.0;  ///< BW roof per CU
+  double atomic_base_cycles = 12.0; ///< first atomic in a wave op
+  double atomic_conflict_cycles = 12.0;  ///< each additional same-address lane
+  double barrier_cycles = 16.0;
+  double kernel_launch_cycles = 3000.0;  ///< host->device launch overhead
+  double clock_ghz = 0.925;         ///< for cycles -> milliseconds
+
+  /// Waves in one full workgroup.
+  unsigned waves_per_group(unsigned group_size) const {
+    return (group_size + wavefront_size - 1) / wavefront_size;
+  }
+  double cycles_to_ms(double cycles) const {
+    return cycles / (clock_ghz * 1e6);
+  }
+};
+
+/// The paper's GPU.
+DeviceConfig tahiti();
+
+/// A small 4-CU device for unit tests: same mechanisms, tiny scale, and
+/// an 8-lane wavefront so divergence cases are easy to construct by hand.
+DeviceConfig test_device();
+
+}  // namespace gcg::simgpu

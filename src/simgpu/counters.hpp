@@ -1,0 +1,45 @@
+// Cost counters. Waves accumulate raw event counts while a kernel runs;
+// the dispatcher converts them to cycles afterwards (memory cost depends on
+// occupancy, which is only known per launch).
+#pragma once
+
+#include <cstdint>
+
+namespace gcg::simgpu {
+
+/// Raw per-wave event counts, accumulated during functional execution.
+struct WaveCost {
+  double valu_instructions = 0;    ///< vector instructions issued
+  double valu_lane_ops = 0;        ///< sum over instructions of active lanes
+  double salu_instructions = 0;
+  std::uint64_t mem_transactions = 0;  ///< 64B lines touched (loads+stores)
+  std::uint64_t mem_instructions = 0;  ///< vector memory instructions issued
+  std::uint64_t mem_lines_hit = 0;     ///< lines served by the L2 model
+  std::uint64_t mem_instructions_hit = 0;  ///< instructions with all lines hit
+  std::uint64_t atomic_instructions = 0;
+  std::uint64_t atomic_extra_serializations = 0;  ///< same-address conflicts
+  std::uint64_t barriers = 0;
+
+  WaveCost& operator+=(const WaveCost& o) {
+    valu_instructions += o.valu_instructions;
+    valu_lane_ops += o.valu_lane_ops;
+    salu_instructions += o.salu_instructions;
+    mem_transactions += o.mem_transactions;
+    mem_instructions += o.mem_instructions;
+    mem_lines_hit += o.mem_lines_hit;
+    mem_instructions_hit += o.mem_instructions_hit;
+    atomic_instructions += o.atomic_instructions;
+    atomic_extra_serializations += o.atomic_extra_serializations;
+    barriers += o.barriers;
+    return *this;
+  }
+};
+
+/// SIMD efficiency: fraction of issued vector lane-slots that were active.
+/// 1.0 = no divergence; 1/64 = one live lane per instruction.
+inline double simd_efficiency(const WaveCost& c, unsigned wavefront_size) {
+  const double issued = c.valu_instructions * wavefront_size;
+  return issued > 0.0 ? c.valu_lane_ops / issued : 1.0;
+}
+
+}  // namespace gcg::simgpu

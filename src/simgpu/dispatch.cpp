@@ -1,0 +1,144 @@
+#include "simgpu/dispatch.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg::simgpu {
+
+double LaunchResult::cu_imbalance() const {
+  if (cu_busy_cycles.empty()) return 1.0;
+  double mx = 0.0, sum = 0.0;
+  for (double b : cu_busy_cycles) {
+    mx = std::max(mx, b);
+    sum += b;
+  }
+  const double mean = sum / static_cast<double>(cu_busy_cycles.size());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+
+double latency_cost(const DeviceConfig& cfg, double resident_waves_per_cu) {
+  const double hiding =
+      std::max(1.0, resident_waves_per_cu / cfg.simds_per_cu);
+  return cfg.mem_latency_cycles / hiding;
+}
+
+double bandwidth_cost(const DeviceConfig& cfg) {
+  return static_cast<double>(cfg.cacheline_bytes) /
+         cfg.mem_bytes_per_cycle_per_cu;
+}
+
+double wave_cycles(const DeviceConfig& cfg, const WaveCost& c, double lat_cost) {
+  double cycles = 0.0;
+  cycles += c.valu_instructions * cfg.cpi_valu;
+  cycles += c.salu_instructions * cfg.cpi_salu;
+  // Instructions whose lines all hit the L2 model pay the (occupancy-
+  // scaled) L2 latency; the rest pay DRAM. With no cache attached the hit
+  // counters are zero and this reduces to the pure-DRAM model.
+  const auto hit_i = static_cast<double>(c.mem_instructions_hit);
+  const auto miss_i = static_cast<double>(c.mem_instructions) - hit_i;
+  const double hiding_scale = lat_cost / cfg.mem_latency_cycles;
+  cycles += miss_i * (cfg.cpi_valu + lat_cost);
+  cycles += hit_i * (cfg.cpi_valu + cfg.l2_hit_latency_cycles * hiding_scale);
+  const auto hit_l = static_cast<double>(c.mem_lines_hit);
+  const auto miss_l = static_cast<double>(c.mem_transactions) - hit_l;
+  cycles += miss_l * bandwidth_cost(cfg);
+  cycles += hit_l * (static_cast<double>(cfg.cacheline_bytes) /
+                     cfg.l2_bytes_per_cycle_per_cu);
+  cycles += static_cast<double>(c.atomic_instructions) * cfg.atomic_base_cycles;
+  cycles += static_cast<double>(c.atomic_extra_serializations) *
+            cfg.atomic_conflict_cycles;
+  cycles += static_cast<double>(c.barriers) * cfg.barrier_cycles;
+  return cycles;
+}
+
+LaunchResult dispatch(const DeviceConfig& cfg, std::uint64_t grid_size,
+                      unsigned group_size, const GroupKernel& kernel,
+                      CacheSim* cache) {
+  GCG_EXPECT(group_size >= 1 && group_size <= cfg.max_group_size);
+  LaunchResult r;
+  r.launch_overhead_cycles = cfg.kernel_launch_cycles;
+  r.cu_busy_cycles.assign(cfg.num_cus, 0.0);
+  if (grid_size == 0) {
+    r.kernel_cycles = r.launch_overhead_cycles;
+    return r;
+  }
+
+  const std::uint64_t num_groups = (grid_size + group_size - 1) / group_size;
+  r.num_groups = num_groups;
+  r.group_cycles.reserve(num_groups);
+
+  // Occupancy for the memory model: how many waves a CU has resident to
+  // hide latency with, over the whole launch (steady-state approximation).
+  const unsigned waves_per_grp = cfg.waves_per_group(group_size);
+  const double total_waves = static_cast<double>(num_groups) * waves_per_grp;
+  const double resident = std::min<double>(
+      cfg.max_waves_per_cu,
+      std::max(1.0, total_waves / static_cast<double>(cfg.num_cus)));
+  const double lcost = latency_cost(cfg, resident);
+  r.mem_latency_cost = lcost;
+
+  for (std::uint64_t gid = 0; gid < num_groups; ++gid) {
+    Group group(cfg, gid, group_size, grid_size);
+    if (cache) group.attach_cache(cache);
+    kernel(group);
+
+    // Price this group: waves run concurrently on the CU's SIMDs.
+    double longest = 0.0, sum = 0.0;
+    for (auto& w : group.waves()) {
+      const double wc = wave_cycles(cfg, w.cost(), lcost);
+      longest = std::max(longest, wc);
+      sum += wc;
+      r.total += w.cost();
+    }
+    const double gcycles =
+        std::max(longest, sum / static_cast<double>(cfg.simds_per_cu));
+    r.group_cycles.push_back(gcycles);
+    r.num_waves += group.waves().size();
+
+    // List scheduling: this group goes to the earliest-free CU.
+    auto it = std::min_element(r.cu_busy_cycles.begin(), r.cu_busy_cycles.end());
+    *it += gcycles;
+  }
+
+  r.kernel_cycles =
+      *std::max_element(r.cu_busy_cycles.begin(), r.cu_busy_cycles.end()) +
+      r.launch_overhead_cycles;
+  r.simd_efficiency = simd_efficiency(r.total, cfg.wavefront_size);
+  return r;
+}
+
+LaunchResult dispatch_waves(const DeviceConfig& cfg, std::uint64_t grid_size,
+                            unsigned group_size, const WaveKernel& kernel,
+                            CacheSim* cache) {
+  return dispatch(
+      cfg, grid_size, group_size,
+      [&kernel](Group& g) {
+        for (auto& w : g.waves()) kernel(w);
+      },
+      cache);
+}
+
+Device::Device(DeviceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.enable_l2_cache) {
+    l2_ = std::make_unique<CacheSim>(cfg_.l2_bytes, cfg_.cacheline_bytes,
+                                     cfg_.l2_ways);
+  }
+}
+
+LaunchResult& Device::launch(std::uint64_t grid_size, unsigned group_size,
+                             const GroupKernel& kernel) {
+  history_.push_back(dispatch(cfg_, grid_size, group_size, kernel, l2_.get()));
+  total_cycles_ += history_.back().kernel_cycles;
+  return history_.back();
+}
+
+LaunchResult& Device::launch_waves(std::uint64_t grid_size, unsigned group_size,
+                                   const WaveKernel& kernel) {
+  history_.push_back(
+      dispatch_waves(cfg_, grid_size, group_size, kernel, l2_.get()));
+  total_cycles_ += history_.back().kernel_cycles;
+  return history_.back();
+}
+
+}  // namespace gcg::simgpu

@@ -1,0 +1,26 @@
+#include "simgpu/group.hpp"
+
+namespace gcg::simgpu {
+
+Group::Group(const DeviceConfig& cfg, std::uint64_t group_id,
+             unsigned group_size, std::uint64_t grid_size)
+    : id_(group_id), size_(group_size), lds_(cfg.lds_bytes_per_group) {
+  GCG_EXPECT(group_size >= 1 && group_size <= cfg.max_group_size);
+  const unsigned wf = cfg.wavefront_size;
+  const unsigned nwaves = cfg.waves_per_group(group_size);
+  waves_.reserve(nwaves);
+  for (unsigned w = 0; w < nwaves; ++w) {
+    const std::uint64_t first = group_id * group_size + w * wf;
+    const unsigned width =
+        std::min<std::uint64_t>(wf, group_size - w * static_cast<std::uint64_t>(wf));
+    // Lanes past the grid edge exist but are invalid (masked off), exactly
+    // like a partially-filled trailing wavefront on hardware.
+    waves_.emplace_back(cfg, first, width, grid_size);
+  }
+}
+
+void Group::barrier() {
+  for (auto& w : waves_) w.barrier_marker();
+}
+
+}  // namespace gcg::simgpu

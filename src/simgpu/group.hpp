@@ -1,0 +1,57 @@
+// Workgroup context: the waves of one workgroup plus its LDS scratchpad.
+// Kernels that need cross-wave cooperation (workgroup-per-vertex in the
+// hybrid algorithm) are written as phases separated by barrier(); the
+// simulator executes waves of a phase sequentially, which is equivalent to
+// any hardware interleaving for race-free (barrier-synchronized) kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simgpu/wave.hpp"
+
+namespace gcg::simgpu {
+
+class Group {
+ public:
+  Group(const DeviceConfig& cfg, std::uint64_t group_id, unsigned group_size,
+        std::uint64_t grid_size);
+
+  std::uint64_t group_id() const { return id_; }
+  unsigned group_size() const { return size_; }
+  std::vector<Wave>& waves() { return waves_; }
+  const std::vector<Wave>& waves() const { return waves_; }
+
+  /// Workgroup barrier: charges every wave. Functionally a no-op because
+  /// waves already execute phases in order.
+  void barrier();
+
+  /// Route all waves' line traffic through an L2 model.
+  void attach_cache(CacheSim* cache) {
+    for (auto& w : waves_) w.attach_cache(cache);
+  }
+
+  /// Bump-allocate `count` T's of LDS for this group; zero-initialized.
+  /// Enforces the device's per-group LDS capacity.
+  template <class T>
+  std::span<T> lds_alloc(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    const std::size_t aligned = (lds_used_ + alignof(T) - 1) / alignof(T) * alignof(T);
+    GCG_EXPECT(aligned + bytes <= lds_.size());
+    lds_used_ = aligned + bytes;
+    auto* p = reinterpret_cast<T*>(lds_.data() + aligned);
+    for (std::size_t i = 0; i < count; ++i) p[i] = T{};
+    return {p, count};
+  }
+  std::size_t lds_used() const { return lds_used_; }
+
+ private:
+  std::uint64_t id_;
+  unsigned size_;
+  std::vector<Wave> waves_;
+  std::vector<std::byte> lds_;
+  std::size_t lds_used_ = 0;
+};
+
+}  // namespace gcg::simgpu

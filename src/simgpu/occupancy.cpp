@@ -1,0 +1,67 @@
+#include "simgpu/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg::simgpu {
+
+OccupancyReport occupancy(const DeviceConfig& cfg, const KernelResources& res,
+                          const OccupancyLimits& limits) {
+  GCG_EXPECT(res.group_size >= 1 && res.group_size <= cfg.max_group_size);
+  GCG_EXPECT(res.vgprs_per_lane >= 1);
+
+  OccupancyReport rep;
+  const unsigned waves_per_group = cfg.waves_per_group(res.group_size);
+
+  // Per-SIMD wave limits from each resource, scaled to the CU.
+  const unsigned vgpr_waves_per_simd =
+      std::min(limits.max_waves_per_simd,
+               (limits.vgprs_per_simd / std::max(1u, res.vgprs_per_lane)));
+  rep.limit_by_vgprs = vgpr_waves_per_simd * cfg.simds_per_cu;
+
+  const unsigned sgpr_waves_per_simd =
+      std::min(limits.max_waves_per_simd,
+               limits.sgprs_per_simd / std::max(1u, res.sgprs_per_wave));
+  rep.limit_by_sgprs = sgpr_waves_per_simd * cfg.simds_per_cu;
+
+  rep.limit_by_wave_slots =
+      std::min(cfg.max_waves_per_cu, limits.max_waves_per_simd * cfg.simds_per_cu);
+
+  // LDS bounds whole groups per CU. The device exposes lds_bytes_per_group
+  // as the per-group ceiling; a CU has simds_per_cu x that to share (GCN:
+  // 64 KiB per CU, 32 KiB visible per group).
+  const std::uint64_t lds_per_cu =
+      static_cast<std::uint64_t>(cfg.lds_bytes_per_group) * 2;
+  const unsigned lds_groups =
+      res.lds_bytes_per_group == 0
+          ? limits.max_groups_per_cu
+          : static_cast<unsigned>(
+                std::min<std::uint64_t>(limits.max_groups_per_cu,
+                                        lds_per_cu / res.lds_bytes_per_group));
+  rep.limit_by_lds = lds_groups * waves_per_group;
+
+  // Hardware allocates whole groups: take the binding wave limit, round
+  // down to groups, then re-express in waves.
+  const unsigned wave_limit =
+      std::min({rep.limit_by_vgprs, rep.limit_by_sgprs, rep.limit_by_wave_slots,
+                rep.limit_by_lds});
+  rep.groups_per_cu = std::min(limits.max_groups_per_cu,
+                               wave_limit / std::max(1u, waves_per_group));
+  rep.waves_per_cu = rep.groups_per_cu * waves_per_group;
+
+  // Ties go to the most generic explanation (the hardware wave-slot cap).
+  if (wave_limit == rep.limit_by_wave_slots) {
+    rep.limiting_factor = "wave-slots";
+  } else if (wave_limit == rep.limit_by_lds) {
+    rep.limiting_factor = "lds";
+  } else if (wave_limit == rep.limit_by_vgprs) {
+    rep.limiting_factor = "vgprs";
+  } else {
+    rep.limiting_factor = "sgprs";
+  }
+  if (rep.waves_per_cu == 0) rep.limiting_factor = "group-does-not-fit";
+  return rep;
+}
+
+}  // namespace gcg::simgpu

@@ -1,0 +1,44 @@
+// Occupancy calculator for the modeled GCN device: how many wavefronts a
+// compute unit can keep resident given a kernel's register and LDS
+// appetite — the standard pre-launch tuning tool. The simulator's memory
+// pricing takes resident waves as an input; this utility computes that
+// number from kernel resources instead of assuming the device maximum.
+#pragma once
+
+#include "simgpu/config.hpp"
+
+namespace gcg::simgpu {
+
+/// Resources one work-item/wave of a kernel consumes.
+struct KernelResources {
+  unsigned vgprs_per_lane = 32;   ///< vector registers per work-item
+  unsigned sgprs_per_wave = 48;   ///< scalar registers per wavefront
+  unsigned lds_bytes_per_group = 0;
+  unsigned group_size = 256;
+};
+
+/// GCN-flavoured per-SIMD register files (Tahiti values).
+struct OccupancyLimits {
+  unsigned vgprs_per_simd = 65536 / 64;  ///< 256 VGPRs x 64 lanes per SIMD
+  unsigned sgprs_per_simd = 512;
+  unsigned max_waves_per_simd = 10;
+  unsigned max_groups_per_cu = 40;
+};
+
+struct OccupancyReport {
+  unsigned waves_per_cu = 0;       ///< achieved residency
+  unsigned groups_per_cu = 0;
+  unsigned limit_by_vgprs = 0;     ///< waves/CU if only VGPRs bound
+  unsigned limit_by_sgprs = 0;
+  unsigned limit_by_lds = 0;
+  unsigned limit_by_wave_slots = 0;
+  const char* limiting_factor = "";
+};
+
+/// Computes achievable residency for `res` on `cfg` (using `limits` for
+/// the register files). Waves are allocated group-at-a-time, as hardware
+/// does: a group only becomes resident if *all* its waves fit.
+OccupancyReport occupancy(const DeviceConfig& cfg, const KernelResources& res,
+                          const OccupancyLimits& limits = {});
+
+}  // namespace gcg::simgpu

@@ -1,0 +1,72 @@
+#include "simgpu/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace gcg::simgpu {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Device& dev,
+                        const std::vector<std::string>& labels) {
+  // Timestamps in microseconds of *model* time at the device clock.
+  const auto us = [&](double cycles) {
+    return dev.config().cycles_to_ms(cycles) * 1000.0;
+  };
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  comma();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"" << escape(dev.config().name) << "\"}}";
+
+  double clock = 0.0;
+  for (std::size_t i = 0; i < dev.history().size(); ++i) {
+    const LaunchResult& l = dev.history()[i];
+    const std::string name =
+        i < labels.size() ? labels[i] : "kernel " + std::to_string(i);
+
+    comma();
+    os << "{\"name\":\"" << escape(name)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << us(clock)
+       << ",\"dur\":" << us(l.kernel_cycles)
+       << ",\"args\":{\"groups\":" << l.num_groups
+       << ",\"waves\":" << l.num_waves
+       << ",\"transactions\":" << l.total.mem_transactions << "}}";
+
+    comma();
+    os << "{\"name\":\"simd efficiency\",\"ph\":\"C\",\"pid\":1,\"ts\":"
+       << us(clock) << ",\"args\":{\"value\":" << l.simd_efficiency << "}}";
+    comma();
+    os << "{\"name\":\"cu imbalance\",\"ph\":\"C\",\"pid\":1,\"ts\":"
+       << us(clock) << ",\"args\":{\"value\":" << l.cu_imbalance() << "}}";
+
+    clock += l.kernel_cycles;
+  }
+  os << "]}";
+}
+
+void write_chrome_trace_file(const std::string& path, const Device& dev,
+                             const std::vector<std::string>& labels) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open trace file " + path);
+  write_chrome_trace(os, dev, labels);
+}
+
+}  // namespace gcg::simgpu

@@ -1,0 +1,24 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of a Device timeline:
+// one duration event per kernel launch plus counter tracks for SIMD
+// efficiency and CU imbalance. Lets a user *see* where the baseline's
+// time goes versus the hybrid's — launch by launch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simgpu/dispatch.hpp"
+
+namespace gcg::simgpu {
+
+/// Optional labels for the launches (e.g. "scanA iter 3"); when shorter
+/// than the history, remaining launches are labeled "kernel <index>".
+void write_chrome_trace(std::ostream& os, const Device& dev,
+                        const std::vector<std::string>& labels = {});
+
+/// Convenience: trace to a file; throws std::runtime_error on I/O failure.
+void write_chrome_trace_file(const std::string& path, const Device& dev,
+                             const std::vector<std::string>& labels = {});
+
+}  // namespace gcg::simgpu

@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gcg {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(tok));
+      continue;
+    }
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      options_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[tok] = argv[++i];
+    } else {
+      options_[tok] = "true";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  touched_[name] = true;
+  return options_.count(name) > 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  touched_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto s = get(name, "");
+  if (s.empty()) return def;
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto s = get(name, "");
+  if (s.empty()) return def;
+  return std::strtod(s.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto s = get(name, "");
+  if (s.empty()) return def;
+  return s == "true" || s == "1" || s == "yes" || s == "on";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : options_) {
+    (void)v;
+    if (!touched_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace gcg

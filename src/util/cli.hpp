@@ -1,0 +1,36 @@
+// Minimal command-line parser for the bench/example binaries.
+// Supports `--name value`, `--name=value`, and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcg {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Positional arguments (non `--` tokens) in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Names that were supplied but never queried — for typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gcg

@@ -1,0 +1,33 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Checks stay on in Release builds: the cost is
+// negligible next to simulation work and the failure messages have repeatedly
+// paid for themselves when debugging kernels.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gcg {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "gcgpu: %s violated: %s at %s:%d\n", kind, cond, file, line);
+  std::abort();
+}
+
+}  // namespace gcg
+
+#define GCG_EXPECT(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) ::gcg::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define GCG_ENSURE(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) ::gcg::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define GCG_ASSERT(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) ::gcg::contract_failure("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,86 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  GCG_EXPECT(hi > lo);
+  GCG_EXPECT(bins > 0);
+  Histogram h;
+  h.logarithmic_ = false;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.cell_ = (hi - lo) / static_cast<double>(bins);
+  h.counts_.assign(bins + 1, 0);  // last bin = overflow
+  return h;
+}
+
+Histogram Histogram::log2(unsigned max_log2) {
+  Histogram h;
+  h.logarithmic_ = true;
+  h.counts_.assign(static_cast<std::size_t>(max_log2) + 2, 0);  // +overflow
+  return h;
+}
+
+std::size_t Histogram::index_of(double x) const {
+  if (logarithmic_) {
+    if (x < 1.0) return 0;
+    const auto lg = static_cast<std::size_t>(std::floor(std::log2(x)));
+    return std::min(lg + 1, counts_.size() - 1);
+  }
+  if (x < lo_) return 0;
+  const auto idx = static_cast<std::size_t>((x - lo_) / cell_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  counts_[index_of(x)] += weight;
+  total_ += weight;
+}
+
+std::string Histogram::bin_label(std::size_t bin) const {
+  std::ostringstream os;
+  if (logarithmic_) {
+    if (bin == 0) {
+      os << "[0,1)";
+    } else if (bin == counts_.size() - 1) {
+      os << "[" << (1ULL << (bin - 1)) << ",inf)";
+    } else {
+      os << "[" << (1ULL << (bin - 1)) << "," << (1ULL << bin) << ")";
+    }
+  } else {
+    const double lo = lo_ + cell_ * static_cast<double>(bin);
+    if (bin == counts_.size() - 1) {
+      os << "[" << hi_ << ",inf)";
+    } else {
+      os << "[" << lo << "," << lo + cell_ << ")";
+    }
+  }
+  return os.str();
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto bar =
+        peak ? static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                        static_cast<double>(peak) *
+                                        static_cast<double>(width))
+             : 0;
+    os << "  " << bin_label(b);
+    for (std::size_t pad = bin_label(b).size(); pad < 16; ++pad) os << ' ';
+    os << std::string(std::max<std::size_t>(bar, 1), '#') << ' ' << counts_[b]
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gcg

@@ -1,0 +1,112 @@
+// Deterministic random number generation.
+//
+// Three generators, each with a distinct job:
+//  * SplitMix64  — seeding and one-shot hashing of integers.
+//  * Xoshiro256ss — fast sequential stream for generators and shuffles.
+//  * CounterHash  — stateless counter-based generator (Philox-flavoured
+//    mixing) used for per-vertex priorities: priority(seed, v) must be
+//    computable independently on every simulated GPU lane, exactly as the
+//    paper's kernels compute a hash of the vertex id.
+//
+// All are reproducible across platforms; none use std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gcg {
+
+/// SplitMix64 (Steele, Lea, Flood). Good avalanche; used for seeding.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// One-shot SplitMix64 finalizer: hash a 64-bit value.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman, Vigna). UniformRandomBitGenerator-compatible.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift; rejection keeps the distribution exact.
+    while (true) {
+      std::uint64_t x = next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Stateless counter-based generator: value = f(seed, counter).
+/// This is what GPU kernels use for per-vertex random priorities — every
+/// lane computes its own value with no shared state. Two rounds of
+/// SplitMix-style mixing over (seed, counter) gives full 64-bit avalanche.
+struct CounterHash {
+  std::uint64_t seed;
+
+  constexpr explicit CounterHash(std::uint64_t s) : seed(s) {}
+
+  constexpr std::uint64_t operator()(std::uint64_t counter) const {
+    return mix64(mix64(seed ^ 0x632be59bd9b4e019ULL) + counter * 0x9e3779b97f4a7c15ULL);
+  }
+
+  /// 32-bit priority as used by the coloring kernels (matches the OpenCL
+  /// kernels' uint priorities; ties are broken by vertex id at the call site).
+  constexpr std::uint32_t u32(std::uint64_t counter) const {
+    return static_cast<std::uint32_t>(operator()(counter) >> 32);
+  }
+};
+
+}  // namespace gcg

@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  return mean() != 0.0 ? stddev() / mean() : 0.0;
+}
+
+double RunningStats::max_over_mean() const {
+  return mean() != 0.0 ? max() / mean() : 0.0;
+}
+
+void SampleStats::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::percentile(double p) const {
+  GCG_EXPECT(p >= 0.0 && p <= 100.0);
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  if (xs_.size() == 1) return xs_[0];
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs_[lo] + frac * (xs_[hi] - xs_[lo]);
+}
+
+double SampleStats::gini() const {
+  if (xs_.size() < 2) return 0.0;
+  ensure_sorted();
+  // G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n), with 1-based i over sorted x.
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * xs_[i];
+    total += xs_[i];
+  }
+  if (total == 0.0) return 0.0;
+  const double n = static_cast<double>(xs_.size());
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    GCG_EXPECT(x > 0.0);
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+}  // namespace gcg

@@ -1,0 +1,67 @@
+// Summary statistics used by the load-imbalance analytics: running moments,
+// percentiles over stored samples, coefficient of variation, Gini index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gcg {
+
+/// Streaming mean/variance/min/max (Welford). O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  double cv() const;
+  /// max/mean ratio — the paper's headline imbalance metric. 0 when empty.
+  double max_over_mean() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stats over a stored sample: percentiles, Gini, plus the running summary.
+class SampleStats {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    rs_.add(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  const RunningStats& summary() const { return rs_; }
+  std::size_t count() const { return xs_.size(); }
+
+  /// p in [0,100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Gini coefficient of the (non-negative) sample; 0 = perfectly balanced.
+  double gini() const;
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  RunningStats rs_;
+  void ensure_sorted() const;
+};
+
+/// Geometric mean of a list of (positive) ratios; returns 0 for empty input.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace gcg

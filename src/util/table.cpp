@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GCG_EXPECT(!headers_.empty());
+}
+
+Table& Table::precision(int digits) {
+  GCG_EXPECT(digits >= 0 && digits <= 17);
+  precision_ = digits;
+  return *this;
+}
+
+Table& Table::title(std::string t) {
+  title_ = std::move(t);
+  return *this;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  GCG_EXPECT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format(const Cell& c) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<std::int64_t>(&c)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  }
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(format(row[c]));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& line) {
+    os << '|';
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      os << ' ' << line[c] << std::string(widths[c] - line[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& line : cells) emit(line);
+  rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](std::string s) {
+    if (s.find(',') == std::string::npos && s.find('"') == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(format(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  os << to_ascii();
+  os << "--- csv ---\n" << to_csv() << "--- end csv ---\n";
+}
+
+}  // namespace gcg

@@ -1,0 +1,83 @@
+#include "apps/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(BfsHost, DistancesOnPath) {
+  const BfsResult r = bfs_host(make_path(5), 0);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(r.distance[v], v);
+  EXPECT_EQ(r.parent[0], ~vid_t{0});
+  EXPECT_EQ(r.parent[3], 2u);
+}
+
+TEST(BfsHost, UnreachableStaysMarked) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const BfsResult r = bfs_host(b.build(), 0);
+  EXPECT_EQ(r.distance[1], 1u);
+  EXPECT_EQ(r.distance[4], kUnreached);
+}
+
+class BfsDeviceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsDeviceTest, MatchesHostDistancesEverywhere) {
+  const std::uint64_t seed = GetParam();
+  for (const Csr& g :
+       {make_grid2d(15, 11), make_barabasi_albert(500, 3, seed),
+        make_binary_tree(127), make_star(80), make_petersen()}) {
+    const vid_t source = static_cast<vid_t>(seed % g.num_vertices());
+    const BfsResult host = bfs_host(g, source);
+    simgpu::Device dev(simgpu::test_device());
+    const BfsResult device = bfs_device(dev, g, source);
+    ASSERT_EQ(device.distance, host.distance);
+    ASSERT_EQ(device.levels, host.levels);
+    EXPECT_GT(device.device_cycles, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsDeviceTest, ::testing::Values(1, 5, 23));
+
+TEST(BfsDevice, ParentsFormValidBfsTree) {
+  const Csr g = make_barabasi_albert(400, 4, 9);
+  simgpu::Device dev(simgpu::test_device());
+  const BfsResult r = bfs_device(dev, g, 7);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == 7 || r.distance[v] == kUnreached) continue;
+    const vid_t p = r.parent[v];
+    ASSERT_LT(p, g.num_vertices());
+    // Parent must be exactly one level closer and adjacent.
+    ASSERT_EQ(r.distance[p] + 1, r.distance[v]);
+    const auto nb = g.neighbors(v);
+    ASSERT_TRUE(std::binary_search(nb.begin(), nb.end(), p));
+  }
+}
+
+TEST(BfsDevice, FrontierNeverEnqueuesDuplicates) {
+  // A clique reaches everyone at level 1 from many discoverers at once;
+  // duplicates in the frontier would blow past n and trip the appender.
+  const Csr g = make_complete(60);
+  simgpu::Device dev(simgpu::test_device());
+  const BfsResult r = bfs_device(dev, g, 0);
+  EXPECT_EQ(r.levels, 2u);  // expand source, expand its neighbours
+  for (vid_t v = 1; v < 60; ++v) ASSERT_EQ(r.distance[v], 1u);
+}
+
+TEST(BfsDevice, DeterministicAcrossRuns) {
+  const Csr g = make_barabasi_albert(300, 3, 4);
+  simgpu::Device a(simgpu::test_device()), b(simgpu::test_device());
+  const BfsResult ra = bfs_device(a, g, 0);
+  const BfsResult rb = bfs_device(b, g, 0);
+  EXPECT_EQ(ra.distance, rb.distance);
+  EXPECT_EQ(ra.parent, rb.parent);
+  EXPECT_DOUBLE_EQ(ra.device_cycles, rb.device_cycles);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,59 @@
+#include "apps/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+#include "graph/stats.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(ComponentsDevice, MatchesHostBfsCount) {
+  for (const Csr& g : {make_grid2d(13, 9), make_barabasi_albert(300, 3, 2),
+                       make_rmat(9, 4, {}, 3), make_empty(12)}) {
+    simgpu::Device dev(simgpu::test_device());
+    const ComponentsResult r = components_device(dev, g);
+    EXPECT_EQ(r.num_components, connected_components(g));
+  }
+}
+
+TEST(ComponentsDevice, LabelsAreComponentMinima) {
+  GraphBuilder b(7);
+  b.add_edge(2, 5);
+  b.add_edge(5, 6);
+  b.add_edge(1, 3);
+  const Csr g = b.build();
+  simgpu::Device dev(simgpu::test_device());
+  const ComponentsResult r = components_device(dev, g);
+  EXPECT_EQ(r.label[2], 2u);
+  EXPECT_EQ(r.label[5], 2u);
+  EXPECT_EQ(r.label[6], 2u);
+  EXPECT_EQ(r.label[1], 1u);
+  EXPECT_EQ(r.label[3], 1u);
+  EXPECT_EQ(r.label[0], 0u);
+  EXPECT_EQ(r.label[4], 4u);
+  EXPECT_EQ(r.num_components, 4u);
+}
+
+TEST(ComponentsDevice, IterationsTrackDiameter) {
+  // Label propagation needs ~diameter iterations on a path; far fewer on
+  // a small-world graph.
+  simgpu::Device d1(simgpu::test_device());
+  const ComponentsResult path = components_device(d1, make_path(100));
+  simgpu::Device d2(simgpu::test_device());
+  const ComponentsResult star = components_device(d2, make_star(100));
+  EXPECT_GT(path.iterations, 50u);
+  EXPECT_LE(star.iterations, 3u);
+}
+
+TEST(ComponentsDevice, Deterministic) {
+  const Csr g = make_rmat(8, 4, {}, 1);
+  simgpu::Device a(simgpu::test_device()), b(simgpu::test_device());
+  EXPECT_EQ(components_device(a, g).label, components_device(b, g).label);
+}
+
+}  // namespace
+}  // namespace gcg

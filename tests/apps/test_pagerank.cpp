@@ -1,0 +1,73 @@
+#include "apps/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+double total(const std::vector<double>& r) {
+  return std::accumulate(r.begin(), r.end(), 0.0);
+}
+
+TEST(PageRankHost, RanksSumToOne) {
+  PageRankOptions opts;
+  opts.max_iterations = 500;  // let every graph reach the tolerance
+  for (const Csr& g : {make_grid2d(9, 9), make_barabasi_albert(200, 3, 1),
+                       make_star(30)}) {
+    const PageRankResult r = pagerank_host(g, opts);
+    EXPECT_NEAR(total(r.rank), 1.0, 1e-9);
+    EXPECT_LT(r.final_delta, opts.tolerance);
+  }
+}
+
+TEST(PageRankHost, RegularGraphIsUniform) {
+  const Csr g = make_cycle(40);  // 2-regular: stationary = uniform
+  const PageRankResult r = pagerank_host(g);
+  for (double x : r.rank) EXPECT_NEAR(x, 1.0 / 40, 1e-9);
+}
+
+TEST(PageRankHost, HubOutranksLeaves) {
+  const PageRankResult r = pagerank_host(make_star(50));
+  for (vid_t v = 1; v <= 50; ++v) EXPECT_GT(r.rank[0], r.rank[v]);
+}
+
+TEST(PageRankHost, IsolatedVerticesKeepDistribution) {
+  const Csr g = make_empty(5);
+  const PageRankResult r = pagerank_host(g);
+  EXPECT_NEAR(total(r.rank), 1.0, 1e-9);
+  for (double x : r.rank) EXPECT_NEAR(x, 0.2, 1e-9);
+}
+
+TEST(PageRankDevice, MatchesHostExactly) {
+  for (const Csr& g : {make_grid2d(11, 7), make_barabasi_albert(300, 4, 5),
+                       make_petersen()}) {
+    const PageRankResult host = pagerank_host(g);
+    simgpu::Device dev(simgpu::test_device());
+    const PageRankResult device = pagerank_device(dev, g);
+    ASSERT_EQ(device.iterations, host.iterations);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_NEAR(device.rank[v], host.rank[v], 1e-12);
+    }
+    EXPECT_GT(device.device_cycles, 0.0);
+  }
+}
+
+TEST(PageRankDevice, ToleranceStopsEarly) {
+  const Csr g = make_barabasi_albert(200, 3, 7);
+  PageRankOptions strict, loose;
+  strict.tolerance = 1e-12;
+  loose.tolerance = 1e-3;
+  simgpu::Device d1(simgpu::test_device()), d2(simgpu::test_device());
+  const auto rs = pagerank_device(d1, g, strict);
+  const auto rl = pagerank_device(d2, g, loose);
+  EXPECT_LT(rl.iterations, rs.iterations);
+}
+
+}  // namespace
+}  // namespace gcg

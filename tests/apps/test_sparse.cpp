@@ -1,0 +1,71 @@
+#include "apps/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(Sparse, Poisson2dStructure) {
+  const SparseMatrix A = make_poisson2d(4, 3);
+  EXPECT_EQ(A.n(), 12u);
+  EXPECT_EQ(A.values.size(), A.structure.num_arcs());
+  for (double d : A.diag) EXPECT_DOUBLE_EQ(d, 4.0);
+  for (double v : A.values) EXPECT_DOUBLE_EQ(v, -1.0);
+}
+
+TEST(Sparse, LaplacianIsDiagonallyDominant) {
+  const Csr g = make_barabasi_albert(100, 3, 1);
+  const SparseMatrix A = make_graph_laplacian(g, 0.5);
+  for (vid_t v = 0; v < A.n(); ++v) {
+    double offsum = 0.0;
+    for (eid_t e = A.structure.offset(v); e < A.structure.offset(v + 1); ++e) {
+      offsum += std::abs(A.values[e]);
+    }
+    EXPECT_GT(A.diag[v], offsum - 1e-12);
+  }
+}
+
+TEST(Sparse, HostSpmvKnownResult) {
+  // Poisson on a 1x3 path: A = [[4,-1,0],[-1,4,-1],[0,-1,4]].
+  const SparseMatrix A = make_poisson2d(3, 1);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  spmv_host(A, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0 * 1 - 2);
+  EXPECT_DOUBLE_EQ(y[1], -1 + 4.0 * 2 - 3);
+  EXPECT_DOUBLE_EQ(y[2], -2 + 4.0 * 3);
+}
+
+TEST(Sparse, DeviceSpmvMatchesHost) {
+  const Csr g = make_barabasi_albert(500, 4, 7);
+  const SparseMatrix A = make_graph_laplacian(g);
+  std::vector<double> x(A.n());
+  for (vid_t v = 0; v < A.n(); ++v) x[v] = std::sin(v * 0.37);
+  std::vector<double> y_host(A.n()), y_dev(A.n());
+  spmv_host(A, x, y_host);
+  simgpu::Device dev(simgpu::test_device());
+  const auto launch = spmv_device(dev, A, x, y_dev);
+  for (vid_t v = 0; v < A.n(); ++v) {
+    ASSERT_NEAR(y_dev[v], y_host[v], 1e-12) << v;
+  }
+  EXPECT_GT(launch.total.mem_transactions, 0u);
+  EXPECT_GT(dev.total_cycles(), 0.0);
+}
+
+TEST(Sparse, ResidualOfExactSolutionIsZero) {
+  const SparseMatrix A = make_poisson2d(5, 5);
+  std::vector<double> x(A.n());
+  for (vid_t v = 0; v < A.n(); ++v) x[v] = 0.01 * v;
+  std::vector<double> b(A.n());
+  spmv_host(A, x, b);
+  EXPECT_NEAR(residual_inf(A, x, b), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gcg

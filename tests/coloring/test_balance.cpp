@@ -1,0 +1,74 @@
+#include "coloring/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(Balance, PreservesValidityAndColorCount) {
+  const Csr g = make_barabasi_albert(400, 3, 5);
+  const SeqColoring c = greedy_color(g, GreedyOrder::kLargestFirst);
+  const BalanceResult b = balance_colors(g, c.colors);
+  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_EQ(b.num_colors, c.num_colors);
+}
+
+TEST(Balance, ReducesSkewOnGreedyColorings) {
+  // Greedy first-fit on a scale-free graph puts most vertices in the
+  // first few classes and a handful in the last ones.
+  const Csr g = make_barabasi_albert(600, 4, 11);
+  const SeqColoring c = greedy_color(g);
+  ASSERT_GT(c.num_colors, 3);
+  const BalanceResult b = balance_colors(g, c.colors);
+  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_LT(b.cv_after, b.cv_before);
+  EXPECT_GT(b.moved, 0u);
+}
+
+TEST(Balance, AlreadyBalancedIsFixpoint) {
+  const Csr g = make_path(12);
+  // Perfect 2-coloring: 6/6.
+  std::vector<color_t> colors(12);
+  for (vid_t v = 0; v < 12; ++v) colors[v] = static_cast<color_t>(v % 2);
+  const BalanceResult b = balance_colors(g, colors);
+  EXPECT_EQ(b.moved, 0u);
+  EXPECT_EQ(b.colors, colors);
+}
+
+TEST(Balance, StarCannotImprove) {
+  // Star: hub alone in one class, leaves in the other — no legal move.
+  const Csr g = make_star(20);
+  const SeqColoring c = greedy_color(g);
+  const BalanceResult b = balance_colors(g, c.colors);
+  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_EQ(b.num_colors, 2);
+  EXPECT_DOUBLE_EQ(b.cv_after, b.cv_before);
+}
+
+TEST(Balance, HandlesTrivialInputs) {
+  const Csr e = make_empty(4);
+  std::vector<color_t> colors(4, 0);
+  const BalanceResult b = balance_colors(e, colors);
+  EXPECT_EQ(b.num_colors, 1);
+  const Csr zero = make_empty(0);
+  const BalanceResult bz = balance_colors(zero, std::vector<color_t>{});
+  EXPECT_EQ(bz.num_colors, 0);
+}
+
+TEST(Balance, TerminatesWithinRounds) {
+  const Csr g = make_barabasi_albert(1000, 4, 1);
+  const SeqColoring c = greedy_color(g);
+  const BalanceResult one = balance_colors(g, c.colors, 1);
+  const BalanceResult many = balance_colors(g, c.colors, 8);
+  EXPECT_GE(many.moved, one.moved);
+  EXPECT_LE(many.cv_after, one.cv_after + 1e-12);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,104 @@
+#include "coloring/distance2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gen/grid.hpp"
+#include "graph/gen/random.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(Distance2Verify, PathNeedsThreeColorsAtDistance2) {
+  const Csr g = make_path(6);
+  // Proper d1 coloring that fails d2: 0,1,0,1,...
+  std::vector<color_t> d1{0, 1, 0, 1, 0, 1};
+  EXPECT_TRUE(is_valid_coloring(g, d1));
+  const auto v = find_violation_d2(g, d1);
+  ASSERT_TRUE(v.has_value());
+  // Vertices 0 and 2 share neighbour 1 and color 0.
+  EXPECT_EQ(v->u, 0u);
+  EXPECT_EQ(v->v, 2u);
+  // Period-3 coloring is d2-proper on a path.
+  std::vector<color_t> d2{0, 1, 2, 0, 1, 2};
+  EXPECT_TRUE(is_valid_coloring_d2(g, d2));
+}
+
+TEST(Distance2Verify, UncoloredDetection) {
+  const Csr g = make_path(3);
+  std::vector<color_t> c{0, kUncolored, 1};
+  EXPECT_FALSE(is_valid_coloring_d2(g, c));
+  EXPECT_TRUE(is_valid_coloring_d2(g, c, /*require_complete=*/false));
+}
+
+TEST(Distance2Greedy, StarNeedsLeafCountPlusOne) {
+  // All leaves share the hub: every vertex needs its own color.
+  const Csr g = make_star(9);
+  const SeqColoring c = greedy_color_d2(g);
+  EXPECT_TRUE(is_valid_coloring_d2(g, c.colors));
+  EXPECT_EQ(c.num_colors, 10);
+}
+
+TEST(Distance2Greedy, ValidOnAssortedGraphs) {
+  for (const Csr& g :
+       {make_grid2d(9, 7), make_cycle(11), make_petersen(),
+        make_erdos_renyi_gnm(150, 450, 3), make_binary_tree(63)}) {
+    for (GreedyOrder order : {GreedyOrder::kNatural, GreedyOrder::kRandom,
+                              GreedyOrder::kLargestFirst}) {
+      const SeqColoring c = greedy_color_d2(g, order, 7);
+      EXPECT_TRUE(is_valid_coloring_d2(g, c.colors));
+      // Also trivially a valid distance-1 coloring.
+      EXPECT_TRUE(is_valid_coloring(g, c.colors));
+    }
+  }
+}
+
+TEST(Distance2Greedy, Grid2dUsesAtMostEight) {
+  // A 5-point stencil's square graph has max degree 8 at interior points
+  // (the 4 diagonal + 4 distance-2-straight vertices count too: 12 total
+  // 2-hop neighbours, but first-fit stays small). Just bound it sanely.
+  const SeqColoring c = greedy_color_d2(make_grid2d(20, 20));
+  EXPECT_TRUE(is_valid_coloring_d2(make_grid2d(20, 20), c.colors));
+  EXPECT_LE(c.num_colors, 13);
+  EXPECT_GE(c.num_colors, 5);  // grid square graph needs >= 5
+}
+
+TEST(Distance2Gpu, MatchesValidityOnAssortedGraphs) {
+  const auto cfg = simgpu::test_device();
+  for (const Csr& g :
+       {make_grid2d(11, 9), make_cycle(17), make_petersen(),
+        make_erdos_renyi_gnm(200, 500, 9), make_star(40)}) {
+    const ColoringRun run = run_coloring_d2(cfg, g);
+    EXPECT_TRUE(is_valid_coloring_d2(g, run.colors));
+    EXPECT_EQ(run.num_colors, count_colors(run.colors));
+    EXPECT_GT(run.total_cycles, 0.0);
+  }
+}
+
+TEST(Distance2Gpu, DeterministicAndSeedSensitive) {
+  const auto cfg = simgpu::test_device();
+  const Csr g = make_erdos_renyi_gnm(150, 400, 2);
+  ColoringOptions a, b;
+  a.seed = b.seed = 5;
+  EXPECT_EQ(run_coloring_d2(cfg, g, a).colors, run_coloring_d2(cfg, g, b).colors);
+  b.seed = 6;
+  EXPECT_NE(run_coloring_d2(cfg, g, a).colors, run_coloring_d2(cfg, g, b).colors);
+}
+
+TEST(Distance2Gpu, ColorCountNearGreedy) {
+  const auto cfg = simgpu::test_device();
+  const Csr g = make_grid2d(16, 16);
+  const ColoringRun run = run_coloring_d2(cfg, g);
+  const SeqColoring greedy = greedy_color_d2(g);
+  EXPECT_LE(run.num_colors, greedy.num_colors * 2);
+}
+
+TEST(Distance2Gpu, CompleteGraphIsAllDistinct) {
+  const auto cfg = simgpu::test_device();
+  const Csr g = make_complete(9);
+  const ColoringRun run = run_coloring_d2(cfg, g);
+  EXPECT_EQ(run.num_colors, 9);
+}
+
+}  // namespace
+}  // namespace gcg

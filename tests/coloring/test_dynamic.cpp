@@ -1,0 +1,92 @@
+#include "coloring/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+#include "util/rng.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(DynamicColoring, StartsFromExistingColoring) {
+  const Csr g = make_cycle(8);
+  const SeqColoring c = greedy_color(g);
+  DynamicColoring dc(g, c.colors);
+  EXPECT_EQ(dc.num_colors(), c.num_colors);
+  EXPECT_EQ(dc.colors(), c.colors);
+  EXPECT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+}
+
+TEST(DynamicColoring, NonConflictingEdgeIsFree) {
+  const Csr g = make_path(4);  // colors 0,1,0,1
+  const SeqColoring c = greedy_color(g);
+  DynamicColoring dc(g, c.colors);
+  dc.add_edge(0, 3);  // colors 0 and 1: no conflict
+  EXPECT_EQ(dc.stats().conflicts_repaired, 0u);
+  EXPECT_EQ(dc.colors(), c.colors);
+  EXPECT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+}
+
+TEST(DynamicColoring, RepairsConflictLocally) {
+  const Csr g = make_path(4);  // colors 0,1,0,1
+  const SeqColoring c = greedy_color(g);
+  DynamicColoring dc(g, c.colors);
+  dc.add_edge(0, 2);  // both color 0: conflict
+  EXPECT_EQ(dc.stats().conflicts_repaired, 1u);
+  EXPECT_EQ(dc.stats().vertices_recolored, 1u);
+  EXPECT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+}
+
+TEST(DynamicColoring, DuplicateAndSelfEdgesIgnored) {
+  const Csr g = make_path(3);
+  const SeqColoring c = greedy_color(g);
+  DynamicColoring dc(g, c.colors);
+  dc.add_edge(0, 1);  // already present
+  dc.add_edge(2, 2);  // self loop
+  EXPECT_EQ(dc.stats().edges_added, 0u);
+}
+
+TEST(DynamicColoring, GrowsCliqueToNColors) {
+  // Start from 5 isolated vertices, add all C(5,2) edges: must end at
+  // exactly 5 colors, always proper along the way.
+  const Csr g = make_empty(5);
+  const std::vector<color_t> zeros(5, 0);
+  DynamicColoring dc(g, zeros);
+  for (vid_t u = 0; u < 5; ++u) {
+    for (vid_t v = u + 1; v < 5; ++v) {
+      dc.add_edge(u, v);
+      ASSERT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+    }
+  }
+  EXPECT_EQ(dc.num_colors(), 5);
+}
+
+TEST(DynamicColoring, RandomInsertionStressStaysProper) {
+  // Property sweep: random edge stream over an initially colored BA graph.
+  const Csr g = make_barabasi_albert(150, 3, 5);
+  const SeqColoring c = greedy_color(g);
+  DynamicColoring dc(g, c.colors);
+  Xoshiro256ss rng(9);
+  for (int k = 0; k < 500; ++k) {
+    const auto u = static_cast<vid_t>(rng.bounded(150));
+    const auto v = static_cast<vid_t>(rng.bounded(150));
+    dc.add_edge(u, v);
+  }
+  const Csr final_graph = dc.snapshot();
+  EXPECT_TRUE(is_valid_coloring(final_graph, dc.colors()));
+  // Palette stays within greedy bounds of the *final* graph.
+  EXPECT_LE(dc.num_colors(), static_cast<int>(final_graph.max_degree()) + 1);
+  EXPECT_GT(dc.stats().edges_added, 300u);
+}
+
+TEST(DynamicColoringDeathTest, RejectsInvalidStartingColors) {
+  const Csr g = make_path(3);
+  const std::vector<color_t> bad{0, 0, 1};
+  EXPECT_DEATH(DynamicColoring(g, bad), "precondition");
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,211 @@
+// Kernel-level tests: run individual SIMT kernel bodies on the small test
+// device and compare flags against a brute-force host evaluation.
+#include "coloring/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+#include "simgpu/dispatch.hpp"
+
+namespace gcg {
+namespace {
+
+using simgpu::Mask;
+using simgpu::Vec;
+using simgpu::Wave;
+
+struct KernelFixture : ::testing::Test {
+  simgpu::DeviceConfig cfg = simgpu::test_device();
+
+  /// Brute-force the expected flags for the current `colors`.
+  std::vector<std::uint8_t> expected_flags(const Csr& g,
+                                           const std::vector<std::uint32_t>& prio,
+                                           const std::vector<color_t>& colors,
+                                           bool min_too) {
+    std::vector<std::uint8_t> out(g.num_vertices(), kFlagNone);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (colors[v] != kUncolored) continue;
+      bool is_max = true, is_min = min_too;
+      for (vid_t u : g.neighbors(v)) {
+        if (colors[u] != kUncolored) continue;
+        if (priority_less(prio[v], v, prio[u], u)) {
+          is_max = false;
+        } else {
+          is_min = false;
+        }
+      }
+      out[v] = static_cast<std::uint8_t>((is_max ? kFlagMax : 0) |
+                                         (is_min ? kFlagMin : 0));
+    }
+    return out;
+  }
+};
+
+TEST_F(KernelFixture, TpvScanMatchesBruteForce) {
+  const Csr g = make_barabasi_albert(200, 3, 11);
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 4);
+  std::vector<color_t> colors(g.num_vertices(), kUncolored);
+  // Pre-color a third of the vertices to exercise the uncolored filter.
+  for (vid_t v = 0; v < g.num_vertices(); v += 3) colors[v] = 99;
+  std::vector<std::uint8_t> flags(g.num_vertices(), 0xAA);
+
+  ColorCtx ctx{DeviceGraph::of(g), prio, colors, flags};
+  simgpu::dispatch_waves(cfg, g.num_vertices(), 32, [&](Wave& w) {
+    scan_flags_tpv(w, w.valid(), w.global_ids(), ctx, true, true);
+  });
+
+  const auto want = expected_flags(g, prio, colors, true);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] != kUncolored) continue;  // flags untouched for colored
+    ASSERT_EQ(flags[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(KernelFixture, TpvScanJplModeOnlySetsMax) {
+  const Csr g = make_petersen();
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 2);
+  std::vector<color_t> colors(10, kUncolored);
+  std::vector<std::uint8_t> flags(10, 0);
+  ColorCtx ctx{DeviceGraph::of(g), prio, colors, flags};
+  simgpu::dispatch_waves(cfg, 10, 8, [&](Wave& w) {
+    scan_flags_tpv(w, w.valid(), w.global_ids(), ctx, true, false);
+  });
+  const auto want = expected_flags(g, prio, colors, false);
+  for (vid_t v = 0; v < 10; ++v) {
+    ASSERT_EQ(flags[v], want[v]);
+    ASSERT_EQ(flags[v] & kFlagMin, 0);
+  }
+}
+
+TEST_F(KernelFixture, WpvScanMatchesTpvOnHub) {
+  const Csr g = make_star(100);  // hub degree 100 >> wave width 8
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 6);
+  std::vector<color_t> colors(g.num_vertices(), kUncolored);
+  std::vector<std::uint8_t> flags_tpv(g.num_vertices(), 0);
+  std::vector<std::uint8_t> flags_wpv(g.num_vertices(), 0);
+
+  ColorCtx ctx_t{DeviceGraph::of(g), prio, colors, flags_tpv};
+  simgpu::dispatch_waves(cfg, g.num_vertices(), 8, [&](Wave& w) {
+    scan_flags_tpv(w, w.valid(), w.global_ids(), ctx_t, true, true);
+  });
+
+  ColorCtx ctx_w{DeviceGraph::of(g), prio, colors, flags_wpv};
+  simgpu::dispatch_waves(
+      cfg, static_cast<std::uint64_t>(g.num_vertices()) * cfg.wavefront_size, 8,
+      [&](Wave& w) {
+        const auto v = static_cast<vid_t>(w.first_global_id() / cfg.wavefront_size);
+        if (v < g.num_vertices()) scan_flags_wpv(w, v, ctx_w, true);
+      });
+
+  EXPECT_EQ(flags_tpv, flags_wpv);
+}
+
+TEST_F(KernelFixture, GpvScanMatchesTpv) {
+  const Csr g = make_barabasi_albert(64, 5, 21);
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 3);
+  std::vector<color_t> colors(g.num_vertices(), kUncolored);
+  for (vid_t v = 0; v < g.num_vertices(); v += 4) colors[v] = 1;
+  std::vector<std::uint8_t> flags_tpv(g.num_vertices(), 0);
+  std::vector<std::uint8_t> flags_gpv(g.num_vertices(), 0);
+
+  ColorCtx ctx_t{DeviceGraph::of(g), prio, colors, flags_tpv};
+  simgpu::dispatch_waves(cfg, g.num_vertices(), 8, [&](Wave& w) {
+    scan_flags_tpv(w, w.valid(), w.global_ids(), ctx_t, true, true);
+  });
+
+  ColorCtx ctx_g{DeviceGraph::of(g), prio, colors, flags_gpv};
+  const unsigned gs = 32;  // 4 waves of 8 lanes cooperate per vertex
+  simgpu::dispatch(cfg, static_cast<std::uint64_t>(g.num_vertices()) * gs, gs,
+                   [&](simgpu::Group& grp) {
+                     const auto v = static_cast<vid_t>(grp.group_id());
+                     if (v < g.num_vertices()) scan_flags_gpv(grp, v, ctx_g, true);
+                   });
+
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] != kUncolored) continue;
+    ASSERT_EQ(flags_tpv[v], flags_gpv[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(KernelFixture, CommitColorsWinnersAndAppendsLosers) {
+  const Csr g = make_path(8);
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 1);
+  std::vector<color_t> colors(8, kUncolored);
+  std::vector<std::uint8_t> flags(8, kFlagNone);
+  flags[0] = kFlagMax;
+  flags[3] = kFlagMin;
+  flags[5] = kFlagMax | kFlagMin;  // isolated-in-subgraph case
+
+  std::vector<vid_t> frontier_out(8, 0xFFFFFFFF);
+  std::vector<std::uint32_t> counter(1, 0);
+  FrontierAppender app{frontier_out, counter};
+
+  ColorCtx ctx{DeviceGraph::of(g), prio, colors, flags};
+  simgpu::dispatch_waves(cfg, 8, 8, [&](Wave& w) {
+    commit_tpv(w, w.valid(), w.global_ids(), ctx, /*base=*/6, true, true, &app);
+  });
+
+  EXPECT_EQ(colors[0], 6);   // max color
+  EXPECT_EQ(colors[3], 7);   // min color
+  EXPECT_EQ(colors[5], 6);   // both flags -> max wins
+  EXPECT_EQ(counter[0], 5u); // vertices 1,2,4,6,7 lost
+  std::vector<vid_t> losers(frontier_out.begin(), frontier_out.begin() + 5);
+  std::sort(losers.begin(), losers.end());
+  EXPECT_EQ(losers, (std::vector<vid_t>{1, 2, 4, 6, 7}));
+}
+
+TEST_F(KernelFixture, CommitRespectsCheckColored) {
+  const Csr g = make_path(4);
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 1);
+  std::vector<color_t> colors{5, kUncolored, kUncolored, kUncolored};
+  std::vector<std::uint8_t> flags(4, kFlagMax);  // stale flag on vertex 0
+  ColorCtx ctx{DeviceGraph::of(g), prio, colors, flags};
+  simgpu::dispatch_waves(cfg, 4, 8, [&](Wave& w) {
+    commit_tpv(w, w.valid(), w.global_ids(), ctx, 9, true, true, nullptr);
+  });
+  EXPECT_EQ(colors[0], 5);  // untouched: already colored
+  EXPECT_EQ(colors[1], 9);
+}
+
+TEST_F(KernelFixture, ScanWithExplicitItemsVector) {
+  // Frontier-style invocation: lanes hold arbitrary vertex ids.
+  const Csr g = make_cycle(12);
+  const auto prio = make_priorities(g, PriorityMode::kRandom, 5);
+  std::vector<color_t> colors(12, kUncolored);
+  std::vector<std::uint8_t> flags(12, 0);
+  ColorCtx ctx{DeviceGraph::of(g), prio, colors, flags};
+
+  const std::vector<vid_t> frontier{11, 3, 7};
+  simgpu::dispatch_waves(cfg, 3, 8, [&](Wave& w) {
+    const Mask m = w.valid();
+    const auto items =
+        w.load(std::span<const vid_t>(frontier), w.global_ids(), m);
+    scan_flags_tpv(w, m, items, ctx, false, true);
+  });
+
+  const auto want = expected_flags(g, prio, colors, true);
+  for (vid_t v : frontier) EXPECT_EQ(flags[v], want[v]);
+  EXPECT_EQ(flags[0], 0);  // untouched non-frontier vertex
+}
+
+TEST_F(KernelFixture, DivergenceShowsInSimdEfficiency) {
+  // One hub + leaves in the same wave: the hub lane loops 100x alone.
+  // Degree-biased priorities keep the hub a live max-candidate to the very
+  // end of its list (random priorities would let it early-exit quickly).
+  const Csr g = make_star(100);
+  const auto prio = make_priorities(g, PriorityMode::kDegreeBiased, 1);
+  std::vector<color_t> colors(g.num_vertices(), kUncolored);
+  std::vector<std::uint8_t> flags(g.num_vertices(), 0);
+  ColorCtx ctx{DeviceGraph::of(g), prio, colors, flags};
+  const auto r =
+      simgpu::dispatch_waves(cfg, g.num_vertices(), 8, [&](Wave& w) {
+        scan_flags_tpv(w, w.valid(), w.global_ids(), ctx, true, true);
+      });
+  EXPECT_LT(r.simd_efficiency, 0.7);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,83 @@
+#include "coloring/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(MisVerify, AcceptsAndRejectsCorrectly) {
+  const Csr g = make_path(4);  // 0-1-2-3
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<std::uint8_t>{1, 0, 1, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<std::uint8_t>{0, 1, 0, 1}));
+  // Not independent: adjacent members.
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<std::uint8_t>{1, 1, 0, 0}));
+  // Independent but not maximal: vertex 3 could join.
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<std::uint8_t>{1, 0, 0, 0}));
+}
+
+TEST(GreedyMis, MaximalOnAssortedGraphs) {
+  for (const Csr& g : {make_path(20), make_grid2d(9, 9), make_petersen(),
+                       make_barabasi_albert(300, 3, 1), make_complete(8)}) {
+    const MisResult r = greedy_mis(g);
+    EXPECT_TRUE(is_maximal_independent_set(g, r.in_set));
+    EXPECT_GT(r.set_size, 0u);
+  }
+}
+
+TEST(GreedyMis, CompleteGraphHasSizeOne) {
+  EXPECT_EQ(greedy_mis(make_complete(10)).set_size, 1u);
+}
+
+TEST(GreedyMis, EmptyGraphTakesEveryone) {
+  const MisResult r = greedy_mis(make_empty(7));
+  EXPECT_EQ(r.set_size, 7u);
+}
+
+class LubyMisTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LubyMisTest, MaximalIndependentOnAssortedGraphs) {
+  const auto cfg = simgpu::test_device();
+  ColoringOptions opts;
+  opts.seed = GetParam();
+  for (const Csr& g : {make_path(33), make_grid2d(11, 7), make_petersen(),
+                       make_barabasi_albert(400, 4, 3), make_star(60),
+                       make_complete(12), make_empty(10)}) {
+    const MisResult r = luby_mis(cfg, g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, r.in_set));
+    EXPECT_GT(r.rounds, 0u);
+    EXPECT_GT(r.total_cycles, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LubyMisTest, ::testing::Values(1, 7, 42, 999));
+
+TEST(LubyMis, DeterministicPerSeed) {
+  const auto cfg = simgpu::test_device();
+  const Csr g = make_barabasi_albert(300, 3, 2);
+  ColoringOptions opts;
+  opts.seed = 11;
+  EXPECT_EQ(luby_mis(cfg, g, opts).in_set, luby_mis(cfg, g, opts).in_set);
+}
+
+TEST(LubyMis, ConvergesInFewRounds) {
+  // Luby terminates in O(log n) rounds with high probability.
+  const auto cfg = simgpu::test_device();
+  const Csr g = make_barabasi_albert(2000, 4, 5);
+  const MisResult r = luby_mis(cfg, g);
+  EXPECT_LE(r.rounds, 30u);
+}
+
+TEST(LubyMis, SetSizeComparableToGreedy) {
+  const auto cfg = simgpu::test_device();
+  const Csr g = make_grid2d(30, 30);
+  const MisResult gpu = luby_mis(cfg, g);
+  const MisResult host = greedy_mis(g);
+  EXPECT_GT(gpu.set_size, host.set_size / 2);
+}
+
+}  // namespace
+}  // namespace gcg

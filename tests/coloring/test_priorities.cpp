@@ -1,0 +1,47 @@
+#include "coloring/priorities.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(Priorities, RandomModeDeterministicPerSeed) {
+  const Csr g = make_barabasi_albert(100, 2, 1);
+  EXPECT_EQ(make_priorities(g, PriorityMode::kRandom, 7),
+            make_priorities(g, PriorityMode::kRandom, 7));
+  EXPECT_NE(make_priorities(g, PriorityMode::kRandom, 7),
+            make_priorities(g, PriorityMode::kRandom, 8));
+}
+
+TEST(Priorities, DegreeBiasedRanksHubsHighest) {
+  const Csr g = make_star(50);
+  const auto p = make_priorities(g, PriorityMode::kDegreeBiased, 1);
+  for (vid_t v = 1; v <= 50; ++v) EXPECT_GT(p[0], p[v]);
+}
+
+TEST(Priorities, DegreeBiasedStillBreaksTiesRandomly) {
+  const Csr g = make_cycle(64);  // all degree 2
+  const auto p = make_priorities(g, PriorityMode::kDegreeBiased, 1);
+  std::set<std::uint32_t> distinct(p.begin(), p.end());
+  EXPECT_GT(distinct.size(), 32u);
+}
+
+TEST(Priorities, PriorityLessIsStrictTotalOrder) {
+  // Antisymmetry + totality on distinct (prio, id) pairs.
+  EXPECT_TRUE(priority_less(1, 0, 2, 1));
+  EXPECT_FALSE(priority_less(2, 1, 1, 0));
+  EXPECT_TRUE(priority_less(5, 3, 5, 4));   // tie -> id decides
+  EXPECT_FALSE(priority_less(5, 4, 5, 3));
+  EXPECT_FALSE(priority_less(5, 3, 5, 3));  // irreflexive
+}
+
+TEST(Priorities, ModeNames) {
+  EXPECT_STREQ(priority_mode_name(PriorityMode::kRandom), "random");
+  EXPECT_STREQ(priority_mode_name(PriorityMode::kDegreeBiased), "degree-biased");
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,75 @@
+#include "coloring/recolor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/runner.hpp"
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(RecolorPass, NeverIncreasesColors) {
+  const Csr g = make_barabasi_albert(500, 4, 3);
+  const auto base = run_coloring(simgpu::test_device(), g, Algorithm::kBaseline);
+  for (ClassOrder order : {ClassOrder::kLargestFirst, ClassOrder::kSmallestFirst,
+                           ClassOrder::kReverse}) {
+    const RecolorResult r = recolor_pass(g, base.colors, order);
+    EXPECT_TRUE(is_valid_coloring(g, r.colors));
+    EXPECT_LE(r.num_colors, base.num_colors);
+  }
+}
+
+TEST(RecolorPass, ShrinksIndependentSetColorings) {
+  // Max-min colorings are far from greedy-optimal; one pass must recover
+  // a large fraction of the gap on a skewed graph.
+  const Csr g = make_barabasi_albert(2000, 6, 9);
+  const auto base = run_coloring(simgpu::test_device(), g, Algorithm::kBaseline);
+  const int greedy = greedy_color(g).num_colors;
+  ASSERT_GT(base.num_colors, greedy);  // precondition for the test to matter
+  const RecolorResult r = recolor_pass(g, base.colors);
+  EXPECT_LT(r.num_colors, base.num_colors);
+  // One pass lands within a small margin of plain greedy.
+  EXPECT_LE(r.num_colors, greedy * 2 + 2);
+}
+
+TEST(RecolorPass, IdempotentOnOptimalColorings) {
+  // A 2-coloring of a bipartite graph cannot improve.
+  const Csr g = make_complete_bipartite(8, 12);
+  const SeqColoring two = greedy_color(g);
+  ASSERT_EQ(two.num_colors, 2);
+  const RecolorResult r = recolor_pass(g, two.colors);
+  EXPECT_EQ(r.num_colors, 2);
+}
+
+TEST(ReduceColors, MonotoneAndValid) {
+  const Csr g = make_rmat(9, 6, {}, 4);
+  const auto base = run_coloring(simgpu::test_device(), g, Algorithm::kJpl);
+  const RecolorResult r = reduce_colors(g, base.colors);
+  EXPECT_TRUE(is_valid_coloring(g, r.colors));
+  EXPECT_LE(r.num_colors, base.num_colors);
+  EXPECT_GE(r.passes, 1);
+}
+
+TEST(ReduceColors, HandlesTrivialGraphs) {
+  const Csr e = make_empty(5);
+  std::vector<color_t> colors(5, 0);
+  const RecolorResult r = reduce_colors(e, colors);
+  EXPECT_EQ(r.num_colors, 1);
+  const Csr one = make_empty(1);
+  const RecolorResult r1 = recolor_pass(one, std::vector<color_t>{0});
+  EXPECT_EQ(r1.num_colors, 1);
+}
+
+TEST(ReduceColors, RespectsChromaticLowerBound) {
+  const Csr g = make_complete(9);
+  const auto base = run_coloring(simgpu::test_device(), g, Algorithm::kBaseline);
+  const RecolorResult r = reduce_colors(g, base.colors);
+  EXPECT_EQ(r.num_colors, 9);
+}
+
+}  // namespace
+}  // namespace gcg

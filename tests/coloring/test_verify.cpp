@@ -1,0 +1,62 @@
+#include "coloring/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(Verify, AcceptsProperColoring) {
+  const Csr g = make_cycle(4);
+  const std::vector<color_t> colors{0, 1, 0, 1};
+  EXPECT_TRUE(is_valid_coloring(g, colors));
+  EXPECT_FALSE(find_violation(g, colors).has_value());
+}
+
+TEST(Verify, DetectsAdjacentSameColor) {
+  const Csr g = make_path(3);
+  const std::vector<color_t> colors{0, 0, 1};
+  const auto v = find_violation(g, colors);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->u, 0u);
+  EXPECT_EQ(v->v, 1u);
+  EXPECT_EQ(v->color, 0);
+  EXPECT_NE(v->to_string().find("(0,1)"), std::string::npos);
+}
+
+TEST(Verify, DetectsUncoloredWhenCompleteRequired) {
+  const Csr g = make_path(3);
+  const std::vector<color_t> colors{0, kUncolored, 0};
+  const auto v = find_violation(g, colors, /*require_complete=*/true);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->u, v->v);
+  EXPECT_NE(v->to_string().find("uncolored"), std::string::npos);
+}
+
+TEST(Verify, PartialColoringOkWhenAllowed) {
+  const Csr g = make_path(3);
+  const std::vector<color_t> colors{0, kUncolored, 0};
+  EXPECT_TRUE(is_valid_coloring(g, colors, /*require_complete=*/false));
+}
+
+TEST(Verify, PartialStillCatchesConflicts) {
+  const Csr g = make_path(3);
+  const std::vector<color_t> colors{0, 0, kUncolored};
+  EXPECT_FALSE(is_valid_coloring(g, colors, /*require_complete=*/false));
+}
+
+TEST(Verify, EmptyGraphIsTriviallyValid) {
+  const Csr g = make_empty(4);
+  const std::vector<color_t> colors{0, 0, 0, 0};
+  EXPECT_TRUE(is_valid_coloring(g, colors));
+}
+
+TEST(VerifyDeathTest, SizeMismatchAborts) {
+  const Csr g = make_path(3);
+  const std::vector<color_t> colors{0, 1};
+  EXPECT_DEATH(is_valid_coloring(g, colors), "precondition");
+}
+
+}  // namespace
+}  // namespace gcg

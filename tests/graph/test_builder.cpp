@@ -1,0 +1,75 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcg {
+namespace {
+
+TEST(GraphBuilder, SymmetrizesByDefault) {
+  const Csr g = GraphBuilder::from_edges(3, {{0, 1}});
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(GraphBuilder, DedupsParallelEdges) {
+  const Csr g = GraphBuilder::from_edges(2, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoops) {
+  const Csr g = GraphBuilder::from_edges(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_TRUE(g.has_no_self_loops());
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, KeepsSelfLoopsWhenAsked) {
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  opts.symmetrize = false;
+  const Csr g = GraphBuilder::from_edges(2, {{0, 0}}, opts);
+  EXPECT_FALSE(g.has_no_self_loops());
+}
+
+TEST(GraphBuilder, DirectedWhenSymmetrizeOff) {
+  BuildOptions opts;
+  opts.symmetrize = false;
+  const Csr g = GraphBuilder::from_edges(3, {{0, 1}, {1, 2}}, opts);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_FALSE(g.is_symmetric());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(GraphBuilder, SortedNeighborsAlways) {
+  const Csr g = GraphBuilder::from_edges(5, {{4, 0}, {4, 2}, {4, 1}, {4, 3}});
+  const auto nb = g.neighbors(4);
+  for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(GraphBuilder, BuildConsumesEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(b.pending_edges(), 1u);
+  const Csr g1 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(b.pending_edges(), 0u);
+  const Csr g2 = b.build();  // second build: empty graph, same n
+  EXPECT_EQ(g2.num_edges(), 0u);
+  EXPECT_EQ(g2.num_vertices(), 3u);
+}
+
+TEST(GraphBuilderDeathTest, RejectsOutOfRangeVertex) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.add_edge(0, 2), "precondition");
+}
+
+TEST(GraphBuilder, LargeStarDegrees) {
+  GraphBuilder b(1001);
+  for (vid_t v = 1; v <= 1000; ++v) b.add_edge(0, v);
+  const Csr g = b.build();
+  EXPECT_EQ(g.degree(0), 1000u);
+  for (vid_t v = 1; v <= 1000; ++v) ASSERT_EQ(g.degree(v), 1u);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,68 @@
+#include "graph/gen/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/stats.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(ConfigurationModel, MatchesRegularSequenceExactlyOrClose) {
+  // 3-regular on 100 vertices: stub matching should achieve most degrees.
+  const std::vector<vid_t> degrees(100, 3);
+  const Csr g = make_configuration_model(degrees, 7);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(g.has_no_self_loops());
+  std::uint64_t achieved = g.num_arcs();
+  EXPECT_GE(achieved, 100u * 3 * 9 / 10);  // >= 90% of stubs realized
+  for (vid_t v = 0; v < 100; ++v) ASSERT_LE(g.degree(v), 3u);
+}
+
+TEST(ConfigurationModel, OddStubSumHandled) {
+  const std::vector<vid_t> degrees{3, 2, 2, 2};  // sum 9, odd
+  const Csr g = make_configuration_model(degrees, 1);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_TRUE(g.has_no_self_loops());
+  EXPECT_TRUE(g.is_sorted_unique());
+}
+
+TEST(ConfigurationModel, DeterministicPerSeed) {
+  const auto degrees = power_law_degrees(200, 2.5, 2, 40, 3);
+  const Csr a = make_configuration_model(degrees, 11);
+  const Csr b = make_configuration_model(degrees, 11);
+  EXPECT_TRUE(std::equal(a.col_indices().begin(), a.col_indices().end(),
+                         b.col_indices().begin(), b.col_indices().end()));
+  const Csr c = make_configuration_model(degrees, 12);
+  EXPECT_FALSE(std::equal(a.col_indices().begin(), a.col_indices().end(),
+                          c.col_indices().begin(), c.col_indices().end()));
+}
+
+TEST(PowerLawDegrees, RespectsBoundsAndSkew) {
+  const auto d = power_law_degrees(5000, 2.2, 2, 100, 5);
+  ASSERT_EQ(d.size(), 5000u);
+  vid_t dmin = ~vid_t{0}, dmax = 0;
+  double sum = 0;
+  for (vid_t x : d) {
+    dmin = std::min(dmin, x);
+    dmax = std::max(dmax, x);
+    sum += x;
+  }
+  EXPECT_GE(dmin, 2u);
+  EXPECT_LE(dmax, 100u);
+  EXPECT_GT(dmax, 30u);              // the tail exists
+  EXPECT_LT(sum / 5000.0, 15.0);     // but the mean stays small (skew)
+}
+
+TEST(ConfigurationModel, PowerLawSequenceYieldsSkewedGraph) {
+  const auto degrees = power_law_degrees(2000, 2.3, 2, 80, 9);
+  const Csr g = make_configuration_model(degrees, 9);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.degree_cv, 0.6);
+  EXPECT_GT(s.max_degree, 40u);
+}
+
+}  // namespace
+}  // namespace gcg

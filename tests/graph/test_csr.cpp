@@ -1,0 +1,88 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace gcg {
+namespace {
+
+Csr triangle() {
+  return GraphBuilder::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(Csr, EmptyGraph) {
+  Csr g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(Csr, TriangleBasics) {
+  const Csr g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 2.0);
+}
+
+TEST(Csr, NeighborsAreSortedSpans) {
+  const Csr g = triangle();
+  const auto nb = g.neighbors(1);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 2u);
+}
+
+TEST(Csr, StructureChecks) {
+  const Csr g = triangle();
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(g.has_no_self_loops());
+  EXPECT_TRUE(g.is_sorted_unique());
+}
+
+TEST(Csr, DetectsAsymmetry) {
+  // Directed arc 0->1 only.
+  const Csr g(std::vector<eid_t>{0, 1, 1}, std::vector<vid_t>{1});
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+TEST(Csr, DetectsSelfLoop) {
+  const Csr g(std::vector<eid_t>{0, 1}, std::vector<vid_t>{0});
+  EXPECT_FALSE(g.has_no_self_loops());
+}
+
+TEST(Csr, DetectsUnsortedAndDuplicate) {
+  const Csr unsorted(std::vector<eid_t>{0, 2, 2, 2}, std::vector<vid_t>{2, 1});
+  EXPECT_FALSE(unsorted.is_sorted_unique());
+  const Csr dup(std::vector<eid_t>{0, 2, 2, 2}, std::vector<vid_t>{1, 1});
+  EXPECT_FALSE(dup.is_sorted_unique());
+}
+
+TEST(Csr, ValidateRejectsBadOffsets) {
+  EXPECT_THROW(Csr(std::vector<eid_t>{1, 2}, std::vector<vid_t>{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Csr(std::vector<eid_t>{0, 2, 1}, std::vector<vid_t>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(Csr(std::vector<eid_t>{0, 5}, std::vector<vid_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, ValidateRejectsOutOfRangeColumn) {
+  EXPECT_THROW(Csr(std::vector<eid_t>{0, 1}, std::vector<vid_t>{7}),
+               std::invalid_argument);
+}
+
+TEST(Csr, IsolatedVertices) {
+  const Csr g(std::vector<eid_t>{0, 0, 0, 0}, std::vector<vid_t>{});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,85 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(GraphStats, RegularGraphHasZeroSkew) {
+  const Csr g = make_cycle(100);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_EQ(s.arcs, 200u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.degree_cv, 0.0);
+  EXPECT_NEAR(s.degree_gini, 0.0, 1e-12);
+  EXPECT_EQ(s.connected_components, 1u);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(GraphStats, StarIsMaximallySkewed) {
+  const Csr g = make_star(99);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.max_degree, 99u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_GT(s.degree_cv, 3.0);
+  EXPECT_GT(s.degree_gini, 0.4);
+}
+
+TEST(GraphStats, CountsIsolatedVertices) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const GraphStats s = compute_stats(b.build());
+  EXPECT_EQ(s.isolated_vertices, 3u);
+  EXPECT_EQ(s.connected_components, 4u);  // {0,1} + three singletons
+}
+
+TEST(ConnectedComponents, LabelsAreConsistent) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Csr g = b.build();
+  std::vector<vid_t> labels;
+  EXPECT_EQ(connected_components(g, &labels), 3u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[3]);
+}
+
+TEST(ConnectedComponents, GridIsConnected) {
+  EXPECT_EQ(connected_components(make_grid2d(17, 13)), 1u);
+}
+
+TEST(DegreeHistogram, BucketsMatchDegrees) {
+  const Csr g = make_star(8);  // hub degree 8, leaves degree 1
+  const Histogram h = degree_histogram(g);
+  EXPECT_EQ(h.total(), 9u);
+  // 8 leaves in [1,2); hub (8) in [8,16).
+  std::uint64_t ones = 0, eights = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    if (h.bin_label(b) == "[1,2)") ones = h.count(b);
+    if (h.bin_label(b).rfind("[8,", 0) == 0) eights = h.count(b);
+  }
+  EXPECT_EQ(ones, 8u);
+  EXPECT_EQ(eights, 1u);
+}
+
+TEST(Describe, MentionsKeyFields) {
+  const GraphStats s = compute_stats(make_cycle(10));
+  const std::string d = describe(s);
+  EXPECT_NE(d.find("n=10"), std::string::npos);
+  EXPECT_NE(d.find("cc=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcg

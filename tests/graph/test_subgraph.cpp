@@ -1,0 +1,87 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(InducedSubgraph, KeepsSelectedEdgesOnly) {
+  // Square 0-1-2-3-0 plus diagonal 0-2; keep {0,1,2}.
+  const Csr g = GraphBuilder::from_edges(
+      4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const Subgraph s = induced_subgraph(g, {true, true, true, false});
+  EXPECT_EQ(s.graph.num_vertices(), 3u);
+  EXPECT_EQ(s.graph.num_edges(), 3u);  // 0-1, 1-2, 0-2
+  EXPECT_EQ(s.to_old.size(), 3u);
+  EXPECT_EQ(s.to_new[3], Subgraph::kNotInSubgraph);
+  // Mapping is consistent both ways.
+  for (vid_t nv = 0; nv < 3; ++nv) EXPECT_EQ(s.to_new[s.to_old[nv]], nv);
+}
+
+TEST(InducedSubgraph, EmptyAndFullSelections) {
+  const Csr g = make_cycle(6);
+  const Subgraph none = induced_subgraph(g, std::vector<bool>(6, false));
+  EXPECT_EQ(none.graph.num_vertices(), 0u);
+  const Subgraph all = induced_subgraph(g, std::vector<bool>(6, true));
+  EXPECT_EQ(all.graph.num_vertices(), 6u);
+  EXPECT_EQ(all.graph.num_edges(), 6u);
+}
+
+TEST(KCore, PeelsTreesCompletely) {
+  const Csr g = make_binary_tree(31);
+  EXPECT_EQ(k_core(g, 2).graph.num_vertices(), 0u);
+  EXPECT_EQ(k_core(g, 1).graph.num_vertices(), 31u);
+}
+
+TEST(KCore, CycleWithPendantVertex) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  const Csr g = GraphBuilder::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  const Subgraph core = k_core(g, 2);
+  EXPECT_EQ(core.graph.num_vertices(), 3u);
+  EXPECT_EQ(core.graph.num_edges(), 3u);
+  EXPECT_EQ(core.to_new[3], Subgraph::kNotInSubgraph);
+}
+
+TEST(KCore, CascadingPeel) {
+  // Path 3-4-5 hanging off a triangle: removing 5 reduces 4 below k, etc.
+  const Csr g = GraphBuilder::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}});
+  const Subgraph core = k_core(g, 2);
+  EXPECT_EQ(core.graph.num_vertices(), 3u);
+}
+
+TEST(KCore, BaGraphCoreMatchesDegeneracyBound) {
+  const Csr g = make_barabasi_albert(300, 3, 7);
+  // m=3 attachment: the 3-core is (almost) everything, the 4-core smaller.
+  const Subgraph c3 = k_core(g, 3);
+  EXPECT_GT(c3.graph.num_vertices(), 250u);
+  for (vid_t v = 0; v < c3.graph.num_vertices(); ++v) {
+    ASSERT_GE(c3.graph.degree(v), 3u);
+  }
+}
+
+TEST(LargestComponent, PicksTheBiggest) {
+  GraphBuilder b(10);
+  // Component A: 0-1-2-3 path; component B: 4-5; isolated: 6..9.
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  const Subgraph s = largest_component(b.build());
+  EXPECT_EQ(s.graph.num_vertices(), 4u);
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+}
+
+TEST(LargestComponent, ConnectedGraphIsIdentity) {
+  const Csr g = make_cycle(8);
+  const Subgraph s = largest_component(g);
+  EXPECT_EQ(s.graph.num_vertices(), 8u);
+  for (vid_t v = 0; v < 8; ++v) EXPECT_EQ(s.to_old[v], v);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/random.hpp"
+#include "graph/gen/special.hpp"
+#include "graph/stats.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(Triangles, KnownCounts) {
+  EXPECT_EQ(count_triangles(make_complete(3)), 1u);
+  EXPECT_EQ(count_triangles(make_complete(4)), 4u);
+  EXPECT_EQ(count_triangles(make_complete(6)), 20u);  // C(6,3)
+  EXPECT_EQ(count_triangles(make_cycle(5)), 0u);
+  EXPECT_EQ(count_triangles(make_path(10)), 0u);
+  EXPECT_EQ(count_triangles(make_star(8)), 0u);
+  EXPECT_EQ(count_triangles(make_petersen()), 0u);  // girth 5
+  EXPECT_EQ(count_triangles(make_complete_bipartite(3, 4)), 0u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Csr g = make_erdos_renyi_gnm(60, 240, seed);
+    // O(n^3) brute force.
+    std::uint64_t expected = 0;
+    auto adjacent = [&](vid_t a, vid_t b) {
+      const auto nb = g.neighbors(a);
+      return std::binary_search(nb.begin(), nb.end(), b);
+    };
+    for (vid_t a = 0; a < 60; ++a) {
+      for (vid_t b = a + 1; b < 60; ++b) {
+        if (!adjacent(a, b)) continue;
+        for (vid_t c = b + 1; c < 60; ++c) {
+          if (adjacent(a, c) && adjacent(b, c)) ++expected;
+        }
+      }
+    }
+    EXPECT_EQ(count_triangles(g), expected) << "seed " << seed;
+  }
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(global_clustering(make_complete(8)), 1.0);
+}
+
+TEST(Clustering, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(global_clustering(make_cycle(10)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering(make_empty(5)), 0.0);
+}
+
+TEST(Clustering, BetweenZeroAndOne) {
+  const Csr g = make_erdos_renyi_gnm(200, 800, 7);
+  const double c = global_clustering(g);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+}
+
+}  // namespace
+}  // namespace gcg

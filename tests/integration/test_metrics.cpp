@@ -1,0 +1,58 @@
+#include "metrics/imbalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/runner.hpp"
+#include "graph/gen/grid.hpp"
+#include "graph/gen/powerlaw.hpp"
+
+namespace gcg {
+namespace {
+
+TEST(ImbalanceReport, EmptyLaunchesGiveIdentity) {
+  const ImbalanceReport rep = summarize_launches({}, 64);
+  EXPECT_DOUBLE_EQ(rep.simd_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(rep.cu_max_over_mean, 1.0);
+  EXPECT_DOUBLE_EQ(rep.total_cycles, 0.0);
+}
+
+TEST(ImbalanceReport, AggregatesAcrossLaunches) {
+  const auto cfg = simgpu::test_device();
+  std::vector<simgpu::LaunchResult> launches;
+  launches.push_back(simgpu::dispatch_waves(
+      cfg, 64, 8, [](simgpu::Wave& w) { w.valu(simgpu::Mask::full(8), 4.0); }));
+  launches.push_back(simgpu::dispatch_waves(
+      cfg, 64, 8, [](simgpu::Wave& w) { w.valu(simgpu::Mask(0b1), 4.0); }));
+  const ImbalanceReport rep = summarize_launches(launches, cfg.wavefront_size);
+  // Half the instructions full, half single-lane: eff = (8+1)/16.
+  EXPECT_NEAR(rep.simd_efficiency, 9.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.total_cycles, launches[0].kernel_cycles +
+                                         launches[1].kernel_cycles);
+  EXPECT_GT(rep.group_cycles_max, 0.0);
+  EXPECT_GE(rep.group_cycles_p99, rep.group_cycles_p50);
+}
+
+TEST(ImbalanceReport, RegularVsSkewedGraphOrdering) {
+  // The motivating observation of the paper: the baseline has near-perfect
+  // SIMD efficiency on a grid and poor efficiency on a power-law graph.
+  const auto cfg = simgpu::tahiti();
+  ColoringOptions opts;
+  const auto grid_run =
+      run_coloring(cfg, make_grid2d(64, 64), Algorithm::kBaseline, opts);
+  const auto ba_run = run_coloring(cfg, make_barabasi_albert(4096, 8, 3),
+                                   Algorithm::kBaseline, opts);
+  const auto grid_rep = summarize_launches(grid_run.launches, cfg.wavefront_size);
+  const auto ba_rep = summarize_launches(ba_run.launches, cfg.wavefront_size);
+  EXPECT_GT(grid_rep.simd_efficiency, ba_rep.simd_efficiency + 0.1);
+}
+
+TEST(ActivityPoint, DefaultsAreNeutral) {
+  const ActivityPoint pt;
+  EXPECT_EQ(pt.iteration, 0u);
+  EXPECT_EQ(pt.active_vertices, 0u);
+  EXPECT_DOUBLE_EQ(pt.simd_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(pt.cu_imbalance, 1.0);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,73 @@
+#include "sched/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcg {
+namespace {
+
+TEST(MakeChunks, ExactDivision) {
+  const auto cs = make_chunks(100, 25);
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_EQ(cs[0], (Chunk{0, 25}));
+  EXPECT_EQ(cs[3], (Chunk{75, 100}));
+}
+
+TEST(MakeChunks, ShortTail) {
+  const auto cs = make_chunks(10, 4);
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs[2], (Chunk{8, 10}));
+  EXPECT_EQ(cs[2].size(), 2u);
+}
+
+TEST(MakeChunks, EmptyInput) {
+  EXPECT_TRUE(make_chunks(0, 8).empty());
+}
+
+TEST(MakeChunks, ChunkLargerThanTotal) {
+  const auto cs = make_chunks(3, 100);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0], (Chunk{0, 3}));
+}
+
+TEST(MakeChunks, CoverageIsCompleteAndDisjoint) {
+  for (std::uint32_t total : {1u, 7u, 64u, 1000u}) {
+    for (std::uint32_t size : {1u, 3u, 64u}) {
+      const auto cs = make_chunks(total, size);
+      std::uint32_t expected_begin = 0;
+      for (const Chunk& c : cs) {
+        ASSERT_EQ(c.begin, expected_begin);
+        ASSERT_GT(c.end, c.begin);
+        expected_begin = c.end;
+      }
+      ASSERT_EQ(expected_begin, total);
+    }
+  }
+}
+
+TEST(DealRoundRobin, InterleavesChunks) {
+  const auto per = deal_round_robin(make_chunks(80, 10), 3);
+  ASSERT_EQ(per.size(), 3u);
+  EXPECT_EQ(per[0].size(), 3u);  // chunks 0,3,6
+  EXPECT_EQ(per[1].size(), 3u);  // 1,4,7
+  EXPECT_EQ(per[2].size(), 2u);  // 2,5
+  EXPECT_EQ(per[0][1].begin, 30u);
+  EXPECT_EQ(per[2][0].begin, 20u);
+}
+
+TEST(DealBlocked, ContiguousRuns) {
+  const auto per = deal_blocked(make_chunks(80, 10), 3);
+  ASSERT_EQ(per.size(), 3u);
+  EXPECT_EQ(per[0].size(), 3u);  // chunks 0..2
+  EXPECT_EQ(per[0][2].begin, 20u);
+  EXPECT_EQ(per[1][0].begin, 30u);
+}
+
+TEST(Deal, MoreWorkersThanChunks) {
+  const auto rr = deal_round_robin(make_chunks(16, 8), 5);
+  std::size_t nonempty = 0;
+  for (const auto& q : rr) nonempty += !q.empty();
+  EXPECT_EQ(nonempty, 2u);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,159 @@
+#include "sched/steal_queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simgpu/config.hpp"
+
+namespace gcg {
+namespace {
+
+class StealQueuesTest : public ::testing::Test {
+ protected:
+  simgpu::DeviceConfig cfg = simgpu::test_device();
+  simgpu::Wave make_wave() {
+    return simgpu::Wave(cfg, 0, cfg.wavefront_size, 1024);
+  }
+};
+
+TEST_F(StealQueuesTest, PopOwnDrainsInOrder) {
+  StealQueues q(2);
+  q.fill(deal_round_robin(make_chunks(40, 10), 2));
+  auto w = make_wave();
+  // Worker 0 owns chunks starting at 0 and 20.
+  auto c1 = q.pop_own(w, 0);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->begin, 0u);
+  auto c2 = q.pop_own(w, 0);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->begin, 20u);
+  EXPECT_FALSE(q.pop_own(w, 0).has_value());
+  EXPECT_EQ(q.remaining(0), 0u);
+  EXPECT_EQ(q.remaining(1), 2u);
+}
+
+TEST_F(StealQueuesTest, StealTakesFromVictimTail) {
+  StealQueues q(2);
+  q.fill(deal_round_robin(make_chunks(40, 10), 2));
+  auto w = make_wave();
+  Xoshiro256ss rng(1);
+  // Worker 0's queue: chunks {0,20}. Worker 1 steals -> gets the tail (20).
+  auto drained = q.pop_own(w, 1);  // make worker 1 busy elsewhere first
+  ASSERT_TRUE(drained.has_value());
+  auto stolen = q.steal(w, 1, VictimPolicy::kRing, rng);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->begin, 20u);
+  // Owner still gets the head.
+  auto own = q.pop_own(w, 0);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_EQ(own->begin, 0u);
+  EXPECT_FALSE(q.pop_own(w, 0).has_value());  // tail already stolen
+}
+
+TEST_F(StealQueuesTest, EveryChunkDeliveredExactlyOnce) {
+  // Property: under a random mix of pops and steals, each chunk surfaces
+  // exactly once.
+  for (VictimPolicy policy :
+       {VictimPolicy::kRandom, VictimPolicy::kRichest, VictimPolicy::kRing}) {
+    StealQueues q(4);
+    const auto chunks = make_chunks(256, 8);
+    q.fill(deal_round_robin(chunks, 4));
+    auto w = make_wave();
+    Xoshiro256ss rng(7);
+    std::vector<int> seen(chunks.size(), 0);
+    unsigned turn = 0;
+    while (q.total_remaining() > 0) {
+      const unsigned worker = turn++ % 4;
+      std::optional<Chunk> c = (turn % 3 == 0)
+                                   ? q.steal(w, worker, policy, rng)
+                                   : q.pop_own(w, worker);
+      if (c) ++seen[c->begin / 8];
+    }
+    for (int s : seen) ASSERT_EQ(s, 1) << victim_policy_name(policy);
+  }
+}
+
+TEST_F(StealQueuesTest, StealFailsWhenAllEmpty) {
+  StealQueues q(3);
+  q.fill({{}, {}, {}});
+  auto w = make_wave();
+  Xoshiro256ss rng(2);
+  EXPECT_FALSE(q.pop_own(w, 0).has_value());
+  for (VictimPolicy policy :
+       {VictimPolicy::kRandom, VictimPolicy::kRichest, VictimPolicy::kRing}) {
+    EXPECT_FALSE(q.steal(w, 0, policy, rng).has_value());
+  }
+  EXPECT_EQ(q.stats().steal_hits, 0u);
+  EXPECT_EQ(q.stats().steal_attempts, 3u);
+}
+
+TEST_F(StealQueuesTest, RichestPolicyPicksFullestVictim) {
+  StealQueues q(3);
+  std::vector<std::vector<Chunk>> dist(3);
+  dist[0] = {};                                  // thief
+  dist[1] = make_chunks(10, 10);                 // 1 chunk
+  dist[2] = make_chunks(50, 10);                 // 5 chunks
+  q.fill(dist);
+  auto w = make_wave();
+  Xoshiro256ss rng(3);
+  const auto c = q.steal(w, 0, VictimPolicy::kRichest, rng);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(q.remaining(2), 4u);  // stolen from the fullest
+  EXPECT_EQ(q.remaining(1), 1u);
+}
+
+TEST_F(StealQueuesTest, RichestCostsASweepOfCursorReads) {
+  StealQueues q(8);
+  std::vector<std::vector<Chunk>> dist(8);
+  dist[5] = make_chunks(10, 10);
+  q.fill(dist);
+  auto w = make_wave();
+  Xoshiro256ss rng(3);
+  q.steal(w, 0, VictimPolicy::kRichest, rng);
+  // 7 victims x 2 cursor reads + the successful take (2 reads + chunk).
+  EXPECT_GE(w.cost().mem_transactions, 14u);
+}
+
+TEST_F(StealQueuesTest, QueueOpsChargeAtomics) {
+  StealQueues q(2);
+  q.fill(deal_round_robin(make_chunks(20, 10), 2));
+  auto w = make_wave();
+  q.pop_own(w, 0);
+  EXPECT_EQ(w.cost().atomic_instructions, 1u);
+  EXPECT_GE(w.cost().mem_transactions, 3u);  // 2 cursors + chunk descriptor
+}
+
+TEST_F(StealQueuesTest, StatsTrackPopsAndSteals) {
+  StealQueues q(2);
+  q.fill(deal_round_robin(make_chunks(40, 10), 2));
+  auto w = make_wave();
+  Xoshiro256ss rng(5);
+  q.pop_own(w, 0);
+  q.pop_own(w, 0);
+  q.steal(w, 0, VictimPolicy::kRing, rng);
+  EXPECT_EQ(q.stats().pops, 2u);
+  EXPECT_EQ(q.stats().steal_attempts, 1u);
+  EXPECT_EQ(q.stats().steal_hits, 1u);
+  EXPECT_EQ(q.stats().chunks_stolen, 1u);
+}
+
+TEST_F(StealQueuesTest, TotalRemainingTracksAllQueues) {
+  StealQueues q(2);
+  q.fill(deal_round_robin(make_chunks(40, 10), 2));
+  EXPECT_EQ(q.total_remaining(), 4u);
+  auto w = make_wave();
+  q.pop_own(w, 0);
+  EXPECT_EQ(q.total_remaining(), 3u);
+}
+
+TEST_F(StealQueuesTest, RefillResetsStats) {
+  StealQueues q(2);
+  q.fill(deal_round_robin(make_chunks(20, 10), 2));
+  auto w = make_wave();
+  q.pop_own(w, 0);
+  q.fill(deal_round_robin(make_chunks(20, 10), 2));
+  EXPECT_EQ(q.stats().pops, 0u);
+  EXPECT_EQ(q.total_remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,74 @@
+#include "simgpu/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simgpu/config.hpp"
+
+namespace gcg::simgpu {
+namespace {
+
+class GroupTest : public ::testing::Test {
+ protected:
+  DeviceConfig cfg = test_device();  // wavefront 8, max group 64
+};
+
+TEST_F(GroupTest, WaveGeometryForFullGroup) {
+  Group g(cfg, /*group_id=*/2, /*group_size=*/24, /*grid_size=*/1000);
+  ASSERT_EQ(g.waves().size(), 3u);
+  EXPECT_EQ(g.waves()[0].first_global_id(), 48u);  // 2*24
+  EXPECT_EQ(g.waves()[1].first_global_id(), 56u);
+  EXPECT_EQ(g.waves()[2].first_global_id(), 64u);
+  for (const auto& w : g.waves()) EXPECT_EQ(w.width(), 8u);
+}
+
+TEST_F(GroupTest, PartialTrailingWave) {
+  // Group of 20 = 2 full 8-lane waves + one 4-lane wave.
+  Group g(cfg, 0, 20, 1000);
+  ASSERT_EQ(g.waves().size(), 3u);
+  EXPECT_EQ(g.waves()[2].width(), 4u);
+}
+
+TEST_F(GroupTest, GridEdgeMasksLanes) {
+  // Group 1 of size 16 over a 20-item grid: second wave has 4 valid lanes.
+  Group g(cfg, 1, 16, 20);
+  ASSERT_EQ(g.waves().size(), 2u);
+  EXPECT_EQ(g.waves()[0].valid().count(), 4u);  // ids 16..19 valid
+  EXPECT_EQ(g.waves()[1].valid().count(), 0u);  // ids 24..31 all past edge
+}
+
+TEST_F(GroupTest, LdsAllocationAlignsAndZeroes) {
+  Group g(cfg, 0, 8, 8);
+  auto bytes = g.lds_alloc<std::uint8_t>(3);
+  bytes[0] = 0xFF;
+  auto words = g.lds_alloc<std::uint64_t>(2);  // must be 8-byte aligned
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words.data()) % 8, 0u);
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1], 0u);
+  EXPECT_GE(g.lds_used(), 3u + 16u);
+}
+
+TEST_F(GroupTest, BarrierChargesAllWaves) {
+  Group g(cfg, 0, 24, 1000);
+  g.barrier();
+  g.barrier();
+  for (const auto& w : g.waves()) EXPECT_EQ(w.cost().barriers, 2u);
+}
+
+TEST_F(GroupTest, AttachCacheReachesEveryWave) {
+  CacheSim cache(4096, 64, 2);
+  Group g(cfg, 0, 16, 1000);
+  g.attach_cache(&cache);
+  std::vector<std::uint32_t> mem(8, 1);
+  for (auto& w : g.waves()) {
+    w.load_uniform(std::span<const std::uint32_t>(mem), 0);
+  }
+  EXPECT_EQ(cache.misses(), 1u);  // first wave misses, second hits
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(GroupTest, OversizedGroupAborts) {
+  EXPECT_DEATH(Group(cfg, 0, cfg.max_group_size + 1, 10), "precondition");
+}
+
+}  // namespace
+}  // namespace gcg::simgpu

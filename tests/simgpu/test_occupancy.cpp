@@ -1,0 +1,86 @@
+#include "simgpu/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcg::simgpu {
+namespace {
+
+class OccupancyTest : public ::testing::Test {
+ protected:
+  DeviceConfig cfg = tahiti();  // 4 SIMDs, 40 waves/CU, 32 KiB LDS/group
+};
+
+TEST_F(OccupancyTest, LightKernelReachesFullResidency) {
+  KernelResources res;
+  res.vgprs_per_lane = 24;  // 1024/24 = 42 > 10 waves/SIMD
+  res.lds_bytes_per_group = 0;
+  res.group_size = 256;
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_EQ(rep.waves_per_cu, 40u);
+  EXPECT_EQ(rep.groups_per_cu, 10u);
+  EXPECT_STREQ(rep.limiting_factor, "wave-slots");
+}
+
+TEST_F(OccupancyTest, VgprPressureHalvesOccupancy) {
+  KernelResources res;
+  res.vgprs_per_lane = 200;  // 1024/200 = 5 waves/SIMD -> 20/CU
+  res.group_size = 256;
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_EQ(rep.limit_by_vgprs, 20u);
+  EXPECT_EQ(rep.waves_per_cu, 20u);
+  EXPECT_STREQ(rep.limiting_factor, "vgprs");
+}
+
+TEST_F(OccupancyTest, LdsBoundsGroups) {
+  KernelResources res;
+  res.vgprs_per_lane = 16;
+  res.lds_bytes_per_group = 32768;  // 64 KiB CU budget -> 2 groups
+  res.group_size = 256;             // 4 waves per group
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_EQ(rep.limit_by_lds, 8u);
+  EXPECT_EQ(rep.groups_per_cu, 2u);
+  EXPECT_EQ(rep.waves_per_cu, 8u);
+  EXPECT_STREQ(rep.limiting_factor, "lds");
+}
+
+TEST_F(OccupancyTest, SgprPressure) {
+  KernelResources res;
+  res.vgprs_per_lane = 16;
+  res.sgprs_per_wave = 256;  // 512/256 = 2 waves/SIMD -> 8/CU
+  res.group_size = 64;
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_EQ(rep.limit_by_sgprs, 8u);
+  EXPECT_EQ(rep.waves_per_cu, 8u);
+  EXPECT_STREQ(rep.limiting_factor, "sgprs");
+}
+
+TEST_F(OccupancyTest, WholeGroupAllocation) {
+  // 15 waves would fit by registers, but groups of 4 waves allocate whole:
+  // 3 groups = 12 waves.
+  KernelResources res;
+  res.vgprs_per_lane = 273;  // 1024/273 = 3 waves/SIMD -> 12... pick to land
+  res.group_size = 320;      // 5 waves per group
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_EQ(rep.waves_per_cu % 5, 0u);
+  EXPECT_EQ(rep.groups_per_cu, rep.waves_per_cu / 5);
+}
+
+TEST_F(OccupancyTest, MonsterKernelDoesNotFit) {
+  KernelResources res;
+  res.vgprs_per_lane = 1024;  // 1 wave/SIMD = 4/CU
+  res.group_size = 1024;      // 16 waves per group: group never fits
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_EQ(rep.waves_per_cu, 0u);
+  EXPECT_STREQ(rep.limiting_factor, "group-does-not-fit");
+}
+
+TEST_F(OccupancyTest, ZeroLdsMeansNoLdsLimit) {
+  KernelResources res;
+  res.lds_bytes_per_group = 0;
+  res.group_size = 64;
+  const OccupancyReport rep = occupancy(cfg, res);
+  EXPECT_GE(rep.limit_by_lds, rep.waves_per_cu);
+}
+
+}  // namespace
+}  // namespace gcg::simgpu

@@ -1,0 +1,76 @@
+#include "simgpu/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gcg::simgpu {
+namespace {
+
+Device make_device_with_history() {
+  Device dev(test_device());
+  dev.launch_waves(64, 8, [](Wave& w) { w.valu(Mask::full(8), 5.0); });
+  dev.launch_waves(32, 8, [](Wave& w) { w.valu(Mask(0b1), 2.0); });
+  return dev;
+}
+
+TEST(Trace, EmitsValidJsonStructure) {
+  const Device dev = make_device_with_history();
+  std::ostringstream os;
+  write_chrome_trace(os, dev, {"phaseA", "phaseB"});
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"phaseA\""), std::string::npos);
+  EXPECT_NE(json.find("\"phaseB\""), std::string::npos);
+  EXPECT_NE(json.find("simd efficiency"), std::string::npos);
+  EXPECT_NE(json.find("cu imbalance"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, DefaultLabelsAndDurations) {
+  const Device dev = make_device_with_history();
+  std::ostringstream os;
+  write_chrome_trace(os, dev);
+  EXPECT_NE(os.str().find("kernel 0"), std::string::npos);
+  EXPECT_NE(os.str().find("kernel 1"), std::string::npos);
+  EXPECT_NE(os.str().find("\"dur\":"), std::string::npos);
+}
+
+TEST(Trace, EscapesQuotesInNames) {
+  const Device dev = make_device_with_history();
+  std::ostringstream os;
+  write_chrome_trace(os, dev, {"say \"hi\""});
+  EXPECT_NE(os.str().find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(Trace, WritesFile) {
+  const Device dev = make_device_with_history();
+  const std::string path = std::string(::testing::TempDir()) + "/gcg_trace.json";
+  write_chrome_trace_file(path, dev);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FileErrorThrows) {
+  const Device dev = make_device_with_history();
+  EXPECT_THROW(write_chrome_trace_file("/nonexistent/dir/x.json", dev),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcg::simgpu

@@ -1,0 +1,83 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcg {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make({"--graph", "rmat", "--scale", "2"});
+  EXPECT_EQ(cli.get("graph", ""), "rmat");
+  EXPECT_EQ(cli.get_int("scale", 0), 2);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make({"--graph=rmat", "--p=0.25"});
+  EXPECT_EQ(cli.get("graph", ""), "rmat");
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.25);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  auto cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.get_bool("quiet"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto cli = make({});
+  EXPECT_EQ(cli.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, PositionalArguments) {
+  auto cli = make({"input.mtx", "output.col", "--fast"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.mtx");
+  EXPECT_EQ(cli.positional()[1], "output.col");
+  EXPECT_TRUE(cli.get_bool("fast"));
+}
+
+TEST(Cli, BareFlagConsumesFollowingToken) {
+  // Documented semantics: a non-dashed token after --name is its value, so
+  // flags mixed with positionals must use --name=value form.
+  auto cli = make({"--fast", "output.col"});
+  EXPECT_EQ(cli.get("fast", ""), "output.col");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, BoolSpellings) {
+  auto cli = make({"--a=true", "--b=1", "--c=yes", "--d=on", "--e=false", "--f=0"});
+  EXPECT_TRUE(cli.get_bool("a"));
+  EXPECT_TRUE(cli.get_bool("b"));
+  EXPECT_TRUE(cli.get_bool("c"));
+  EXPECT_TRUE(cli.get_bool("d"));
+  EXPECT_FALSE(cli.get_bool("e"));
+  EXPECT_FALSE(cli.get_bool("f"));
+}
+
+TEST(Cli, UnusedDetectsTypos) {
+  auto cli = make({"--graphh", "rmat", "--n", "10"});
+  (void)cli.get_int("n", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "graphh");
+}
+
+TEST(Cli, ValueStartingWithDashesBecomesNextOption) {
+  // "--a --b": a is a bare flag, b too.
+  auto cli = make({"--a", "--b"});
+  EXPECT_TRUE(cli.get_bool("a"));
+  EXPECT_TRUE(cli.get_bool("b"));
+}
+
+}  // namespace
+}  // namespace gcg

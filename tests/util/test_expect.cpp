@@ -1,0 +1,31 @@
+#include "util/expect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcg {
+namespace {
+
+TEST(ExpectDeathTest, MacrosAbortWithKindAndLocation) {
+  EXPECT_DEATH(GCG_EXPECT(1 == 2), "precondition violated: 1 == 2");
+  EXPECT_DEATH(GCG_ENSURE(false), "postcondition violated");
+  EXPECT_DEATH(GCG_ASSERT(0 > 1), "invariant violated");
+}
+
+TEST(Expect, PassingConditionsAreSilent) {
+  GCG_EXPECT(true);
+  GCG_ENSURE(2 + 2 == 4);
+  GCG_ASSERT(!false);
+  SUCCEED();
+}
+
+TEST(Expect, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  GCG_EXPECT([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gcg

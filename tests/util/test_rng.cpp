@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gcg {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, KnownFirstValue) {
+  // Reference value from the SplitMix64 reference implementation, seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  for (int bit = 0; bit < 64; bit += 7) {
+    const std::uint64_t a = mix64(0x123456789abcdefULL);
+    const std::uint64_t b = mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    const int flipped = std::popcount(a ^ b);
+    EXPECT_GT(flipped, 16) << "bit " << bit;
+    EXPECT_LT(flipped, 48) << "bit " << bit;
+  }
+}
+
+TEST(Xoshiro, DeterministicStream) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, BoundedStaysInRange) {
+  Xoshiro256ss rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BoundedZeroReturnsZero) {
+  Xoshiro256ss rng(3);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro, BoundedCoversSmallRangeUniformly) {
+  Xoshiro256ss rng(11);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.bounded(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 8 * 0.9);
+    EXPECT_LT(c, trials / 8 * 1.1);
+  }
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256ss rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256ss>);
+  SUCCEED();
+}
+
+TEST(CounterHash, StatelessAndDeterministic) {
+  const CounterHash h(99);
+  EXPECT_EQ(h(0), CounterHash(99)(0));
+  EXPECT_EQ(h(12345), CounterHash(99)(12345));
+}
+
+TEST(CounterHash, DistinctCountersDistinctValues) {
+  const CounterHash h(1);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < 10000; ++c) seen.insert(h(c));
+  EXPECT_EQ(seen.size(), 10000u);  // 64-bit collisions would be astonishing
+}
+
+TEST(CounterHash, SeedChangesEverything) {
+  const CounterHash a(1), b(2);
+  int same = 0;
+  for (std::uint64_t c = 0; c < 1000; ++c) same += (a(c) == b(c));
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterHash, U32PrioritiesWellSpread) {
+  const CounterHash h(7);
+  std::vector<int> buckets(16, 0);
+  const int trials = 64000;
+  for (int c = 0; c < trials; ++c) ++buckets[h.u32(c) >> 28];
+  for (int b : buckets) {
+    EXPECT_GT(b, trials / 16 * 0.9);
+    EXPECT_LT(b, trials / 16 * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace gcg

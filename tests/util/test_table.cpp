@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gcg {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"graph", "n", "time"});
+  t.add_row({std::string("grid"), std::int64_t{65536}, 3.14159});
+  t.add_row({std::string("rmat-wide"), std::int64_t{7}, 0.5});
+  const std::string a = t.to_ascii();
+  // Every data/header line must have equal length (box alignment).
+  std::istringstream is(a);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+  EXPECT_NE(a.find("grid"), std::string::npos);
+  EXPECT_NE(a.find("65536"), std::string::npos);
+  EXPECT_NE(a.find("3.142"), std::string::npos);  // default precision 3
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"x"});
+  t.precision(1);
+  t.add_row({2.71828});
+  EXPECT_NE(t.to_ascii().find("2.7"), std::string::npos);
+  EXPECT_EQ(t.to_ascii().find("2.72"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsContent) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x"), std::int64_t{1}});
+  t.add_row({std::string("y"), std::int64_t{2}});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"name"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, TitleAppearsInAscii) {
+  Table t({"x"});
+  t.title("My Experiment");
+  t.add_row({std::int64_t{1}});
+  EXPECT_NE(t.to_ascii().find("== My Experiment =="), std::string::npos);
+}
+
+TEST(Table, PrintEmitsBothForms) {
+  Table t({"x"});
+  t.add_row({std::int64_t{5}});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("--- csv ---"), std::string::npos);
+  EXPECT_NE(os.str().find("+"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({std::string("only-one")}), "precondition");
+}
+
+}  // namespace
+}  // namespace gcg
