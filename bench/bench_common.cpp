@@ -16,8 +16,10 @@ std::vector<std::string> split_csv(const std::string& s) {
 }
 }  // namespace
 
-BenchEnv parse_env(int argc, char** argv, const std::string& experiment) {
+BenchEnv parse_env(int argc, char** argv, const std::string& experiment,
+                   const std::vector<std::string>& extra_flags) {
   const Cli cli(argc, argv);
+  for (const auto& f : extra_flags) (void)cli.has(f);
   BenchEnv env;
   env.suite.scale = cli.get_double("scale", 0.5);
   env.suite.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

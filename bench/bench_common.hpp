@@ -8,6 +8,7 @@
 // and prints an ASCII table followed by a CSV block (Table::print).
 #pragma once
 
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,7 +29,10 @@ struct BenchEnv {
 };
 
 /// Parse the common flags; prints a one-line banner describing the run.
-BenchEnv parse_env(int argc, char** argv, const std::string& experiment);
+/// `extra_flags` names flags the caller parses itself (suppresses the
+/// unused-flag typo warning for them).
+BenchEnv parse_env(int argc, char** argv, const std::string& experiment,
+                   const std::vector<std::string>& extra_flags = {});
 
 /// Build the selected suite graphs.
 std::vector<SuiteEntry> load_graphs(const BenchEnv& env);
@@ -40,5 +44,44 @@ ColoringRun run(const BenchEnv& env, const Csr& g, Algorithm a,
 
 /// "1.234x" speedup formatting helper value.
 double speedup(double baseline_cycles, double cycles);
+
+// --- wall-clock timing (native backend rows) -------------------------------
+// The simulated backend reports model cycles; the par backend reports real
+// steady_clock time. These helpers keep the two kinds of rows comparable:
+// same units (ms), same best-of-N protocol.
+
+/// Steady-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Wall milliseconds for one call of fn.
+template <typename F>
+double time_ms(F&& fn) {
+  WallTimer t;
+  fn();
+  return t.elapsed_ms();
+}
+
+/// Best-of-`repeats` wall milliseconds — the usual noise-resistant protocol.
+template <typename F>
+double best_time_ms(int repeats, F&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double ms = time_ms(fn);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
 
 }  // namespace gcg::bench

@@ -1,8 +1,11 @@
 // Command-line coloring tool: load a graph file (.mtx/.col/.el/.gbin),
 // color it with a chosen algorithm, verify, and optionally write the
-// color assignment.
+// color assignment. Runs on the simulated GPU (default) or the native
+// multicore backend.
 //
-//   ./examples/color_tool graph.mtx [--algorithm hybrid+steal]
+//   ./examples/color_tool graph.mtx [--backend sim|par]
+//                                   [--algorithm hybrid+steal]
+//                                   [--threads N]   (par backend)
 //                                   [--order natural] [--out colors.txt]
 //                                   [--seed 1] [--stats]
 #include <fstream>
@@ -14,17 +17,96 @@
 #include "graph/io/io.hpp"
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
+#include "par/runner.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+void write_colors(const gcg::Cli& cli, std::span<const gcg::color_t> colors) {
+  const std::string out = cli.get("out", "");
+  if (out.empty()) return;
+  std::ofstream os(out);
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    os << v << ' ' << colors[v] << '\n';
+  }
+  std::cout << "wrote " << out << '\n';
+}
+
+int run_sim(const gcg::Cli& cli, const gcg::Csr& g) {
+  using namespace gcg;
+  const Algorithm algo =
+      algorithm_from_name(cli.get("algorithm", "hybrid+steal"));
+  ColoringOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opts.collect_launches = false;
+
+  const ColoringRun run = run_coloring(simgpu::tahiti(), g, algo, opts);
+  if (const auto violation = find_violation(g, run.colors)) {
+    std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
+    return 1;
+  }
+
+  const QualityReport q = analyze_quality(g, run.colors);
+  std::cout << "backend:     sim\n"
+            << "algorithm:   " << algorithm_name(algo) << '\n'
+            << "colors:      " << run.num_colors << '\n'
+            << "iterations:  " << run.iterations << '\n'
+            << "sim cycles:  " << run.total_cycles << '\n'
+            << "model time:  " << run.total_ms << " ms\n"
+            << "parallelism: " << q.mean_parallelism
+            << " vertices/color class (mean)\n";
+  write_colors(cli, run.colors);
+  return 0;
+}
+
+int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
+  using namespace gcg;
+  const par::ParAlgorithm algo =
+      par::par_algorithm_from_name(cli.get("algorithm", "steal"));
+  par::ParOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+
+  const par::ParRun run = par::run_par_coloring(g, algo, opts);
+  if (const auto violation = find_violation(g, run.colors)) {
+    std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
+    return 1;
+  }
+
+  const QualityReport q = analyze_quality(g, run.colors);
+  std::cout << "backend:     par (" << run.threads << " threads)\n"
+            << "algorithm:   " << par_algorithm_name(algo) << '\n'
+            << "colors:      " << run.num_colors << '\n'
+            << "iterations:  " << run.iterations << '\n'
+            << "wall time:   " << run.wall_ms << " ms\n"
+            << "imbalance:   " << run.imbalance.cu_max_over_mean
+            << " max/mean worker busy\n"
+            << "parallelism: " << q.mean_parallelism
+            << " vertices/color class (mean)\n";
+  if (run.steal.steal_attempts > 0) {
+    std::cout << "steals:      " << run.steal.steal_hits << '/'
+              << run.steal.steal_attempts << " hits ("
+              << run.steal.chunks_stolen << " chunks)\n";
+  }
+  write_colors(cli, run.colors);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gcg;
   const Cli cli(argc, argv);
   if (cli.positional().empty()) {
     std::cerr << "usage: color_tool <graph.{mtx,col,el,gbin}> "
-                 "[--algorithm NAME] [--order NAME] [--out FILE] [--seed N] "
-                 "[--stats]\n";
-    std::cerr << "algorithms:";
+                 "[--backend sim|par] [--algorithm NAME] [--threads N] "
+                 "[--order NAME] [--out FILE] [--seed N] [--stats]\n";
+    std::cerr << "sim algorithms:";
     for (Algorithm a : all_algorithms()) std::cerr << ' ' << algorithm_name(a);
+    std::cerr << "\npar algorithms:";
+    for (par::ParAlgorithm a : par::all_par_algorithms()) {
+      std::cerr << ' ' << par::par_algorithm_name(a);
+    }
     std::cerr << '\n';
     return 2;
   }
@@ -39,38 +121,13 @@ int main(int argc, char** argv) {
       std::cout << degree_histogram(g).render();
     }
 
-    const Algorithm algo =
-        algorithm_from_name(cli.get("algorithm", "hybrid+steal"));
-    ColoringOptions opts;
-    opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-    opts.collect_launches = false;
-
-    const ColoringRun run = run_coloring(simgpu::tahiti(), g, algo, opts);
-    if (const auto violation = find_violation(g, run.colors)) {
-      std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
-      return 1;
-    }
-
-    const QualityReport q = analyze_quality(g, run.colors);
-    std::cout << "algorithm:   " << algorithm_name(algo) << '\n'
-              << "colors:      " << run.num_colors << '\n'
-              << "iterations:  " << run.iterations << '\n'
-              << "sim cycles:  " << run.total_cycles << '\n'
-              << "model time:  " << run.total_ms << " ms\n"
-              << "parallelism: " << q.mean_parallelism
-              << " vertices/color class (mean)\n";
-
-    const std::string out = cli.get("out", "");
-    if (!out.empty()) {
-      std::ofstream os(out);
-      for (std::size_t v = 0; v < run.colors.size(); ++v) {
-        os << v << ' ' << run.colors[v] << '\n';
-      }
-      std::cout << "wrote " << out << '\n';
-    }
+    const std::string backend = cli.get("backend", "sim");
+    if (backend == "sim") return run_sim(cli, g);
+    if (backend == "par") return run_par(cli, g);
+    std::cerr << "error: unknown backend '" << backend << "' (sim|par)\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  return 0;
 }

@@ -1,6 +1,7 @@
 #include "coloring/priorities.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -10,6 +11,7 @@ const char* priority_mode_name(PriorityMode m) {
   switch (m) {
     case PriorityMode::kRandom: return "random";
     case PriorityMode::kDegreeBiased: return "degree-biased";
+    case PriorityMode::kNaturalOrder: return "natural";
   }
   return "?";
 }
@@ -29,6 +31,11 @@ std::vector<std::uint32_t> make_priorities(const Csr& g, PriorityMode mode,
       for (vid_t v = 0; v < n; ++v) {
         const std::uint32_t d = std::min<vid_t>(g.degree(v), 0xFFFu);
         prio[v] = (d << 20) | (hash.u32(v) & 0xFFFFFu);
+      }
+      break;
+    case PriorityMode::kNaturalOrder:
+      for (vid_t v = 0; v < n; ++v) {
+        prio[v] = std::numeric_limits<std::uint32_t>::max() - v;
       }
       break;
   }

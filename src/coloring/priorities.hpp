@@ -15,6 +15,11 @@ namespace gcg {
 enum class PriorityMode {
   kRandom,       ///< priority = hash(seed, v)
   kDegreeBiased, ///< high degree wins ties toward earlier coloring
+  kNaturalOrder, ///< lower vertex id = higher priority. Jones–Plassmann
+                 ///< selection under this order reproduces sequential
+                 ///< first-fit greedy in natural order exactly (any
+                 ///< schedule/thread count), at the cost of longer
+                 ///< dependency chains than random priorities.
 };
 
 const char* priority_mode_name(PriorityMode m);

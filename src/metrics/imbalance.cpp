@@ -42,4 +42,22 @@ ImbalanceReport summarize_launches(
   return rep;
 }
 
+ImbalanceReport summarize_worker_times(const std::vector<double>& busy_ms) {
+  ImbalanceReport rep;
+  if (busy_ms.empty()) return rep;
+  RunningStats stats;
+  SampleStats samples;
+  for (double b : busy_ms) {
+    stats.add(b);
+    samples.add(b);
+    rep.total_cycles += b;
+  }
+  rep.cu_max_over_mean = std::max(1.0, stats.max_over_mean());
+  rep.cu_cv = stats.cv();
+  rep.group_cycles_p50 = samples.percentile(50);
+  rep.group_cycles_p99 = samples.percentile(99);
+  rep.group_cycles_max = samples.summary().max();
+  return rep;
+}
+
 }  // namespace gcg

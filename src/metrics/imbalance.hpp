@@ -23,6 +23,11 @@ struct ImbalanceReport {
 ImbalanceReport summarize_launches(const std::vector<simgpu::LaunchResult>& launches,
                                    unsigned wavefront_size);
 
+/// Skew of per-worker busy times from the native multicore backend. The
+/// cu_* fields read "per worker" and the *_cycles fields carry the input
+/// unit (milliseconds); simd/memory fields stay at their defaults.
+ImbalanceReport summarize_worker_times(const std::vector<double>& busy_ms);
+
 /// Per-iteration activity trace of an iterative coloring run.
 struct ActivityPoint {
   unsigned iteration = 0;

@@ -1,0 +1,76 @@
+// Native parallel Jones–Plassmann–Luby: each round selects the vertices
+// whose priority beats every uncolored neighbour (an independent set by
+// construction of the strict total order) and commits them with first-fit.
+// Colors are only read in the winner-flag phase and only written in the
+// commit phase, and a committed vertex never has a committed neighbour in
+// the same round — so the result is deterministic at any thread count.
+#include <numeric>
+
+#include "par/detail/driver.hpp"
+
+namespace gcg::par::detail {
+
+void run_jpl(DriverState& st) {
+  const vid_t n = st.g.num_vertices();
+  if (n == 0) return;
+  std::vector<vid_t> worklist(n);
+  std::iota(worklist.begin(), worklist.end(), vid_t{0});
+  std::vector<vid_t> next(n);
+  std::vector<std::uint8_t> wins(n, 0);
+  std::uint32_t wsize = n;
+
+  std::vector<FirstFitScratch> scratch(st.pool.size(),
+                                       FirstFitScratch(st.g.max_degree()));
+  const std::uint32_t grain = 512;
+
+  while (wsize > 0) {
+    GCG_ASSERT(st.run.iterations < st.opts.max_iterations);
+    ++st.run.iterations;
+
+    // Phase 1: winner flags against the stable color array.
+    st.pool.parallel_for(wsize, grain, [&](std::uint32_t b, std::uint32_t e,
+                                           unsigned w) {
+      ParWorkerStats& ws = st.run.workers[w];
+      BusyTimer timer(ws);
+      for (std::uint32_t i = b; i < e; ++i) {
+        const vid_t v = worklist[i];
+        bool win = true;
+        for (vid_t u : st.g.neighbors(v)) {
+          if (load_color(st.colors[u]) == kUncolored &&
+              !priority_less(st.prio[u], u, st.prio[v], v)) {
+            win = false;
+            break;
+          }
+        }
+        wins[v] = win ? 1 : 0;
+      }
+      ws.vertices += e - b;
+    });
+
+    // Phase 2: winners commit first-fit (their neighbours cannot be
+    // winners, so the reads are stable); losers survive into next round.
+    FrontierAppender app{next};
+    st.pool.parallel_for(wsize, grain, [&](std::uint32_t b, std::uint32_t e,
+                                           unsigned w) {
+      BusyTimer timer(st.run.workers[w]);
+      std::vector<vid_t> losers;
+      for (std::uint32_t i = b; i < e; ++i) {
+        const vid_t v = worklist[i];
+        if (wins[v]) {
+          store_color(st.colors[v], scratch[w].first_fit(st.g, st.colors, v));
+        } else {
+          losers.push_back(v);
+        }
+      }
+      if (!losers.empty()) {
+        std::uint32_t at = app.claim(static_cast<std::uint32_t>(losers.size()));
+        for (vid_t v : losers) next[at++] = v;
+      }
+    });
+
+    wsize = app.counter.load(std::memory_order_relaxed);
+    worklist.swap(next);
+  }
+}
+
+}  // namespace gcg::par::detail

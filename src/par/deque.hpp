@@ -1,0 +1,115 @@
+// Chase–Lev work-stealing deque: single owner pushes/pops at the bottom,
+// any number of thieves steal from the top. Lock-free; memory orderings
+// follow Lê, Pop, Cohen, Nardelli ("Correct and Efficient Work-Stealing
+// for Weak Memory Models", PPoPP'13).
+//
+// Fixed capacity, no growth path: each coloring round fills a deque once
+// and drains it, so the owner never pushes more than `capacity` items
+// between reset()s and ring slots are never recycled while thieves race.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace gcg::par {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::uint32_t capacity = 256) {
+    reserve(capacity);
+  }
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only, while no thief is active. Rounds capacity up to a power
+  /// of two and empties the deque.
+  void reserve(std::uint32_t capacity) {
+    std::uint32_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buffer_.assign(cap, T{});
+    mask_ = cap - 1;
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner only, while no thief is active: rewind to empty without
+  /// touching the buffer (the cheap between-rounds reset).
+  void reset() {
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(buffer_.size());
+  }
+
+  /// Racy size hint for victim selection — may be stale, never negative.
+  std::int64_t size_estimate() const {
+    const std::int64_t d = bottom_.load(std::memory_order_relaxed) -
+                           top_.load(std::memory_order_relaxed);
+    return d > 0 ? d : 0;
+  }
+
+  /// Owner only.
+  void push_bottom(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    GCG_ASSERT(b - t < static_cast<std::int64_t>(buffer_.size()));
+    buffer_[static_cast<std::size_t>(b) & mask_] = item;
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: LIFO pop from the bottom.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T item = buffer_[static_cast<std::size_t>(b) & mask_];
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return item;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);  // was already empty
+    return std::nullopt;
+  }
+
+  /// Any thread: FIFO steal from the top. nullopt = empty or lost a race
+  /// (callers must distinguish via external remaining-work accounting).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      T item = buffer_[static_cast<std::size_t>(t) & mask_];
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;
+      }
+      return item;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace gcg::par

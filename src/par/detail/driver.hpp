@@ -1,0 +1,104 @@
+// Shared state for the native parallel coloring algorithms — the par
+// analogue of coloring/detail/driver.hpp. Internal header.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "par/pool.hpp"
+#include "par/runner.hpp"
+#include "util/expect.hpp"
+
+namespace gcg::par::detail {
+
+struct DriverState {
+  DriverState(ThreadPool& p, const Csr& graph, const ParOptions& options,
+              ParAlgorithm algorithm)
+      : g(graph),
+        opts(options),
+        pool(p),
+        prio(make_priorities(graph, options.priority, options.seed)),
+        colors(graph.num_vertices(), kUncolored) {
+    run.algorithm = algorithm;
+    run.threads = pool.size();
+    run.workers.resize(pool.size());
+  }
+
+  const Csr& g;
+  const ParOptions& opts;
+  ThreadPool& pool;
+  std::vector<std::uint32_t> prio;
+  std::vector<color_t> colors;
+  ParRun run;
+};
+
+/// Relaxed atomic view of a color slot. Phase barriers order everything
+/// that matters; the relaxed accesses only make the benign races of the
+/// speculative kernel well-defined (and TSan-clean).
+inline color_t load_color(const color_t& slot) {
+  return std::atomic_ref<const color_t>(slot).load(std::memory_order_relaxed);
+}
+inline void store_color(color_t& slot, color_t c) {
+  std::atomic_ref<color_t>(slot).store(c, std::memory_order_relaxed);
+}
+
+/// Per-worker first-fit scratch: forbidden[c] == stamp marks color c as
+/// taken by a neighbour. Stamping avoids clearing between vertices.
+struct FirstFitScratch {
+  explicit FirstFitScratch(vid_t max_degree)
+      : forbidden(static_cast<std::size_t>(max_degree) + 2, 0) {}
+
+  /// Smallest color unused by v's neighbours, read through load_color.
+  color_t first_fit(const Csr& g, std::span<const color_t> colors, vid_t v) {
+    ++stamp;
+    for (vid_t u : g.neighbors(v)) {
+      const color_t c = load_color(colors[u]);
+      if (c != kUncolored && static_cast<std::size_t>(c) < forbidden.size()) {
+        forbidden[static_cast<std::size_t>(c)] = stamp;
+      }
+    }
+    color_t c = 0;
+    while (forbidden[static_cast<std::size_t>(c)] == stamp) ++c;
+    return c;
+  }
+
+  std::vector<std::uint64_t> forbidden;
+  std::uint64_t stamp = 0;
+};
+
+/// Accumulates busy time into one worker's stats on scope exit.
+class BusyTimer {
+ public:
+  explicit BusyTimer(ParWorkerStats& stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~BusyTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    stats_.busy_ms +=
+        std::chrono::duration<double, std::milli>(end - start_).count();
+  }
+
+ private:
+  ParWorkerStats& stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Concurrent append of surviving vertices into a preallocated frontier.
+struct FrontierAppender {
+  std::vector<vid_t>& out;
+  std::atomic<std::uint32_t> counter{0};
+
+  /// Reserve `count` slots; returns the first index.
+  std::uint32_t claim(std::uint32_t count) {
+    const std::uint32_t at =
+        counter.fetch_add(count, std::memory_order_relaxed);
+    GCG_ASSERT(at + count <= out.size());
+    return at;
+  }
+};
+
+void run_speculative(DriverState& st);
+void run_jpl(DriverState& st);
+void run_steal(DriverState& st);
+
+}  // namespace gcg::par::detail

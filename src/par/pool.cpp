@@ -1,0 +1,81 @@
+#include "par/pool.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg::par {
+
+unsigned ThreadPool::default_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned total = threads == 0 ? default_threads() : threads;
+  helpers_.reserve(total - 1);
+  for (unsigned w = 1; w < total; ++w) {
+    helpers_.emplace_back([this, w] { helper_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void ThreadPool::helper_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const auto* job = job_;
+    lock.unlock();
+    (*job)(worker);
+    lock.lock();
+    if (--outstanding_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& body) {
+  if (helpers_.empty()) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GCG_ASSERT(outstanding_ == 0);  // reentrant run() would deadlock
+    job_ = &body;
+    outstanding_ = static_cast<unsigned>(helpers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::uint32_t n, std::uint32_t grain,
+    const std::function<void(std::uint32_t, std::uint32_t, unsigned)>& body) {
+  if (n == 0) return;
+  grain = std::max(grain, 1u);
+  std::atomic<std::uint32_t> cursor{0};
+  run([&](unsigned worker) {
+    while (true) {
+      const std::uint32_t begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      body(begin, std::min(begin + grain, n), worker);
+    }
+  });
+}
+
+}  // namespace gcg::par

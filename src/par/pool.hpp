@@ -1,0 +1,57 @@
+// Reusable native thread pool for the multicore backend: a fixed team of
+// OS threads executing fork-join parallel regions. The calling thread is
+// always worker 0, so a 1-thread pool runs everything inline — that is
+// what makes the 1-thread par run bit-identical to a sequential execution.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcg::par {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency(). The pool spawns
+  /// threads-1 helpers; the caller participates as worker 0.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(helpers_.size()) + 1; }
+
+  /// Runs body(worker) exactly once on every worker and returns when all
+  /// of them finished (a full barrier). Not reentrant: body must not call
+  /// run()/parallel_for() on the same pool.
+  void run(const std::function<void(unsigned)>& body);
+
+  /// Chunked parallel-for over [0, n): workers grab `grain`-sized ranges
+  /// from a shared cursor until the range is exhausted (self-balancing for
+  /// mildly irregular work; use StealPool for heavy-tailed work).
+  /// body(begin, end, worker).
+  void parallel_for(std::uint32_t n, std::uint32_t grain,
+                    const std::function<void(std::uint32_t, std::uint32_t,
+                                             unsigned)>& body);
+
+  /// hardware_concurrency(), never 0.
+  static unsigned default_threads();
+
+ private:
+  void helper_loop(unsigned worker);
+
+  std::vector<std::thread> helpers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gcg::par

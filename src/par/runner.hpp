@@ -1,0 +1,77 @@
+// Public entry point for the native multicore backend: pick a parallel
+// algorithm, get a colored graph plus real wall-clock timing, per-worker
+// busy times, and steal statistics. The counterpart of coloring/runner.hpp
+// for runs on actual hardware threads instead of the simulated GPU.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "coloring/priorities.hpp"
+#include "graph/csr.hpp"
+#include "metrics/imbalance.hpp"
+#include "sched/steal_queues.hpp"  // VictimPolicy, StealStats
+
+namespace gcg::par {
+
+class ThreadPool;
+
+enum class ParAlgorithm {
+  kSpeculative,  ///< speculative greedy + iterative conflict resolution
+                 ///< (Gebremedhin–Manne); 1 thread == seq first-fit greedy
+  kJpl,          ///< parallel Jones–Plassmann–Luby: priority-maximal
+                 ///< independent sets, first-fit commit. Deterministic for
+                 ///< a fixed seed at any thread count.
+  kSteal,        ///< worklist max-min on per-worker Chase–Lev deques with
+                 ///< work stealing — the native mirror of Algorithm::kSteal.
+};
+
+const char* par_algorithm_name(ParAlgorithm a);
+ParAlgorithm par_algorithm_from_name(const std::string& name);
+std::vector<ParAlgorithm> all_par_algorithms();
+
+struct ParOptions {
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  PriorityMode priority = PriorityMode::kRandom;
+  std::uint64_t seed = 1;
+  unsigned max_iterations = 1u << 20;  ///< safety cap
+
+  // kSteal only: frontier items per deque chunk and victim selection.
+  std::uint32_t chunk_size = 256;
+  VictimPolicy victim = VictimPolicy::kRandom;
+};
+
+/// What one worker did across the whole run.
+struct ParWorkerStats {
+  double busy_ms = 0.0;          ///< time inside vertex-processing loops
+  std::uint64_t chunks = 0;      ///< deque chunks processed (kSteal)
+  std::uint64_t vertices = 0;    ///< frontier vertices scanned
+  StealStats steal;              ///< this worker as thief (kSteal)
+};
+
+struct ParRun {
+  ParAlgorithm algorithm = ParAlgorithm::kSpeculative;
+  std::vector<color_t> colors;
+  int num_colors = 0;
+  unsigned iterations = 0;
+  unsigned threads = 1;
+  double wall_ms = 0.0;          ///< steady_clock time for the whole run
+  std::vector<ParWorkerStats> workers;
+  StealStats steal;              ///< aggregate across workers (kSteal)
+  /// Busy-time skew across workers (cu_* fields read "per worker", and
+  /// the *_cycles fields carry milliseconds for this backend).
+  ImbalanceReport imbalance;
+};
+
+/// Colors `g` on native threads. Spawns (and joins) its own pool.
+ParRun run_par_coloring(const Csr& g, ParAlgorithm algorithm,
+                        const ParOptions& opts = {});
+
+/// Same, reusing a caller-owned pool (amortizes thread spawn across runs,
+/// e.g. in benches). opts.threads is ignored in favor of pool.size().
+ParRun run_par_coloring(ThreadPool& pool, const Csr& g, ParAlgorithm algorithm,
+                        const ParOptions& opts = {});
+
+}  // namespace gcg::par

@@ -1,0 +1,118 @@
+#include "par/steal_pool.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg::par {
+
+StealPool::StealPool(unsigned workers) {
+  GCG_EXPECT(workers > 0);
+  slots_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void StealPool::fill(const std::vector<std::vector<Chunk>>& per_worker) {
+  GCG_EXPECT(per_worker.size() == slots_.size());
+  std::int64_t total = 0;
+  for (unsigned w = 0; w < workers(); ++w) {
+    auto& dq = slots_[w]->deque;
+    const auto& chunks = per_worker[w];
+    if (dq.capacity() < chunks.size()) {
+      dq.reserve(static_cast<std::uint32_t>(chunks.size()));
+    } else {
+      dq.reset();
+    }
+    // Push in reverse so the owner's LIFO pops walk the frontier in
+    // order while thieves take from the far end — the same head/tail
+    // discipline as the simulated queues.
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+      dq.push_bottom(*it);
+    }
+    total += static_cast<std::int64_t>(chunks.size());
+  }
+  remaining_.store(total, std::memory_order_release);
+}
+
+std::optional<Chunk> StealPool::pop_own(unsigned worker) {
+  auto& slot = *slots_[worker];
+  std::optional<Chunk> c = slot.deque.pop_bottom();
+  if (c) {
+    ++slot.stats.pops;
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return c;
+}
+
+std::optional<Chunk> StealPool::try_victim(unsigned thief, unsigned victim) {
+  if (victim == thief) return std::nullopt;
+  std::optional<Chunk> c = slots_[victim]->deque.steal();
+  if (c) {
+    auto& stats = slots_[thief]->stats;
+    ++stats.steal_hits;
+    ++stats.chunks_stolen;
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return c;
+}
+
+std::optional<Chunk> StealPool::steal(unsigned thief, VictimPolicy policy,
+                                      Xoshiro256ss& rng) {
+  const unsigned n = workers();
+  ++slots_[thief]->stats.steal_attempts;
+  if (n < 2) return std::nullopt;
+  switch (policy) {
+    case VictimPolicy::kRandom: {
+      // A few uniform probes, like the simulated queues' bounded retry.
+      for (unsigned tries = 0; tries < n; ++tries) {
+        const auto victim = static_cast<unsigned>(rng.bounded(n));
+        if (auto c = try_victim(thief, victim)) return c;
+      }
+      return std::nullopt;
+    }
+    case VictimPolicy::kRichest: {
+      unsigned best = thief;
+      std::int64_t best_size = 0;
+      for (unsigned v = 0; v < n; ++v) {
+        if (v == thief) continue;
+        const std::int64_t s = slots_[v]->deque.size_estimate();
+        if (s > best_size) {
+          best = v;
+          best_size = s;
+        }
+      }
+      if (best == thief) return std::nullopt;
+      return try_victim(thief, best);
+    }
+    case VictimPolicy::kRing: {
+      for (unsigned step = 1; step < n; ++step) {
+        const unsigned victim = (thief + step) % n;
+        if (slots_[victim]->deque.size_estimate() == 0) continue;
+        if (auto c = try_victim(thief, victim)) return c;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Chunk> StealPool::acquire(unsigned worker, VictimPolicy policy,
+                                        Xoshiro256ss& rng) {
+  if (auto c = pop_own(worker)) return c;
+  if (drained()) return std::nullopt;
+  return steal(worker, policy, rng);
+}
+
+StealStats StealPool::stats() const {
+  StealStats total;
+  for (const auto& slot : slots_) total += slot->stats;
+  return total;
+}
+
+void StealPool::reset_stats() {
+  for (auto& slot : slots_) slot->stats = StealStats{};
+}
+
+}  // namespace gcg::par

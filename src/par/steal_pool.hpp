@@ -1,0 +1,65 @@
+// Per-worker Chase–Lev deques plus victim selection — the native-thread
+// analogue of the simulated sched::StealQueues, sharing its VictimPolicy
+// and StealStats vocabulary so sim and par runs report comparable numbers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "par/deque.hpp"
+#include "sched/chunk.hpp"
+#include "sched/steal_queues.hpp"  // VictimPolicy, StealStats
+#include "util/rng.hpp"
+
+namespace gcg::par {
+
+class StealPool {
+ public:
+  explicit StealPool(unsigned workers);
+
+  /// Load one round's distribution (from deal_round_robin/deal_blocked).
+  /// Callable only while no worker is popping/stealing. Stats accumulate
+  /// across fills; see reset_stats().
+  void fill(const std::vector<std::vector<Chunk>>& per_worker);
+
+  unsigned workers() const { return static_cast<unsigned>(slots_.size()); }
+
+  /// Owner pop from the bottom of `worker`'s own deque.
+  std::optional<Chunk> pop_own(unsigned worker);
+
+  /// One steal attempt per `policy`. nullopt = every candidate looked
+  /// empty or the thief lost its race; retry while !drained().
+  std::optional<Chunk> steal(unsigned thief, VictimPolicy policy,
+                             Xoshiro256ss& rng);
+
+  /// pop_own, falling back to one steal attempt.
+  std::optional<Chunk> acquire(unsigned worker, VictimPolicy policy,
+                               Xoshiro256ss& rng);
+
+  /// True once every chunk of the current fill has been handed out
+  /// (handed out, not necessarily finished — pair with a pool barrier).
+  bool drained() const {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  }
+
+  const StealStats& worker_stats(unsigned w) const { return slots_[w]->stats; }
+  StealStats stats() const;  ///< aggregate over workers
+  void reset_stats();
+
+ private:
+  // Heap-allocate per-worker state so deque cursors and stats counters of
+  // different workers never share a cache line.
+  struct alignas(64) Slot {
+    WorkStealingDeque<Chunk> deque;
+    StealStats stats;
+  };
+  std::optional<Chunk> try_victim(unsigned thief, unsigned victim);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  alignas(64) std::atomic<std::int64_t> remaining_{0};
+};
+
+}  // namespace gcg::par

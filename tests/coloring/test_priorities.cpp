@@ -38,9 +38,18 @@ TEST(Priorities, PriorityLessIsStrictTotalOrder) {
   EXPECT_FALSE(priority_less(5, 3, 5, 3));  // irreflexive
 }
 
+TEST(Priorities, NaturalOrderRanksLowerIdsHigher) {
+  const Csr g = make_cycle(16);
+  const auto p = make_priorities(g, PriorityMode::kNaturalOrder, 1);
+  for (vid_t v = 1; v < 16; ++v) EXPECT_GT(p[v - 1], p[v]);
+  // Seed-independent by construction.
+  EXPECT_EQ(p, make_priorities(g, PriorityMode::kNaturalOrder, 99));
+}
+
 TEST(Priorities, ModeNames) {
   EXPECT_STREQ(priority_mode_name(PriorityMode::kRandom), "random");
   EXPECT_STREQ(priority_mode_name(PriorityMode::kDegreeBiased), "degree-biased");
+  EXPECT_STREQ(priority_mode_name(PriorityMode::kNaturalOrder), "natural");
 }
 
 }  // namespace

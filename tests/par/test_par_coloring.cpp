@@ -1,0 +1,182 @@
+// End-to-end native backend tests: determinism (fixed seed + 1 thread
+// reproduces the sequential reference), parity (valid colorings on the
+// full generator suite at several thread counts), and stats plumbing.
+#include "par/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/seq_greedy.hpp"
+#include "coloring/verify.hpp"
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/special.hpp"
+#include "graph/gen/suite.hpp"
+#include "par/pool.hpp"
+
+namespace gcg {
+namespace {
+
+par::ParOptions opts_with(unsigned threads, std::uint64_t seed = 1) {
+  par::ParOptions o;
+  o.threads = threads;
+  o.seed = seed;
+  return o;
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(ParDeterminismTest, OneThreadSpeculativeEqualsSequentialGreedy) {
+  // On one thread the speculative pass sees every earlier assignment, so
+  // the whole run degenerates to sequential first-fit in natural order.
+  const SuiteOptions sopts{.scale = 0.05, .seed = 3};
+  for (const SuiteEntry& entry : make_suite(sopts)) {
+    const SeqColoring seq = greedy_color(entry.graph, GreedyOrder::kNatural);
+    const par::ParRun run = par::run_par_coloring(
+        entry.graph, par::ParAlgorithm::kSpeculative, opts_with(1));
+    EXPECT_EQ(run.colors, seq.colors) << entry.name;
+    EXPECT_EQ(run.num_colors, seq.num_colors) << entry.name;
+  }
+}
+
+TEST(ParDeterminismTest, JplNaturalOrderEqualsSequentialGreedyAtAnyThreads) {
+  // The classic Jones–Plassmann property: under natural-order priorities
+  // a vertex commits only after all lower-id neighbours, so the coloring
+  // equals sequential first-fit greedy regardless of the schedule.
+  const SuiteOptions sopts{.scale = 0.05, .seed = 2};
+  for (const SuiteEntry& entry : make_suite(sopts)) {
+    const SeqColoring seq = greedy_color(entry.graph, GreedyOrder::kNatural);
+    for (unsigned threads : {1u, 4u}) {
+      par::ParOptions o = opts_with(threads);
+      o.priority = PriorityMode::kNaturalOrder;
+      const par::ParRun run =
+          par::run_par_coloring(entry.graph, par::ParAlgorithm::kJpl, o);
+      EXPECT_EQ(run.colors, seq.colors) << entry.name << " @" << threads;
+    }
+  }
+}
+
+TEST(ParDeterminismTest, FixedSeedReproducesAcrossRuns) {
+  const Csr g = make_barabasi_albert(2000, 4, 17);
+  for (par::ParAlgorithm algo : par::all_par_algorithms()) {
+    const par::ParRun a = par::run_par_coloring(g, algo, opts_with(3, 42));
+    const par::ParRun b = par::run_par_coloring(g, algo, opts_with(3, 42));
+    if (algo == par::ParAlgorithm::kSpeculative) {
+      // Speculation races are benign but timing-dependent; only the
+      // validity is stable. Determinism holds on one thread:
+      const par::ParRun c = par::run_par_coloring(g, algo, opts_with(1, 42));
+      const par::ParRun d = par::run_par_coloring(g, algo, opts_with(1, 42));
+      EXPECT_EQ(c.colors, d.colors);
+    } else {
+      EXPECT_EQ(a.colors, b.colors) << par_algorithm_name(algo);
+      EXPECT_EQ(a.iterations, b.iterations) << par_algorithm_name(algo);
+    }
+  }
+}
+
+TEST(ParDeterminismTest, JplAndStealAreThreadCountInvariant) {
+  // Phase barriers make both algorithms compute the same flags no matter
+  // how work is scheduled, so colors must not depend on the thread count.
+  const Csr g = make_barabasi_albert(3000, 5, 7);
+  for (par::ParAlgorithm algo :
+       {par::ParAlgorithm::kJpl, par::ParAlgorithm::kSteal}) {
+    const par::ParRun one = par::run_par_coloring(g, algo, opts_with(1, 5));
+    const par::ParRun four = par::run_par_coloring(g, algo, opts_with(4, 5));
+    EXPECT_EQ(one.colors, four.colors) << par_algorithm_name(algo);
+    EXPECT_EQ(one.iterations, four.iterations) << par_algorithm_name(algo);
+  }
+}
+
+// --- parity over the generator suite ----------------------------------------
+
+class ParParityTest : public ::testing::TestWithParam<par::ParAlgorithm> {};
+
+TEST_P(ParParityTest, ValidCompleteColoringOnGeneratorSuite) {
+  const SuiteOptions sopts{.scale = 0.05, .seed = 1};
+  for (const SuiteEntry& entry : make_suite(sopts)) {
+    for (unsigned threads : {1u, 4u}) {
+      const par::ParRun run =
+          par::run_par_coloring(entry.graph, GetParam(), opts_with(threads));
+      EXPECT_TRUE(is_valid_coloring(entry.graph, run.colors))
+          << entry.name << " @" << threads << ": "
+          << find_violation(entry.graph, run.colors)->to_string();
+      EXPECT_EQ(run.num_colors, count_colors(run.colors)) << entry.name;
+      EXPECT_GT(run.iterations, 0u) << entry.name;
+    }
+  }
+}
+
+TEST_P(ParParityTest, ValidOnDegenerateShapes) {
+  struct Case {
+    const char* name;
+    Csr graph;
+  };
+  const std::vector<Case> cases = {{"petersen", make_petersen()},
+                                   {"single", make_empty(1)},
+                                   {"isolated", make_empty(64)},
+                                   {"star", make_star(120)},
+                                   {"complete", make_complete(17)},
+                                   {"empty", Csr{}}};
+  for (const Case& c : cases) {
+    const par::ParRun run =
+        par::run_par_coloring(c.graph, GetParam(), opts_with(2));
+    EXPECT_TRUE(is_valid_coloring(c.graph, run.colors)) << c.name;
+    EXPECT_EQ(run.colors.size(), c.graph.num_vertices()) << c.name;
+  }
+}
+
+TEST_P(ParParityTest, FirstFitCommitsStayWithinDegreeBound) {
+  // All three algorithms commit first-fit colors, so they stay within the
+  // Brooks-style degree+1 bound (and close to the sequential greedy count).
+  const SuiteOptions sopts{.scale = 0.05, .seed = 1};
+  for (const SuiteEntry& entry : make_suite(sopts)) {
+    const par::ParRun run =
+        par::run_par_coloring(entry.graph, GetParam(), opts_with(4));
+    EXPECT_LE(run.num_colors,
+              static_cast<int>(entry.graph.max_degree()) + 1)
+        << entry.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParAlgorithms, ParParityTest,
+                         ::testing::ValuesIn(par::all_par_algorithms()),
+                         [](const auto& info) {
+                           return std::string(par_algorithm_name(info.param));
+                         });
+
+// --- stats plumbing ----------------------------------------------------------
+
+TEST(ParStatsTest, WorkerStatsAndImbalanceArePopulated) {
+  const Csr g = make_barabasi_albert(5000, 6, 3);
+  par::ThreadPool pool(4);
+  const par::ParRun run =
+      par::run_par_coloring(pool, g, par::ParAlgorithm::kSteal, opts_with(4));
+  ASSERT_EQ(run.workers.size(), 4u);
+  EXPECT_EQ(run.threads, 4u);
+  EXPECT_GT(run.wall_ms, 0.0);
+  std::uint64_t vertices = 0, chunks = 0;
+  for (const auto& w : run.workers) {
+    vertices += w.vertices;
+    chunks += w.chunks;
+  }
+  EXPECT_GT(chunks, 0u);
+  EXPECT_GE(vertices, g.num_vertices());  // every frontier pass counted
+  EXPECT_GE(run.imbalance.cu_max_over_mean, 1.0);
+  // Aggregate steal stats are the sum of the per-worker views.
+  StealStats sum;
+  for (const auto& w : run.workers) sum += w.steal;
+  EXPECT_EQ(sum.pops, run.steal.pops);
+  EXPECT_EQ(sum.steal_hits, run.steal.steal_hits);
+  EXPECT_EQ(sum.pops + sum.chunks_stolen > 0, true);
+}
+
+TEST(ParStatsTest, PoolReuseAcrossRunsIsClean) {
+  const Csr g = make_barabasi_albert(1000, 3, 9);
+  par::ThreadPool pool(2);
+  for (par::ParAlgorithm algo : par::all_par_algorithms()) {
+    const par::ParRun run = par::run_par_coloring(pool, g, algo, opts_with(2));
+    EXPECT_TRUE(is_valid_coloring(g, run.colors)) << par_algorithm_name(algo);
+    EXPECT_EQ(run.threads, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,68 @@
+#include "par/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gcg::par {
+namespace {
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(3).size(), 3u);
+  EXPECT_GE(ThreadPool(0).size(), 1u);  // hardware concurrency
+}
+
+TEST(ThreadPoolTest, RunExecutesBodyOncePerWorker) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(threads);
+    pool.run([&](unsigned w) { hits[w].fetch_add(1); });
+    for (unsigned w = 0; w < threads; ++w) {
+      EXPECT_EQ(hits[w].load(), 1) << "worker " << w << " of " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const std::uint32_t n = 10'000;
+    std::vector<std::atomic<int>> seen(n);
+    pool.parallel_for(n, 64, [&](std::uint32_t b, std::uint32_t e, unsigned) {
+      for (std::uint32_t i = b; i < e; ++i) seen[i].fetch_add(1);
+    });
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, 16, [&](std::uint32_t, std::uint32_t, unsigned) {
+    ++calls;  // must not run
+  });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<std::uint32_t> sum{0};
+  pool.parallel_for(3, 1000, [&](std::uint32_t b, std::uint32_t e, unsigned) {
+    for (std::uint32_t i = b; i < e; ++i) sum.fetch_add(i + 1);
+  });
+  EXPECT_EQ(sum.load(), 6u);  // 1+2+3, grain larger than range
+}
+
+}  // namespace
+}  // namespace gcg::par

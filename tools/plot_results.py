@@ -88,10 +88,34 @@ def try_plot(blocks, outdir):
             continue
         cols = {h: [r[k] for r in data] for k, h in enumerate(header)}
 
-        # Grouped-bar speedup charts: any table with graph/algorithm-ish
-        # first columns and a speedup column.
+        # Thread-scaling line charts (bench_par_scaling): threads on x,
+        # speedup on y, one line per graph/algorithm pair.
         speed_col = next((h for h in header if "speedup" in h), None)
-        if speed_col and header[0] == "graph" and len(header) > 2:
+        if (speed_col and "threads" in header and "algorithm" in header
+                and header[0] == "graph"):
+            tcol = header.index("threads")
+            scol = header.index(speed_col)
+            pairs = list(dict.fromkeys(zip(cols["graph"], cols["algorithm"])))
+            fig, ax = plt.subplots(figsize=(6, 4))
+            max_t = 1
+            for g, a in pairs:
+                xs = [int(r[tcol]) for r in data if (r[0], r[1]) == (g, a)]
+                ys = [float(r[scol]) for r in data if (r[0], r[1]) == (g, a)]
+                max_t = max(max_t, *xs)
+                ax.plot(xs, ys, marker="o", markersize=3, label=f"{g}/{a}")
+            ax.plot([1, max_t], [1, max_t], "k--", linewidth=0.6,
+                    label="ideal")
+            ax.set_xlabel("threads")
+            ax.set_ylabel(speed_col)
+            ax.set_title(title, fontsize=9)
+            ax.legend(fontsize=6)
+            save(fig, f"{slug(experiment)}__{slug(title)}")
+
+        # Grouped-bar speedup charts: any table with graph/algorithm-ish
+        # first columns and a speedup column. (Thread-scaling tables are
+        # handled above — a bar over them would collapse the sweep to the
+        # first thread count.)
+        elif speed_col and header[0] == "graph" and len(header) > 2:
             series_col = header[1]
             graphs = sorted(set(cols["graph"]), key=cols["graph"].index)
             series = sorted(set(cols[series_col]), key=cols[series_col].index)
