@@ -3,6 +3,10 @@
 // color assignment. Runs on the simulated GPU (default) or the native
 // multicore backend.
 //
+// Exit codes (stable, for scripts/CI): 0 = valid coloring produced,
+// 1 = error (unreadable graph, bad flag value, ...), 2 = usage,
+// 3 = the produced coloring FAILED validity verification.
+//
 //   ./examples/color_tool graph.mtx [--backend sim|par]
 //                                   [--algorithm hybrid+steal]
 //                                   [--threads N]   (par backend)
@@ -32,6 +36,10 @@ void write_colors(const gcg::Cli& cli, std::span<const gcg::color_t> colors) {
   std::cout << "wrote " << out << '\n';
 }
 
+// Distinct exit code for "ran fine but the coloring is wrong", so CI can
+// tell an algorithmic regression from an environment problem.
+constexpr int kExitInvalidColoring = 3;
+
 int run_sim(const gcg::Cli& cli, const gcg::Csr& g) {
   using namespace gcg;
   const Algorithm algo =
@@ -43,7 +51,7 @@ int run_sim(const gcg::Cli& cli, const gcg::Csr& g) {
   const ColoringRun run = run_coloring(simgpu::tahiti(), g, algo, opts);
   if (const auto violation = find_violation(g, run.colors)) {
     std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
-    return 1;
+    return kExitInvalidColoring;
   }
 
   const QualityReport q = analyze_quality(g, run.colors);
@@ -70,7 +78,7 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
   const par::ParRun run = par::run_par_coloring(g, algo, opts);
   if (const auto violation = find_violation(g, run.colors)) {
     std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
-    return 1;
+    return kExitInvalidColoring;
   }
 
   const QualityReport q = analyze_quality(g, run.colors);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 
@@ -14,6 +15,15 @@ const char* priority_mode_name(PriorityMode m) {
     case PriorityMode::kNaturalOrder: return "natural";
   }
   return "?";
+}
+
+PriorityMode priority_mode_from_name(const std::string& name) {
+  for (PriorityMode m : {PriorityMode::kRandom, PriorityMode::kDegreeBiased,
+                         PriorityMode::kNaturalOrder}) {
+    if (name == priority_mode_name(m)) return m;
+  }
+  throw std::invalid_argument("unknown priority mode: " + name +
+                              " (random|degree-biased|natural)");
 }
 
 std::vector<std::uint32_t> make_priorities(const Csr& g, PriorityMode mode,

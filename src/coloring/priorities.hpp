@@ -23,6 +23,8 @@ enum class PriorityMode {
 };
 
 const char* priority_mode_name(PriorityMode m);
+/// Inverse of priority_mode_name; throws std::invalid_argument on unknown.
+PriorityMode priority_mode_from_name(const std::string& name);
 
 std::vector<std::uint32_t> make_priorities(const Csr& g, PriorityMode mode,
                                            std::uint64_t seed);

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -9,24 +11,50 @@ namespace gcg {
 namespace {
 std::string extension_of(const std::string& path) {
   const auto dot = path.rfind('.');
-  return dot == std::string::npos ? "" : path.substr(dot + 1);
+  std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+  // Case-insensitive dispatch: "graph.MTX" and "graph.Col" are the same
+  // formats; the service-layer registry also depends on extension handling
+  // being canonical.
+  std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return ext;
+}
+
+constexpr const char* kSupported =
+    ".mtx .col .dimacs .el .txt .edges .gbin (case-insensitive)";
+
+bool known_extension(const std::string& ext) {
+  return ext == "mtx" || ext == "col" || ext == "dimacs" || ext == "gbin" ||
+         ext == "el" || ext == "txt" || ext == "edges";
+}
+
+/// Resolves and validates the extension before any file is opened, so an
+/// unsupported format is always reported as such (and save_graph never
+/// leaves an empty file behind for a path it cannot serve).
+std::string checked_extension(const std::string& path) {
+  const std::string ext = extension_of(path);
+  if (!known_extension(ext)) {
+    throw std::runtime_error("unknown graph extension \"." + ext + "\" in " +
+                             path + "; supported: " + kSupported);
+  }
+  return ext;
 }
 }  // namespace
 
 Csr load_graph(const std::string& path) {
-  const std::string ext = extension_of(path);
+  const std::string ext = checked_extension(path);
   const bool binary = (ext == "gbin");
   std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
   if (!in) throw std::runtime_error("cannot open " + path);
   if (ext == "mtx") return load_matrix_market(in);
   if (ext == "col" || ext == "dimacs") return load_dimacs_color(in);
   if (ext == "gbin") return load_binary(in);
-  if (ext == "el" || ext == "txt" || ext == "edges") return load_edge_list(in);
-  throw std::runtime_error("unknown graph extension: ." + ext);
+  return load_edge_list(in);  // el / txt / edges
 }
 
 void save_graph(const std::string& path, const Csr& g) {
-  const std::string ext = extension_of(path);
+  const std::string ext = checked_extension(path);
   const bool binary = (ext == "gbin");
   std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
@@ -36,10 +64,8 @@ void save_graph(const std::string& path, const Csr& g) {
     save_dimacs_color(out, g);
   } else if (ext == "gbin") {
     save_binary(out, g);
-  } else if (ext == "el" || ext == "txt" || ext == "edges") {
-    save_edge_list(out, g);
   } else {
-    throw std::runtime_error("unknown graph extension: ." + ext);
+    save_edge_list(out, g);  // el / txt / edges
   }
 }
 

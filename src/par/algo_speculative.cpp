@@ -23,7 +23,7 @@ void run_speculative(DriverState& st) {
                                        FirstFitScratch(st.g.max_degree()));
   const std::uint32_t grain = 512;
 
-  while (wsize > 0) {
+  while (wsize > 0 && !cancel_requested(st)) {
     GCG_ASSERT(st.run.iterations < st.opts.max_iterations);
     ++st.run.iterations;
 

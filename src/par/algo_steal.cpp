@@ -47,7 +47,7 @@ void run_steal(DriverState& st) {
   color_t palette = 0;  // colors used so far; barriers keep it exact
   std::vector<color_t> wmax(workers);
 
-  while (fsize > 0) {
+  while (fsize > 0 && !cancel_requested(st)) {
     GCG_ASSERT(st.run.iterations < st.opts.max_iterations);
     const unsigned iter = st.run.iterations++;
     const auto chunks = make_chunks(fsize, st.opts.chunk_size);

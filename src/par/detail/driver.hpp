@@ -33,6 +33,17 @@ struct DriverState {
   ParRun run;
 };
 
+/// Polled by worker 0 at iteration boundaries: returns true (and latches
+/// run.cancelled) once opts.should_cancel fires. Checking only between
+/// iterations keeps the partial coloring phase-consistent.
+inline bool cancel_requested(DriverState& st) {
+  if (st.run.cancelled) return true;
+  if (st.opts.should_cancel && st.opts.should_cancel()) {
+    st.run.cancelled = true;
+  }
+  return st.run.cancelled;
+}
+
 /// Relaxed atomic view of a color slot. Phase barriers order everything
 /// that matters; the relaxed accesses only make the benign races of the
 /// speculative kernel well-defined (and TSan-clean).

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,13 @@ struct ParOptions {
   // kSteal only: frontier items per deque chunk and victim selection.
   std::uint32_t chunk_size = 256;
   VictimPolicy victim = VictimPolicy::kRandom;
+
+  /// Cooperative cancellation: polled by worker 0 between iterations
+  /// (never mid-phase, so the color array stays phase-consistent). When it
+  /// returns true the run stops early and ParRun::cancelled is set; the
+  /// partial coloring is returned as-is. Used by the service layer for
+  /// per-job deadlines and client-initiated cancellation.
+  std::function<bool()> should_cancel;
 };
 
 /// What one worker did across the whole run.
@@ -57,6 +65,9 @@ struct ParRun {
   int num_colors = 0;
   unsigned iterations = 0;
   unsigned threads = 1;
+  /// True if opts.should_cancel stopped the run before completion; the
+  /// coloring is then partial (uncolored slots hold kUncolored).
+  bool cancelled = false;
   double wall_ms = 0.0;          ///< steady_clock time for the whole run
   std::vector<ParWorkerStats> workers;
   StealStats steal;              ///< aggregate across workers (kSteal)

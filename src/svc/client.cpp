@@ -1,0 +1,127 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "svc/protocol.hpp"
+
+namespace gcg::svc {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("client: bad socket path: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("client: socket(): ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: connect(" + socket_path +
+                             "): " + std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+Json Client::request(const Json& req) {
+  std::string line = req.dump();
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client: write(): ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  while (true) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string reply = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return Json::parse(reply);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client: read(): ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error("client: server closed the connection");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::submit(const JobSpec& spec, bool wait) {
+  Json req = job_spec_to_json(spec);
+  req["op"] = Json("submit");
+  if (wait) req["wait"] = Json(true);
+  return request(req);
+}
+
+Json Client::status(std::uint64_t id) {
+  Json req{JsonObject{}};
+  req["op"] = Json("status");
+  req["id"] = Json(id);
+  return request(req);
+}
+
+Json Client::result(std::uint64_t id, double timeout_ms) {
+  Json req{JsonObject{}};
+  req["op"] = Json("result");
+  req["id"] = Json(id);
+  if (timeout_ms > 0.0) req["timeout_ms"] = Json(timeout_ms);
+  return request(req);
+}
+
+Json Client::cancel(std::uint64_t id) {
+  Json req{JsonObject{}};
+  req["op"] = Json("cancel");
+  req["id"] = Json(id);
+  return request(req);
+}
+
+Json Client::stats() {
+  Json req{JsonObject{}};
+  req["op"] = Json("stats");
+  return request(req);
+}
+
+bool Client::ping() {
+  Json req{JsonObject{}};
+  req["op"] = Json("ping");
+  return request(req).get_bool("ok", false);
+}
+
+bool Client::shutdown_server() {
+  Json req{JsonObject{}};
+  req["op"] = Json("shutdown");
+  return request(req).get_bool("ok", false);
+}
+
+}  // namespace gcg::svc

@@ -1,0 +1,88 @@
+// Thread-safe, LRU-bounded cache of loaded/generated graphs — the service
+// layer's answer to "every request re-parses the graph". Keys are either
+// file paths (canonicalized, so ./g.mtx and /abs/g.mtx share one entry) or
+// generator specs of the form
+//
+//     gen:<suite-name>?scale=<S>&seed=<N>     e.g. gen:rmat-like?scale=0.25
+//
+// naming an entry of the paper-evaluation suite (graph/gen/suite.hpp).
+// Concurrent requests for the same key share a single load: latecomers
+// block on the in-flight load instead of duplicating I/O or generation.
+// Entries are handed out as shared_ptr<const Csr>, so eviction never
+// invalidates a graph a running job still holds.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace gcg::svc {
+
+class GraphRegistry {
+ public:
+  struct Options {
+    std::size_t max_entries = 16;  ///< LRU capacity in graphs
+    /// LRU capacity in (approximate) CSR bytes; whichever bound trips
+    /// first evicts. Default 1 GiB.
+    std::size_t max_bytes = std::size_t{1} << 30;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;      ///< served from cache (incl. in-flight joins)
+    std::uint64_t misses = 0;    ///< required a load/generate
+    std::uint64_t evictions = 0;
+    std::uint64_t load_errors = 0;
+    std::size_t entries = 0;     ///< resident graphs right now
+    std::size_t bytes = 0;       ///< approximate resident CSR bytes
+  };
+
+  GraphRegistry();  ///< default Options (GCC can't take `Options{}` as a
+                    ///< default argument while the enclosing class is open)
+  explicit GraphRegistry(Options opts);
+
+  /// Returns the graph for `spec` (path or gen: spec), loading it on first
+  /// use. Throws std::runtime_error / std::invalid_argument on bad specs
+  /// or unreadable files; a failed load is not cached, so a later retry
+  /// (e.g. after the file appears) attempts again. When `cache_hit` is
+  /// non-null it reports whether this call was served from cache (resident
+  /// entry or joining an in-flight load).
+  std::shared_ptr<const Csr> acquire(const std::string& spec,
+                                     bool* cache_hit = nullptr);
+
+  /// The cache key `spec` normalizes to: weakly-canonical absolute path
+  /// for files, defaults filled in and parameters ordered for gen: specs.
+  /// Throws std::invalid_argument on malformed gen: specs.
+  static std::string canonical_key(const std::string& spec);
+
+  Stats stats() const;
+  void clear();  ///< drop all resident entries (outstanding refs stay valid)
+
+ private:
+  using Lru = std::list<std::string>;  // front = most recent
+
+  struct Entry {
+    /// Resolves to the graph; carries the load exception on failure.
+    /// shared_future so any number of waiters can join one load.
+    std::shared_future<std::shared_ptr<const Csr>> future;
+    std::size_t bytes = 0;    ///< 0 until the load finished
+    bool ready = false;       ///< future resolved successfully
+    Lru::iterator lru_it;
+  };
+
+  void touch(Entry& e);            // requires mu_
+  void evict_to_capacity();        // requires mu_
+
+  const Options opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  Lru lru_;
+  Stats stats_;
+};
+
+}  // namespace gcg::svc

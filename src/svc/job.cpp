@@ -1,0 +1,42 @@
+#include "svc/job.hpp"
+
+#include <stdexcept>
+
+namespace gcg::svc {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kPar: return "par";
+    case Backend::kSim: return "sim";
+  }
+  return "?";
+}
+
+Backend backend_from_name(const std::string& name) {
+  if (name == "par") return Backend::kPar;
+  if (name == "sim") return Backend::kSim;
+  throw std::invalid_argument("unknown backend: " + name + " (par|sim)");
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobSnapshot snapshot(const JobRecord& rec) {
+  JobSnapshot s;
+  s.id = rec.id;
+  s.spec = rec.spec;
+  std::lock_guard<std::mutex> lock(rec.mu);
+  s.status = rec.status;
+  s.result = rec.result;
+  return s;
+}
+
+}  // namespace gcg::svc

@@ -1,0 +1,104 @@
+// Job model for the coloring service: what a client asks for (JobSpec),
+// what the service records about it (JobRecord), and what comes back
+// (JobResult). JobRecords are shared between the queue, the scheduler's
+// dispatcher threads, and any number of waiting/polling clients, so all
+// mutable state is guarded by the record's own mutex (except the cancel
+// flag, which the par backend polls lock-free mid-run).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "coloring/common.hpp"
+
+namespace gcg::svc {
+
+/// Which execution backend colors the graph.
+enum class Backend {
+  kPar,  ///< native multicore (par::run_par_coloring) — the serving path
+  kSim,  ///< simulated GPU (run_coloring) — characterization jobs
+};
+
+const char* backend_name(Backend b);
+Backend backend_from_name(const std::string& name);
+
+struct JobSpec {
+  std::string graph;            ///< registry spec: path or gen:name?...
+  Backend backend = Backend::kPar;
+  std::string algorithm = "steal";  ///< backend-specific algorithm name
+  std::string priority = "random";  ///< PriorityMode name
+  std::uint64_t seed = 1;
+  unsigned threads = 0;         ///< par only: 0 = scheduler's per-job pool
+  double deadline_ms = 0.0;     ///< from submit; 0 = no deadline
+  bool keep_colors = false;     ///< retain the full color array in the result
+};
+
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kDone,       ///< completed, result valid
+  kFailed,     ///< load/run/verify error; result.error says why
+  kCancelled,  ///< cancel verb or deadline fired before completion
+};
+
+const char* job_status_name(JobStatus s);
+
+struct JobResult {
+  int num_colors = 0;
+  unsigned iterations = 0;
+  double run_ms = 0.0;        ///< wall time inside the coloring run
+  double latency_ms = 0.0;    ///< submit -> terminal state
+  double queue_ms = 0.0;      ///< submit -> dispatch
+  unsigned threads = 0;       ///< threads the run actually used
+  bool verified = false;      ///< conflict-free per find_violation
+  bool cache_hit = false;     ///< graph came from the registry cache
+  std::string error;          ///< set for kFailed / kCancelled
+  std::vector<color_t> colors;  ///< only when spec.keep_colors
+};
+
+/// One job's full lifetime. Status/result transitions happen under `mu`
+/// and are announced on `cv`; `cancel` is an atomic so the running
+/// coloring can poll it without locking.
+struct JobRecord {
+  JobRecord(std::uint64_t job_id, JobSpec s, std::string key,
+            std::chrono::steady_clock::time_point now)
+      : id(job_id), spec(std::move(s)), graph_key(std::move(key)),
+        submitted(now) {}
+
+  const std::uint64_t id;
+  const JobSpec spec;
+  const std::string graph_key;  ///< canonical registry key (batching key)
+  const std::chrono::steady_clock::time_point submitted;
+  std::atomic<bool> cancel{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;  // guarded by mu
+  JobResult result;                       // guarded by mu
+
+  bool terminal_locked() const {
+    return status == JobStatus::kDone || status == JobStatus::kFailed ||
+           status == JobStatus::kCancelled;
+  }
+};
+
+using JobPtr = std::shared_ptr<JobRecord>;
+
+/// Immutable copy of a job's externally visible state, safe to serialize
+/// after the record has moved on.
+struct JobSnapshot {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobStatus status = JobStatus::kQueued;
+  JobResult result;
+};
+
+JobSnapshot snapshot(const JobRecord& rec);
+
+}  // namespace gcg::svc

@@ -1,0 +1,57 @@
+// Bounded MPMC queue of coloring jobs with explicit backpressure: a full
+// queue rejects at submit time (the server turns that into a distinct
+// `queue_full` reply) instead of buffering unboundedly — the service-layer
+// mirror of the paper's bounded per-CU work queues. Dispatchers pop in
+// FIFO order but drain *all* queued jobs for the same graph key in one
+// batch, so a hot graph is looked up once and stays cache-resident across
+// the whole batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace gcg::svc {
+
+class JobQueue {
+ public:
+  /// capacity = max queued (not yet dispatched) jobs before push rejects.
+  explicit JobQueue(std::size_t capacity);
+
+  /// Non-blocking; false means the queue is full (backpressure) or closed.
+  bool try_push(JobPtr job);
+
+  /// Pops the oldest job plus up to `batch_limit - 1` younger jobs whose
+  /// JobRecord::graph_key matches the front's. Blocks while empty;
+  /// returns an empty vector once closed and drained.
+  std::vector<JobPtr> pop_batch(std::size_t batch_limit);
+
+  /// Removes a queued job by id (for cancellation before dispatch).
+  /// Returns the record if it was still queued.
+  JobPtr remove(std::uint64_t id);
+
+  /// Pops the oldest queued job without blocking; nullptr when empty.
+  /// Used by non-draining shutdown to retire the backlog.
+  JobPtr remove_front();
+
+  /// No further pushes; blocked pop_batch calls drain then return empty.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<JobPtr> q_;
+  bool closed_ = false;
+};
+
+}  // namespace gcg::svc

@@ -1,0 +1,361 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gcg::svc {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string("json: value is not ") + want);
+}
+
+void escape_into(const std::string& s, std::string& out) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (i_ != s_.size()) fail("trailing garbage after value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(i_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+            s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (i_ >= s_.size() || s_[i_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++i_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++i_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      char c = s_[i_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (i_ >= s_.size()) fail("unterminated escape");
+        char e = s_[i_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = s_[i_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs
+            // are not needed by the protocol and parse as two code units).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    bool integral = true;
+    if (i_ < s_.size() && s_[i_] == '.') {
+      integral = false;
+      ++i_;
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      integral = false;
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    }
+    if (i_ == start || (i_ == start + 1 && s_[start] == '-')) {
+      fail("malformed number");
+    }
+    const std::string_view tok(s_.data() + start, i_ - start);
+    if (integral) {
+      std::int64_t iv = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(iv);
+      // fall through to double on overflow
+    }
+    double dv = 0.0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+    if (ec != std::errc() || p != tok.data() + tok.size()) {
+      fail("malformed number");
+    }
+    return Json(dv);
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(v_);
+}
+
+std::int64_t Json::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(v_);
+  if (is_double()) {
+    const double d = std::get<double>(v_);
+    if (std::nearbyint(d) == d) return static_cast<std::int64_t>(d);
+  }
+  type_error("an integer");
+}
+
+double Json::as_double() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  type_error("a number");
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(v_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<JsonArray>(v_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(v_);
+}
+
+bool Json::has(const std::string& key) const { return find(key) != nullptr; }
+
+const Json* Json::find(const std::string& key) const {
+  const JsonObject& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(v_)[key];
+}
+
+std::string Json::get_string(const std::string& key,
+                             const std::string& def) const {
+  const Json* j = find(key);
+  return j ? j->as_string() : def;
+}
+
+std::int64_t Json::get_int(const std::string& key, std::int64_t def) const {
+  const Json* j = find(key);
+  return j ? j->as_int() : def;
+}
+
+double Json::get_double(const std::string& key, double def) const {
+  const Json* j = find(key);
+  return j ? j->as_double() : def;
+}
+
+bool Json::get_bool(const std::string& key, bool def) const {
+  const Json* j = find(key);
+  return j ? j->as_bool() : def;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  struct Visitor {
+    std::string& out;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t i) const { out += std::to_string(i); }
+    void operator()(double d) const {
+      if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the convention
+        out += "null";
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    }
+    void operator()(const std::string& s) const { escape_into(s, out); }
+    void operator()(const JsonArray& a) const {
+      out += '[';
+      bool first = true;
+      for (const Json& v : a) {
+        if (!first) out += ',';
+        first = false;
+        out += v.dump();
+      }
+      out += ']';
+    }
+    void operator()(const JsonObject& o) const {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out += ',';
+        first = false;
+        escape_into(k, out);
+        out += ':';
+        out += v.dump();
+      }
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out}, v_);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace gcg::svc

@@ -1,0 +1,81 @@
+// Minimal JSON value type + strict parser/serializer for the service
+// protocol (docs/SERVICE.md). Deliberately tiny: objects, arrays, strings,
+// numbers (int64 kept exact, otherwise double), booleans, null. No
+// external dependencies — the container images this runs on only carry the
+// C++ toolchain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gcg::svc {
+
+class Json;
+using JsonObject = std::map<std::string, Json>;
+using JsonArray = std::vector<Json>;
+
+/// One JSON value. std::map keeps object keys sorted, so dump() output is
+/// canonical — handy for tests and for line-oriented logs.
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(std::uint64_t i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;     ///< doubles with integral value coerce
+  double as_double() const;        ///< ints widen
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  // --- object conveniences (throw if not an object) ---
+  bool has(const std::string& key) const;
+  /// Pointer to the member or nullptr (no insertion).
+  const Json* find(const std::string& key) const;
+  /// Mutable member access, inserting null (object only).
+  Json& operator[](const std::string& key);
+
+  /// Member with a fallback when missing (type mismatch still throws).
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Compact single-line serialization (never emits raw newlines, so one
+  /// value is always one protocol line).
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON value (trailing whitespace allowed).
+  /// Throws std::runtime_error with byte offset on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      v_;
+};
+
+}  // namespace gcg::svc

@@ -1,0 +1,217 @@
+#include "svc/protocol.hpp"
+
+#include <stdexcept>
+
+namespace gcg::svc {
+
+namespace {
+
+std::uint64_t require_id(const Json& req) {
+  const Json* id = req.find("id");
+  if (!id || !id->is_number()) {
+    throw std::runtime_error("missing or non-numeric \"id\"");
+  }
+  const std::int64_t v = id->as_int();
+  if (v < 0) throw std::runtime_error("\"id\" must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+Json result_to_json(const JobResult& r, bool include_colors) {
+  Json out{JsonObject{}};
+  out["num_colors"] = Json(r.num_colors);
+  out["iterations"] = Json(static_cast<std::int64_t>(r.iterations));
+  out["run_ms"] = Json(r.run_ms);
+  out["latency_ms"] = Json(r.latency_ms);
+  out["queue_ms"] = Json(r.queue_ms);
+  out["threads"] = Json(static_cast<std::int64_t>(r.threads));
+  out["verified"] = Json(r.verified);
+  out["cache_hit"] = Json(r.cache_hit);
+  if (!r.error.empty()) out["error"] = Json(r.error);
+  if (include_colors && !r.colors.empty()) {
+    JsonArray colors;
+    colors.reserve(r.colors.size());
+    for (color_t c : r.colors) {
+      colors.push_back(Json(static_cast<std::int64_t>(c)));
+    }
+    out["colors"] = Json(std::move(colors));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json error_reply(const std::string& code, const std::string& detail) {
+  Json out{JsonObject{}};
+  out["ok"] = Json(false);
+  out["error"] = Json(code);
+  if (!detail.empty()) out["detail"] = Json(detail);
+  return out;
+}
+
+JobSpec job_spec_from_json(const Json& req) {
+  JobSpec spec;
+  const Json* graph = req.find("graph");
+  if (!graph || !graph->is_string() || graph->as_string().empty()) {
+    throw std::runtime_error("submit requires a non-empty \"graph\" string");
+  }
+  spec.graph = graph->as_string();
+  spec.backend = backend_from_name(req.get_string("backend", "par"));
+  spec.algorithm = req.get_string(
+      "algorithm", spec.backend == Backend::kPar ? "steal" : "hybrid+steal");
+  spec.priority = req.get_string("priority", "random");
+  const std::int64_t seed = req.get_int("seed", 1);
+  if (seed < 0) throw std::runtime_error("\"seed\" must be >= 0");
+  spec.seed = static_cast<std::uint64_t>(seed);
+  const std::int64_t threads = req.get_int("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    throw std::runtime_error("\"threads\" must be in [0, 4096]");
+  }
+  spec.threads = static_cast<unsigned>(threads);
+  spec.deadline_ms = req.get_double("deadline_ms", 0.0);
+  if (spec.deadline_ms < 0.0) {
+    throw std::runtime_error("\"deadline_ms\" must be >= 0");
+  }
+  spec.keep_colors = req.get_bool("keep_colors", false);
+  return spec;
+}
+
+Json job_spec_to_json(const JobSpec& spec) {
+  Json out{JsonObject{}};
+  out["graph"] = Json(spec.graph);
+  out["backend"] = Json(backend_name(spec.backend));
+  out["algorithm"] = Json(spec.algorithm);
+  out["priority"] = Json(spec.priority);
+  out["seed"] = Json(spec.seed);
+  out["threads"] = Json(static_cast<std::int64_t>(spec.threads));
+  out["deadline_ms"] = Json(spec.deadline_ms);
+  out["keep_colors"] = Json(spec.keep_colors);
+  return out;
+}
+
+Json snapshot_reply(const JobSnapshot& snap, bool include_colors) {
+  Json out{JsonObject{}};
+  out["ok"] = Json(true);
+  out["id"] = Json(snap.id);
+  out["status"] = Json(job_status_name(snap.status));
+  out["graph"] = Json(snap.spec.graph);
+  out["algorithm"] = Json(snap.spec.algorithm);
+  out["backend"] = Json(backend_name(snap.spec.backend));
+  const bool terminal = snap.status == JobStatus::kDone ||
+                        snap.status == JobStatus::kFailed ||
+                        snap.status == JobStatus::kCancelled;
+  if (terminal) out["result"] = result_to_json(snap.result, include_colors);
+  return out;
+}
+
+Json stats_reply(const SchedulerStats& s) {
+  Json out{JsonObject{}};
+  out["ok"] = Json(true);
+  out["submitted"] = Json(s.submitted);
+  out["rejected"] = Json(s.rejected);
+  out["completed"] = Json(s.completed);
+  out["failed"] = Json(s.failed);
+  out["cancelled"] = Json(s.cancelled);
+  out["batches"] = Json(s.batches);
+  out["batched_jobs"] = Json(s.batched_jobs);
+  out["queue_depth"] = Json(static_cast<std::int64_t>(s.queue_depth));
+  out["queue_capacity"] = Json(static_cast<std::int64_t>(s.queue_capacity));
+  out["jobs_tracked"] = Json(static_cast<std::int64_t>(s.jobs_tracked));
+  out["latency_samples"] =
+      Json(static_cast<std::int64_t>(s.latency_samples));
+  out["latency_p50_ms"] = Json(s.latency_p50_ms);
+  out["latency_p90_ms"] = Json(s.latency_p90_ms);
+  out["latency_p99_ms"] = Json(s.latency_p99_ms);
+  out["latency_mean_ms"] = Json(s.latency_mean_ms);
+  out["latency_max_ms"] = Json(s.latency_max_ms);
+  Json reg{JsonObject{}};
+  reg["hits"] = Json(s.registry.hits);
+  reg["misses"] = Json(s.registry.misses);
+  reg["evictions"] = Json(s.registry.evictions);
+  reg["load_errors"] = Json(s.registry.load_errors);
+  reg["entries"] = Json(static_cast<std::int64_t>(s.registry.entries));
+  reg["bytes"] = Json(static_cast<std::int64_t>(s.registry.bytes));
+  out["registry"] = std::move(reg);
+  return out;
+}
+
+Json handle_request(Scheduler& sched, const Json& req) {
+  if (!req.is_object()) {
+    return error_reply(kErrProtocol, "request must be a JSON object");
+  }
+  const Json* op = req.find("op");
+  if (!op || !op->is_string()) {
+    return error_reply(kErrProtocol, "missing \"op\" string");
+  }
+  const std::string& verb = op->as_string();
+
+  try {
+    if (verb == "ping") {
+      Json out{JsonObject{}};
+      out["ok"] = Json(true);
+      out["pong"] = Json(true);
+      return out;
+    }
+    if (verb == "submit") {
+      JobSpec spec;
+      try {
+        spec = job_spec_from_json(req);
+      } catch (const std::exception& e) {
+        return error_reply(kErrBadRequest, e.what());
+      }
+      const Scheduler::Submit sub = sched.submit(std::move(spec));
+      if (!sub.accepted) return error_reply(sub.error, sub.detail);
+      if (req.get_bool("wait", false)) {
+        // Closed-loop clients: block until terminal, reply with result.
+        const auto snap = sched.wait(sub.id);
+        if (snap) return snapshot_reply(*snap);
+      }
+      Json out{JsonObject{}};
+      out["ok"] = Json(true);
+      out["id"] = Json(sub.id);
+      out["status"] = Json("queued");
+      return out;
+    }
+    if (verb == "status" || verb == "result") {
+      const std::uint64_t id = require_id(req);
+      std::optional<JobSnapshot> snap;
+      if (verb == "result" || req.get_bool("wait", false)) {
+        snap = sched.wait(id, req.get_double("timeout_ms", 0.0));
+      } else {
+        snap = sched.status(id);
+      }
+      if (!snap) {
+        return error_reply(kErrUnknownId,
+                           "no job " + std::to_string(id) +
+                               " (completed jobs are retained up to the "
+                               "scheduler's retain_jobs bound)");
+      }
+      return snapshot_reply(*snap);
+    }
+    if (verb == "cancel") {
+      const std::uint64_t id = require_id(req);
+      Json out{JsonObject{}};
+      out["ok"] = Json(true);
+      out["id"] = Json(id);
+      out["cancelled"] = Json(sched.cancel(id));
+      return out;
+    }
+    if (verb == "stats") {
+      return stats_reply(sched.stats());
+    }
+  } catch (const std::exception& e) {
+    return error_reply(kErrBadRequest, e.what());
+  }
+  return error_reply(kErrUnknownOp, "unknown op \"" + verb + "\"");
+}
+
+Json handle_request_line(Scheduler& sched, const std::string& line) {
+  Json req;
+  try {
+    req = Json::parse(line);
+  } catch (const std::exception& e) {
+    return error_reply(kErrProtocol, e.what());
+  }
+  return handle_request(sched, req);
+}
+
+}  // namespace gcg::svc

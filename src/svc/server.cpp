@@ -1,0 +1,251 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "util/log.hpp"
+
+namespace gcg::svc {
+
+namespace {
+
+/// Writes all of `data` + '\n'; false on a broken connection.
+bool write_line(int fd, const std::string& data) {
+  std::string line = data;
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over a blocking fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF / error; strips the trailing '\n' (and '\r').
+  bool next(std::string& line) {
+    line.clear();
+    while (true) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // EOF; any partial line is dropped
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      if (buf_.size() > kMaxLine) return false;  // oversized request
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMaxLine = 16u << 20;  // 16 MiB
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.socket_path.empty()) {
+    throw std::runtime_error("server: socket_path is required");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("server: socket path too long: " +
+                             opts_.socket_path);
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("server: socket(): ") +
+                             std::strerror(errno));
+  }
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw std::runtime_error("server: bind(" + opts_.socket_path +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, opts_.backlog) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    ::unlink(opts_.socket_path.c_str());
+    throw std::runtime_error(std::string("server: listen(): ") +
+                             std::strerror(err));
+  }
+
+  scheduler_ = std::make_unique<Scheduler>(opts_.scheduler);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) return;
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);  // 100 ms stop-flag poll
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (r == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_) {
+      ::close(fd);
+      return;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    ++connections_served_;
+    open_fds_[id] = fd;
+    connections_[id] = std::thread([this, fd, id] {
+      serve_connection(fd, id);
+    });
+  }
+}
+
+void Server::serve_connection(int fd, std::uint64_t conn_id) {
+  LineReader reader(fd);
+  std::string line;
+  bool shutdown_verb = false;
+  while (!shutdown_verb && reader.next(line)) {
+    if (line.empty()) continue;
+
+    // Intercept the lifecycle verb; everything else is protocol-layer.
+    bool is_shutdown = false;
+    try {
+      const Json req = Json::parse(line);
+      is_shutdown = req.is_object() &&
+                    req.get_string("op", "") == "shutdown";
+    } catch (...) {
+      // fall through: handle_request_line produces the protocol_error
+    }
+
+    std::string reply;
+    if (is_shutdown) {
+      Json out{JsonObject{}};
+      out["ok"] = Json(true);
+      out["stopping"] = Json(true);
+      reply = out.dump();
+      shutdown_verb = true;
+    } else {
+      reply = handle_request_line(*scheduler_, line).dump();
+    }
+    if (!write_line(fd, reply)) break;
+  }
+
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.erase(conn_id);
+    // The thread object stays in connections_ until stop() joins it.
+  }
+  if (shutdown_verb) request_stop();
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+bool Server::wait_for(double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait_for(lock,
+                    std::chrono::duration<double, std::milli>(timeout_ms),
+                    [&] { return stop_requested_; });
+  return stop_requested_;
+}
+
+void Server::close_listener() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::stop() {
+  request_stop();
+
+  if (acceptor_.joinable()) acceptor_.join();
+  close_listener();
+
+  // Unblock connection threads stuck in read()/wait and join them. The
+  // map is drained under the lock but joins happen outside it, since the
+  // threads themselves lock mu_ on exit.
+  while (true) {
+    std::thread victim;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (connections_.empty()) break;
+      const auto it = connections_.begin();
+      const auto fd_it = open_fds_.find(it->first);
+      if (fd_it != open_fds_.end()) {
+        ::shutdown(fd_it->second, SHUT_RDWR);  // wakes the blocked read
+      }
+      victim = std::move(it->second);
+      connections_.erase(it);
+    }
+    if (victim.joinable()) victim.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  if (scheduler_) scheduler_->shutdown(/*drain=*/true);
+  ::unlink(opts_.socket_path.c_str());
+  GCG_LOG(kInfo) << "svc: server on " << opts_.socket_path << " stopped";
+}
+
+std::uint64_t Server::connections_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_served_;
+}
+
+}  // namespace gcg::svc

@@ -1,0 +1,76 @@
+// Concurrent line-delimited-JSON request server over a Unix-domain stream
+// socket. One acceptor thread plus one thread per connection; every verb
+// except "shutdown" is delegated to svc::handle_request. Graceful
+// shutdown (stop() or the shutdown verb) stops accepting, unblocks and
+// joins connection threads, drains the scheduler, and unlinks the socket.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "svc/scheduler.hpp"
+
+namespace gcg::svc {
+
+struct ServerOptions {
+  std::string socket_path;  ///< required; unlinked+rebound on start
+  SchedulerOptions scheduler;
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// Binds and starts serving immediately; throws std::runtime_error on
+  /// socket/bind/listen failure (e.g. path too long for sockaddr_un).
+  explicit Server(ServerOptions opts);
+  ~Server();  ///< equivalent to stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Blocks until stop() is called or a client sends the shutdown verb.
+  /// Does NOT tear down — call stop() after (the destructor also does).
+  void wait();
+
+  /// Like wait() but returns after `timeout_ms` at the latest. True once
+  /// stop has been requested — lets callers poll a signal flag between
+  /// waits (std::signal handlers can't notify a condition variable).
+  bool wait_for(double timeout_ms);
+
+  /// Async-signal-friendly: just flags the server to stop; wait() wakes.
+  void request_stop();
+
+  /// Full graceful teardown: stop accepting, unblock + join connection
+  /// threads, drain the scheduler, unlink the socket. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+  Scheduler& scheduler() { return *scheduler_; }
+  std::uint64_t connections_served() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd, std::uint64_t conn_id);
+  void close_listener();
+
+  ServerOptions opts_;
+  std::unique_ptr<Scheduler> scheduler_;
+  int listen_fd_ = -1;
+
+  std::thread acceptor_;
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::map<std::uint64_t, std::thread> connections_;  // joined on stop
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t connections_served_ = 0;
+  std::map<std::uint64_t, int> open_fds_;  // shutdown()'d to unblock reads
+};
+
+}  // namespace gcg::svc

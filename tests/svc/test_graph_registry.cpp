@@ -1,0 +1,159 @@
+#include "svc/graph_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "graph/gen/special.hpp"
+#include "graph/io/io.hpp"
+
+namespace gcg::svc {
+namespace {
+
+// Small scale keeps generator-backed tests fast.
+constexpr const char* kTiny = "gen:ecology-like?scale=0.02&seed=1";
+
+TEST(RegistryKey, GenSpecCanonicalizes) {
+  EXPECT_EQ(GraphRegistry::canonical_key("gen:rmat-like"),
+            "gen:rmat-like?scale=1&seed=1");
+  EXPECT_EQ(GraphRegistry::canonical_key("gen:rmat-like?seed=3&scale=0.50"),
+            "gen:rmat-like?scale=0.5&seed=3");
+  // Same graph, differently written spec -> same key.
+  EXPECT_EQ(GraphRegistry::canonical_key("gen:er-like?scale=0.5"),
+            GraphRegistry::canonical_key("gen:er-like?seed=1&scale=0.500"));
+}
+
+TEST(RegistryKey, MalformedGenSpecsThrow) {
+  for (const char* bad : {"gen:", "gen:x?scale=", "gen:x?scale=-1",
+                          "gen:x?bogus=1", "gen:x?seed=abc", ""}) {
+    EXPECT_THROW(GraphRegistry::canonical_key(bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(RegistryKey, PathsCanonicalize) {
+  // Relative and absolute spellings of the same file agree.
+  const std::string rel = "some_graph.mtx";
+  const std::string dotted = "./some_graph.mtx";
+  EXPECT_EQ(GraphRegistry::canonical_key(rel),
+            GraphRegistry::canonical_key(dotted));
+}
+
+TEST(Registry, CachesGeneratedGraphs) {
+  GraphRegistry reg;
+  const auto g1 = reg.acquire(kTiny);
+  ASSERT_NE(g1, nullptr);
+  EXPECT_GT(g1->num_vertices(), 0u);
+
+  bool hit = false;
+  const auto g2 = reg.acquire(kTiny, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(g1.get(), g2.get());  // same resident object
+
+  const auto s = reg.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(Registry, CachesFilesAcrossSpellings) {
+  const std::string path = std::string(::testing::TempDir()) + "/gcg_reg.el";
+  {
+    std::ofstream out(path);
+    save_edge_list(out, make_petersen());
+  }
+  GraphRegistry reg;
+  const auto a = reg.acquire(path);
+  bool hit = false;
+  const auto b = reg.acquire(path, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->num_vertices(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, LruEvictsColdGraphsByCount) {
+  GraphRegistry::Options opts;
+  opts.max_entries = 2;
+  GraphRegistry reg(opts);
+  const std::string a = "gen:ecology-like?scale=0.02&seed=1";
+  const std::string b = "gen:ecology-like?scale=0.02&seed=2";
+  const std::string c = "gen:ecology-like?scale=0.02&seed=3";
+  reg.acquire(a);
+  reg.acquire(b);
+  reg.acquire(a);  // touch a: b is now coldest
+  reg.acquire(c);  // evicts b
+
+  bool hit = false;
+  reg.acquire(a, &hit);
+  EXPECT_TRUE(hit) << "recently used entry must survive";
+  reg.acquire(b, &hit);
+  EXPECT_FALSE(hit) << "cold entry must have been evicted";
+  EXPECT_GE(reg.stats().evictions, 1u);
+}
+
+TEST(Registry, ByteBoundEvicts) {
+  GraphRegistry::Options opts;
+  opts.max_bytes = 1;  // everything over budget: keep only the newest
+  GraphRegistry reg(opts);
+  reg.acquire("gen:ecology-like?scale=0.02&seed=1");
+  reg.acquire("gen:ecology-like?scale=0.02&seed=2");
+  EXPECT_EQ(reg.stats().entries, 1u);
+}
+
+TEST(Registry, EvictionDoesNotInvalidateOutstandingRefs) {
+  GraphRegistry::Options opts;
+  opts.max_entries = 1;
+  GraphRegistry reg(opts);
+  const auto held = reg.acquire("gen:ecology-like?scale=0.02&seed=1");
+  const vid_t n = held->num_vertices();
+  reg.acquire("gen:ecology-like?scale=0.02&seed=2");  // evicts the first
+  EXPECT_EQ(held->num_vertices(), n);  // shared_ptr keeps it alive
+}
+
+TEST(Registry, FailedLoadsAreNotCached) {
+  GraphRegistry reg;
+  EXPECT_THROW(reg.acquire("/nonexistent/graph.mtx"), std::runtime_error);
+  EXPECT_THROW(reg.acquire("gen:no-such-suite-graph?scale=0.02"),
+               std::exception);
+  const auto s = reg.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.load_errors, 2u);
+  // A retry attempts the load again (counts as a fresh miss, not a hit).
+  EXPECT_THROW(reg.acquire("/nonexistent/graph.mtx"), std::runtime_error);
+  EXPECT_EQ(reg.stats().misses, 3u);
+}
+
+TEST(Registry, ConcurrentAcquiresShareOneLoad) {
+  GraphRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const Csr>> got(kThreads);
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&, t] { got[t] = reg.acquire(kTiny); });
+  }
+  for (auto& th : team) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got[0].get(), got[t].get());
+  }
+  const auto s = reg.stats();
+  EXPECT_EQ(s.misses, 1u) << "exactly one thread should have loaded";
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(Registry, ClearDropsResidency) {
+  GraphRegistry reg;
+  reg.acquire(kTiny);
+  reg.clear();
+  EXPECT_EQ(reg.stats().entries, 0u);
+  bool hit = true;
+  reg.acquire(kTiny, &hit);
+  EXPECT_FALSE(hit);
+}
+
+}  // namespace
+}  // namespace gcg::svc

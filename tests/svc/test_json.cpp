@@ -1,0 +1,78 @@
+#include "svc/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcg::svc {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse("true").dump(), "true");
+  EXPECT_EQ(Json::parse("false").dump(), "false");
+  EXPECT_EQ(Json::parse("42").dump(), "42");
+  EXPECT_EQ(Json::parse("-7").dump(), "-7");
+  EXPECT_EQ(Json::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersStayExact) {
+  const Json j = Json::parse("9007199254740993");  // 2^53 + 1
+  ASSERT_TRUE(j.is_int());
+  EXPECT_EQ(j.as_int(), 9007199254740993LL);
+}
+
+TEST(Json, DoublesParse) {
+  const Json j = Json::parse("1.5e2");
+  ASSERT_TRUE(j.is_double());
+  EXPECT_DOUBLE_EQ(j.as_double(), 150.0);
+  EXPECT_EQ(Json::parse("42").as_double(), 42.0);  // int widens
+}
+
+TEST(Json, ObjectRoundTrip) {
+  const std::string line =
+      "{\"algorithm\":\"steal\",\"ok\":true,\"seed\":7,\"x\":1.5}";
+  const Json j = Json::parse(line);
+  EXPECT_EQ(j.get_string("algorithm", ""), "steal");
+  EXPECT_TRUE(j.get_bool("ok", false));
+  EXPECT_EQ(j.get_int("seed", 0), 7);
+  EXPECT_DOUBLE_EQ(j.get_double("x", 0.0), 1.5);
+  EXPECT_EQ(j.dump(), line);  // keys already sorted
+}
+
+TEST(Json, NestedStructures) {
+  const Json j = Json::parse(
+      "{\"a\":[1,2,{\"b\":[]}],\"c\":{\"d\":null}}");
+  ASSERT_TRUE(j.find("a")->is_array());
+  EXPECT_EQ(j.find("a")->as_array().size(), 3u);
+  EXPECT_TRUE(j.find("c")->find("d")->is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const Json j = Json::parse("\"line\\nbreak\\ttab \\\"q\\\" \\u0041\"");
+  EXPECT_EQ(j.as_string(), "line\nbreak\ttab \"q\" A");
+  // dump() never emits raw newlines: one value == one protocol line.
+  EXPECT_EQ(Json(std::string("a\nb")).dump().find('\n'), std::string::npos);
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "\"unterm",
+        "{\"a\":1}extra", "[1 2]", "nan", "'single'"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\":1}");
+  EXPECT_THROW(j.as_array(), std::runtime_error);
+  EXPECT_THROW(j.find("a")->as_string(), std::runtime_error);
+  EXPECT_THROW(Json::parse("1.5").as_int(), std::runtime_error);
+}
+
+TEST(Json, DeepNestingRejected) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(Json::parse(deep), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcg::svc

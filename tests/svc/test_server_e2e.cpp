@@ -1,0 +1,252 @@
+// End-to-end acceptance test: a real color_server-equivalent (in-process
+// svc::Server over a Unix-domain socket) serving concurrent svc::Clients.
+// Covers the PR's acceptance criterion: N concurrent clients submitting
+// jobs with mixed algorithms against >= 3 distinct graphs; every returned
+// coloring verifies valid; the registry reports cache hits; and the
+// bounded queue rejects with a distinct machine-readable error once
+// offered load exceeds capacity.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coloring/verify.hpp"
+#include "svc/client.hpp"
+#include "svc/graph_registry.hpp"
+#include "svc/protocol.hpp"
+
+namespace gcg::svc {
+namespace {
+
+constexpr const char* kGraphs[] = {
+    "gen:ecology-like?scale=0.02&seed=1",
+    "gen:kron-like?scale=0.02&seed=1",
+    "gen:road-like?scale=0.02&seed=1",
+};
+constexpr const char* kAlgorithms[] = {"speculative", "jpl", "steal"};
+
+std::string unique_socket_path(const char* tag) {
+  // Keep it short: sockaddr_un caps paths at ~107 bytes.
+  return "/tmp/gcg_e2e_" + std::string(tag) + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+ServerOptions small_server(const std::string& socket_path) {
+  ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.scheduler.dispatchers = 2;
+  opts.scheduler.threads_per_job = 2;
+  opts.scheduler.queue_capacity = 128;
+  return opts;
+}
+
+std::vector<color_t> colors_from_reply(const Json& reply) {
+  const Json* result = reply.find("result");
+  if (!result) return {};
+  const Json* colors = result->find("colors");
+  if (!colors) return {};
+  std::vector<color_t> out;
+  out.reserve(colors->as_array().size());
+  for (const Json& c : colors->as_array()) {
+    out.push_back(static_cast<color_t>(c.as_int()));
+  }
+  return out;
+}
+
+TEST(ServerE2E, PingStatsAndSingleJob) {
+  Server server(small_server(unique_socket_path("ping")));
+  Client client(server.socket_path());
+  EXPECT_TRUE(client.ping());
+
+  JobSpec spec;
+  spec.graph = kGraphs[0];
+  const Json reply = client.submit(spec, /*wait=*/true);
+  ASSERT_TRUE(reply.get_bool("ok", false)) << reply.dump();
+  EXPECT_EQ(reply.get_string("status", ""), "done");
+  ASSERT_NE(reply.find("result"), nullptr);
+  EXPECT_GT(reply.find("result")->get_int("num_colors", 0), 0);
+  EXPECT_TRUE(reply.find("result")->get_bool("verified", false));
+
+  const Json stats = client.stats();
+  EXPECT_TRUE(stats.get_bool("ok", false));
+  EXPECT_EQ(stats.get_int("completed", 0), 1);
+  server.stop();
+}
+
+// The acceptance test proper.
+TEST(ServerE2E, ConcurrentMixedLoadAllColoringsValid) {
+  constexpr int kClients = 6;
+  constexpr int kJobsPerClient = 6;
+  Server server(small_server(unique_socket_path("load")));
+
+  std::atomic<int> ok_jobs{0};
+  std::atomic<int> invalid_colorings{0};
+  std::atomic<int> failures{0};
+
+  // Each client thread verifies its colorings against its own locally
+  // loaded copy of the (deterministic) generated graph.
+  std::vector<std::thread> team;
+  for (int c = 0; c < kClients; ++c) {
+    team.emplace_back([&, c] {
+      GraphRegistry local;
+      Client client(server.socket_path());
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        JobSpec spec;
+        spec.graph = kGraphs[(c + j) % 3];
+        spec.algorithm = kAlgorithms[j % 3];
+        spec.seed = static_cast<std::uint64_t>(c * 100 + j + 1);
+        spec.keep_colors = true;
+        const Json reply = client.submit(spec, /*wait=*/true);
+        if (!reply.get_bool("ok", false) ||
+            reply.get_string("status", "") != "done") {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto colors = colors_from_reply(reply);
+        const auto g = local.acquire(spec.graph);
+        if (colors.size() != g->num_vertices() ||
+            find_violation(*g, colors).has_value()) {
+          invalid_colorings.fetch_add(1);
+          continue;
+        }
+        ok_jobs.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(invalid_colorings.load(), 0);
+  EXPECT_EQ(ok_jobs.load(), kClients * kJobsPerClient);
+
+  Client client(server.socket_path());
+  const Json stats = client.stats();
+  EXPECT_EQ(stats.get_int("completed", 0), kClients * kJobsPerClient);
+  const Json* registry = stats.find("registry");
+  ASSERT_NE(registry, nullptr);
+  // 36 jobs over 3 graphs: the registry must have served from cache.
+  EXPECT_EQ(registry->get_int("misses", -1), 3);
+  EXPECT_GT(registry->get_int("hits", 0) + stats.get_int("batched_jobs", 0),
+            0);
+  server.stop();
+}
+
+TEST(ServerE2E, BoundedQueueRejectsWithDistinctError) {
+  ServerOptions opts = small_server(unique_socket_path("full"));
+  opts.scheduler.dispatchers = 1;
+  opts.scheduler.threads_per_job = 1;
+  opts.scheduler.queue_capacity = 2;
+  Server server(opts);
+
+  Client client(server.socket_path());
+  bool saw_queue_full = false;
+  std::vector<std::uint64_t> accepted;
+  JobSpec spec;
+  spec.graph = kGraphs[1];
+  for (int i = 0; i < 64 && !saw_queue_full; ++i) {
+    const Json reply = client.submit(spec, /*wait=*/false);
+    if (reply.get_bool("ok", false)) {
+      accepted.push_back(
+          static_cast<std::uint64_t>(reply.get_int("id", 0)));
+    } else {
+      EXPECT_EQ(reply.get_string("error", ""), kErrQueueFull);
+      EXPECT_FALSE(reply.get_string("detail", "").empty());
+      saw_queue_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_queue_full)
+      << "a 2-deep queue on one dispatcher must overflow";
+  // Accepted jobs still complete fine after the rejection.
+  for (const auto id : accepted) {
+    const Json reply = client.result(id);
+    EXPECT_TRUE(reply.get_bool("ok", false)) << reply.dump();
+    EXPECT_EQ(reply.get_string("status", ""), "done");
+  }
+  server.stop();
+}
+
+TEST(ServerE2E, StatusCancelAndErrorVerbs) {
+  Server server(small_server(unique_socket_path("verbs")));
+  Client client(server.socket_path());
+
+  // Unknown id -> unknown_id on both status and result.
+  Json reply = client.status(424242);
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_string("error", ""), kErrUnknownId);
+  EXPECT_FALSE(client.cancel(424242).get_bool("cancelled", true));
+
+  // Unknown op -> unknown_op.
+  Json bad_op{JsonObject{}};
+  bad_op["op"] = Json(std::string("frobnicate"));
+  reply = client.request(bad_op);
+  EXPECT_EQ(reply.get_string("error", ""), kErrUnknownOp);
+
+  // Bad submit -> bad_request, connection stays usable.
+  Json bad_submit{JsonObject{}};
+  bad_submit["op"] = Json(std::string("submit"));
+  bad_submit["graph"] = Json(std::string("gen:ecology-like?bogus=1"));
+  reply = client.request(bad_submit);
+  EXPECT_EQ(reply.get_string("error", ""), kErrBadRequest);
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(ServerE2E, MalformedLineYieldsProtocolError) {
+  Server server(small_server(unique_socket_path("proto")));
+
+  // Raw socket: svc::Client can't send malformed JSON by construction.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string line = "this is not json\n";
+  ASSERT_EQ(::write(fd, line.data(), line.size()),
+            static_cast<ssize_t>(line.size()));
+  std::string got;
+  char ch = 0;
+  while (::read(fd, &ch, 1) == 1 && ch != '\n') got.push_back(ch);
+  ::close(fd);
+
+  const Json reply = Json::parse(got);
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_string("error", ""), kErrProtocol);
+  server.stop();
+}
+
+TEST(ServerE2E, ShutdownVerbStopsServer) {
+  Server server(small_server(unique_socket_path("shut")));
+  {
+    Client client(server.socket_path());
+    EXPECT_TRUE(client.shutdown_server());
+  }
+  // The shutdown verb flags the server; wait() returns promptly.
+  EXPECT_TRUE(server.wait_for(5000.0));
+  server.stop();
+  // Socket is unlinked: a fresh connect attempt fails.
+  EXPECT_THROW(Client{server.socket_path()}, std::runtime_error);
+}
+
+TEST(ServerE2E, StopUnblocksIdleConnections) {
+  auto server = std::make_unique<Server>(
+      small_server(unique_socket_path("idle")));
+  Client idle(server->socket_path());  // connected, never sends
+  EXPECT_TRUE(idle.ping());
+  server->stop();  // must not hang on the idle connection's blocked read
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gcg::svc
