@@ -47,9 +47,15 @@ Json Client::request(const Json& req) {
   line += '\n';
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    // MSG_NOSIGNAL: a server that died mid-request must surface as EPIPE
+    // (exception below), not a SIGPIPE that kills the client process.
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw std::runtime_error("client: server closed the connection");
+      }
       throw std::runtime_error(std::string("client: write(): ") +
                                std::strerror(errno));
     }

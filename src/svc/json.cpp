@@ -250,7 +250,14 @@ std::int64_t Json::as_int() const {
   if (is_int()) return std::get<std::int64_t>(v_);
   if (is_double()) {
     const double d = std::get<double>(v_);
-    if (std::nearbyint(d) == d) return static_cast<std::int64_t>(d);
+    // Only integral doubles inside int64 range convert: casting e.g. a
+    // client-supplied 1e300 would be undefined behavior. 2^63 is exactly
+    // representable; INT64_MAX is not, hence the half-open bound.
+    constexpr double kLo = -9223372036854775808.0;  // -2^63
+    constexpr double kHi = 9223372036854775808.0;   // 2^63
+    if (std::nearbyint(d) == d && d >= kLo && d < kHi) {
+      return static_cast<std::int64_t>(d);
+    }
   }
   type_error("an integer");
 }

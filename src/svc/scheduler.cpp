@@ -41,7 +41,10 @@ std::string validate_spec(const JobSpec& spec) {
 }  // namespace
 
 Scheduler::Scheduler(SchedulerOptions opts)
-    : opts_(opts), registry_(opts.registry), queue_(opts.queue_capacity) {
+    : opts_(opts),
+      registry_(opts.registry),
+      queue_(opts.queue_capacity),
+      latency_ms_(opts.latency_window) {
   const unsigned dispatchers = std::max(1u, opts_.dispatchers);
   unsigned per_job = opts_.threads_per_job;
   if (per_job == 0) {
@@ -95,6 +98,10 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
     } else {
       job = std::make_shared<JobRecord>(next_id_++, std::move(spec),
                                         std::move(key), Clock::now());
+      // Tracked before the push: a dispatcher may pop and finish() the
+      // job the instant it hits the queue, and finish() expects the
+      // record to already be in jobs_ (status/wait do too).
+      jobs_.emplace(job->id, job);
     }
   }
   if (!job) {
@@ -104,6 +111,10 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
   }
 
   if (!queue_.try_push(job)) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.erase(job->id);  // never queued; drop the record again
+    }
     // Backpressure: the distinct error code clients key off to back off.
     out.error = "queue_full";
     out.detail = "job queue at capacity (" +
@@ -113,7 +124,6 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
     return out;
   }
 
-  track(job);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++counters_.submitted;
@@ -121,11 +131,6 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
   out.accepted = true;
   out.id = job->id;
   return out;
-}
-
-void Scheduler::track(const JobPtr& job) {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
-  jobs_.emplace(job->id, job);
 }
 
 std::optional<JobSnapshot> Scheduler::status(std::uint64_t id) const {

@@ -39,12 +39,16 @@ struct SchedulerOptions {
   std::size_t queue_capacity = 64;   ///< queued jobs before submit rejects
   std::size_t batch_limit = 8;       ///< max same-graph jobs per dispatch
   std::size_t retain_jobs = 1024;    ///< terminal records kept for queries
+  /// Latency samples kept for percentile reporting (sliding window, so
+  /// memory and stats-query cost stay bounded on a long-running service).
+  std::size_t latency_window = 4096;
   bool verify = true;                ///< check colorings before reporting
   GraphRegistry::Options registry;
 };
 
-/// Counters the `stats` verb reports. Latency percentiles are over
-/// terminal jobs (submit -> done/failed/cancelled).
+/// Counters the `stats` verb reports. Latency covers terminal jobs
+/// (submit -> done/failed/cancelled); mean/max are all-time, percentiles
+/// are over the most recent `latency_window` samples.
 struct SchedulerStats {
   std::uint64_t submitted = 0;   ///< accepted into the queue
   std::uint64_t rejected = 0;    ///< refused: queue full or bad request
@@ -114,7 +118,6 @@ class Scheduler {
   void finish(const JobPtr& job, JobStatus status, JobResult result);
   void fail_terminal(const JobPtr& job, JobStatus status,
                      const std::string& error);
-  void track(const JobPtr& job);
 
   const SchedulerOptions opts_;
   GraphRegistry registry_;
@@ -129,7 +132,7 @@ class Scheduler {
 
   mutable std::mutex stats_mu_;
   SchedulerStats counters_;      // counter fields only; gauges filled on read
-  SampleStats latency_ms_;
+  WindowedStats latency_ms_;     // bounded: percentiles over a window
 
   std::mutex shutdown_mu_;
   bool shut_down_ = false;

@@ -18,15 +18,18 @@ namespace gcg::svc {
 namespace {
 
 /// Writes all of `data` + '\n'; false on a broken connection.
+/// MSG_NOSIGNAL: a client that disconnects before its reply arrives must
+/// yield EPIPE here, not a process-killing SIGPIPE.
 bool write_line(int fd, const std::string& data) {
   std::string line = data;
   line += '\n';
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    const ssize_t n =
+        ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // EPIPE/ECONNRESET: peer is gone
     }
     off += static_cast<std::size_t>(n);
   }
@@ -111,6 +114,7 @@ Server::~Server() { stop(); }
 
 void Server::accept_loop() {
   while (true) {
+    reap_finished();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stop_requested_) return;
@@ -175,9 +179,29 @@ void Server::serve_connection(int fd, std::uint64_t conn_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     open_fds_.erase(conn_id);
-    // The thread object stays in connections_ until stop() joins it.
+    // Park our own thread handle on the done-list for the acceptor (or
+    // stop()) to join — a long-running server must not accumulate one
+    // unjoined thread per connection ever served. stop() may already
+    // have claimed the handle, in which case it joins us directly.
+    const auto it = connections_.find(conn_id);
+    if (it != connections_.end()) {
+      finished_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
   }
   if (shutdown_verb) request_stop();
+}
+
+void Server::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(finished_);
+  }
+  // Joins happen outside the lock: the threads' own exit path locks mu_.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void Server::request_stop() {
@@ -232,6 +256,7 @@ void Server::stop() {
     }
     if (victim.joinable()) victim.join();
   }
+  reap_finished();  // threads that exited on their own since the last reap
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "svc/scheduler.hpp"
 
@@ -56,6 +57,7 @@ class Server {
  private:
   void accept_loop();
   void serve_connection(int fd, std::uint64_t conn_id);
+  void reap_finished();
   void close_listener();
 
   ServerOptions opts_;
@@ -67,7 +69,8 @@ class Server {
   std::condition_variable stop_cv_;
   bool stop_requested_ = false;
   bool stopped_ = false;
-  std::map<std::uint64_t, std::thread> connections_;  // joined on stop
+  std::map<std::uint64_t, std::thread> connections_;  // still serving
+  std::vector<std::thread> finished_;  // exited; acceptor/stop joins them
   std::uint64_t next_conn_id_ = 1;
   std::uint64_t connections_served_ = 0;
   std::map<std::uint64_t, int> open_fds_;  // shutdown()'d to unblock reads

@@ -7,6 +7,22 @@
 
 namespace gcg {
 
+namespace {
+
+/// Linear interpolation between order statistics of an already-sorted,
+/// non-empty sample; p in [0,100].
+double percentile_of_sorted(const std::vector<double>& xs, double p) {
+  GCG_EXPECT(p >= 0.0 && p <= 100.0);
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace
+
 void RunningStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;
@@ -62,12 +78,7 @@ double SampleStats::percentile(double p) const {
   GCG_EXPECT(p >= 0.0 && p <= 100.0);
   if (xs_.empty()) return 0.0;
   ensure_sorted();
-  if (xs_.size() == 1) return xs_[0];
-  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return xs_[lo] + frac * (xs_[hi] - xs_[lo]);
+  return percentile_of_sorted(xs_, p);
 }
 
 double SampleStats::gini() const {
@@ -83,6 +94,25 @@ double SampleStats::gini() const {
   if (total == 0.0) return 0.0;
   const double n = static_cast<double>(xs_.size());
   return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+WindowedStats::WindowedStats(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {}
+
+void WindowedStats::add(double x) {
+  ring_[head_] = x;
+  head_ = (head_ + 1) % ring_.size();
+  if (n_ < ring_.size()) ++n_;
+  rs_.add(x);
+}
+
+double WindowedStats::percentile(double p) const {
+  GCG_EXPECT(p >= 0.0 && p <= 100.0);
+  if (n_ == 0) return 0.0;
+  std::vector<double> xs(ring_.begin(),
+                         ring_.begin() + static_cast<std::ptrdiff_t>(n_));
+  std::sort(xs.begin(), xs.end());
+  return percentile_of_sorted(xs, p);
 }
 
 double geomean(const std::vector<double>& xs) {

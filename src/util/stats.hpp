@@ -61,6 +61,33 @@ class SampleStats {
   void ensure_sorted() const;
 };
 
+/// Percentiles over a bounded ring of the most recent samples plus a
+/// streaming summary over everything ever added. O(capacity) space and
+/// O(capacity log capacity) percentile queries regardless of how many
+/// samples arrive — safe to feed for the lifetime of a long-running
+/// service, unlike SampleStats which stores every sample.
+class WindowedStats {
+ public:
+  explicit WindowedStats(std::size_t capacity = 4096);
+
+  void add(double x);
+
+  std::size_t count() const { return rs_.count(); }  ///< total ever added
+  std::size_t window_count() const { return n_; }    ///< samples in window
+  std::size_t capacity() const { return ring_.size(); }
+  /// All-time mean/min/max/stddev (not windowed).
+  const RunningStats& summary() const { return rs_; }
+  /// p in [0,100]; over the window (most recent `capacity()` samples).
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> ring_;
+  std::size_t n_ = 0;     // filled slots
+  std::size_t head_ = 0;  // next write slot
+  RunningStats rs_;
+};
+
 /// Geometric mean of a list of (positive) ratios; returns 0 for empty input.
 double geomean(const std::vector<double>& xs);
 

@@ -68,6 +68,19 @@ TEST(Json, TypeMismatchThrows) {
   EXPECT_THROW(Json::parse("1.5").as_int(), std::runtime_error);
 }
 
+TEST(Json, IntOutOfInt64RangeThrows) {
+  // Integral-valued doubles beyond int64 (clients can send these as ids)
+  // must throw the type error, not invoke an undefined cast.
+  for (const char* bad : {"1e300", "-1e300", "9223372036854775808",
+                          "1e19", "-1e19"}) {
+    const Json j = Json::parse(bad);
+    ASSERT_TRUE(j.is_double()) << bad;  // int64 parse overflowed to double
+    EXPECT_THROW(j.as_int(), std::runtime_error) << bad;
+  }
+  // -2^63 is exactly representable and in range.
+  EXPECT_EQ(Json(-9223372036854775808.0).as_int(), INT64_MIN);
+}
+
 TEST(Json, DeepNestingRejected) {
   std::string deep(100, '[');
   deep += std::string(100, ']');

@@ -226,6 +226,36 @@ TEST(ServerE2E, MalformedLineYieldsProtocolError) {
   server.stop();
 }
 
+TEST(ServerE2E, ClientDisconnectBeforeReplyDoesNotKillServer) {
+  Server server(small_server(unique_socket_path("gone")));
+
+  // Raw sockets that fire a blocking submit+wait and hang up immediately:
+  // the server's reply lands on a closed peer. Without MSG_NOSIGNAL in
+  // write_line that raises SIGPIPE and terminates this whole process.
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, server.socket_path().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string line =
+        "{\"op\":\"submit\",\"graph\":\"" + std::string(kGraphs[0]) +
+        "\",\"wait\":true}\n";
+    ASSERT_EQ(::write(fd, line.data(), line.size()),
+              static_cast<ssize_t>(line.size()));
+    ::close(fd);  // gone before the reply
+  }
+
+  // The daemon must still be alive and serving.
+  Client client(server.socket_path());
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
 TEST(ServerE2E, ShutdownVerbStopsServer) {
   Server server(small_server(unique_socket_path("shut")));
   {

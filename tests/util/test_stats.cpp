@@ -112,6 +112,53 @@ TEST(SampleStats, GiniKnownValue) {
   EXPECT_NEAR(s.gini(), 2.0 / 9.0, 1e-12);
 }
 
+TEST(WindowedStats, EmptyIsZero) {
+  WindowedStats w(8);
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.window_count(), 0u);
+  EXPECT_EQ(w.capacity(), 8u);
+  EXPECT_EQ(w.percentile(50), 0.0);
+}
+
+TEST(WindowedStats, MatchesSampleStatsBelowCapacity) {
+  WindowedStats w(100);
+  SampleStats s;
+  for (int i = 1; i <= 50; ++i) {
+    w.add(i);
+    s.add(i);
+  }
+  EXPECT_EQ(w.count(), 50u);
+  EXPECT_EQ(w.window_count(), 50u);
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(w.percentile(p), s.percentile(p)) << p;
+  }
+  EXPECT_DOUBLE_EQ(w.summary().mean(), s.summary().mean());
+}
+
+TEST(WindowedStats, WindowSlidesPastCapacity) {
+  WindowedStats w(10);
+  for (int i = 1; i <= 1000; ++i) w.add(i);
+  // Memory stays bounded; percentiles reflect the last 10 samples only.
+  EXPECT_EQ(w.count(), 1000u);
+  EXPECT_EQ(w.window_count(), 10u);
+  EXPECT_DOUBLE_EQ(w.percentile(0), 991.0);
+  EXPECT_DOUBLE_EQ(w.percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(w.median(), 995.5);
+  // The streaming summary still covers everything ever added.
+  EXPECT_DOUBLE_EQ(w.summary().min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.summary().max(), 1000.0);
+  EXPECT_DOUBLE_EQ(w.summary().mean(), 500.5);
+}
+
+TEST(WindowedStats, ZeroCapacityClampsToOne) {
+  WindowedStats w(0);
+  w.add(3.0);
+  w.add(7.0);
+  EXPECT_EQ(w.capacity(), 1u);
+  EXPECT_EQ(w.window_count(), 1u);
+  EXPECT_DOUBLE_EQ(w.percentile(50), 7.0);  // only the latest survives
+}
+
 TEST(Geomean, Basics) {
   EXPECT_EQ(geomean({}), 0.0);
   EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
