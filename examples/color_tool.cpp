@@ -10,6 +10,8 @@
 //   ./examples/color_tool graph.mtx [--backend sim|par]
 //                                   [--algorithm hybrid+steal]
 //                                   [--threads N]   (par backend)
+//                                   [--grain N] [--schedule vertex|edge]
+//                                   [--hub-threshold N]   (par scheduling)
 //                                   [--order natural] [--out colors.txt]
 //                                   [--seed 1] [--stats]
 #include <fstream>
@@ -74,6 +76,11 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
   par::ParOptions opts;
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  opts.grain = static_cast<std::uint32_t>(cli.get_int("grain", opts.grain));
+  opts.schedule = par::schedule_from_name(
+      cli.get("schedule", par::schedule_name(opts.schedule)));
+  opts.hub_degree_threshold = static_cast<std::uint32_t>(
+      cli.get_int("hub-threshold", opts.hub_degree_threshold));
 
   const par::ParRun run = par::run_par_coloring(g, algo, opts);
   if (const auto violation = find_violation(g, run.colors)) {

@@ -3,73 +3,62 @@
 // construction of the strict total order) and commits them with first-fit.
 // Colors are only read in the winner-flag phase and only written in the
 // commit phase, and a committed vertex never has a committed neighbour in
-// the same round — so the result is deterministic at any thread count.
-#include <numeric>
-
-#include "par/detail/driver.hpp"
+// the same round — so the result is deterministic at any thread count,
+// under any schedule, and with the hub path on or off: a hub's winner flag
+// is the same exists-reduction the per-worker path computes, and its
+// cooperative first-fit builds the same forbidden set (OR is commutative).
+#include "par/detail/frontier.hpp"
 
 namespace gcg::par::detail {
 
 void run_jpl(DriverState& st) {
   const vid_t n = st.g.num_vertices();
   if (n == 0) return;
-  std::vector<vid_t> worklist(n);
-  std::iota(worklist.begin(), worklist.end(), vid_t{0});
-  std::vector<vid_t> next(n);
+  const SchedulePlan plan = make_plan(st.g, st.opts, st.pool.size());
+  FrontierExec frontier(st, plan);
   std::vector<std::uint8_t> wins(n, 0);
-  std::uint32_t wsize = n;
-
   std::vector<FirstFitScratch> scratch(st.pool.size(),
                                        FirstFitScratch(st.g.max_degree()));
-  const std::uint32_t grain = 512;
+  HubScratch hub_scratch(st.g.max_degree());
 
-  while (wsize > 0 && !cancel_requested(st)) {
+  while (frontier.active() > 0 && !cancel_requested(st)) {
     GCG_ASSERT(st.run.iterations < st.opts.max_iterations);
     ++st.run.iterations;
 
     // Phase 1: winner flags against the stable color array.
-    st.pool.parallel_for(wsize, grain, [&](std::uint32_t b, std::uint32_t e,
-                                           unsigned w) {
-      ParWorkerStats& ws = st.run.workers[w];
-      BusyTimer timer(ws);
-      for (std::uint32_t i = b; i < e; ++i) {
-        const vid_t v = worklist[i];
-        bool win = true;
-        for (vid_t u : st.g.neighbors(v)) {
-          if (load_color(st.colors[u]) == kUncolored &&
-              !priority_less(st.prio[u], u, st.prio[v], v)) {
-            win = false;
-            break;
+    frontier.phase(
+        [&](vid_t v, unsigned) {
+          bool win = true;
+          for (vid_t u : st.g.neighbors(v)) {
+            if (load_color(st.colors[u]) == kUncolored &&
+                !priority_less(st.prio[u], u, st.prio[v], v)) {
+              win = false;
+              break;
+            }
           }
-        }
-        wins[v] = win ? 1 : 0;
-      }
-      ws.vertices += e - b;
-    });
+          wins[v] = win ? 1 : 0;
+        },
+        [&](vid_t v) {
+          const bool beaten = coop_exists(st, v, [&](vid_t u) {
+            return load_color(st.colors[u]) == kUncolored &&
+                   !priority_less(st.prio[u], u, st.prio[v], v);
+          });
+          wins[v] = beaten ? 0 : 1;
+        });
 
     // Phase 2: winners commit first-fit (their neighbours cannot be
     // winners, so the reads are stable); losers survive into next round.
-    FrontierAppender app{next};
-    st.pool.parallel_for(wsize, grain, [&](std::uint32_t b, std::uint32_t e,
-                                           unsigned w) {
-      BusyTimer timer(st.run.workers[w]);
-      std::vector<vid_t> losers;
-      for (std::uint32_t i = b; i < e; ++i) {
-        const vid_t v = worklist[i];
-        if (wins[v]) {
+    frontier.rebuild(
+        [&](vid_t v, unsigned w) {
+          if (!wins[v]) return true;
           store_color(st.colors[v], scratch[w].first_fit(st.g, st.colors, v));
-        } else {
-          losers.push_back(v);
-        }
-      }
-      if (!losers.empty()) {
-        std::uint32_t at = app.claim(static_cast<std::uint32_t>(losers.size()));
-        for (vid_t v : losers) next[at++] = v;
-      }
-    });
-
-    wsize = app.counter.load(std::memory_order_relaxed);
-    worklist.swap(next);
+          return false;
+        },
+        [&](vid_t v) {
+          if (!wins[v]) return true;
+          store_color(st.colors[v], coop_first_fit(st, hub_scratch, v));
+          return false;
+        });
   }
 }
 

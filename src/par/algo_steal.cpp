@@ -43,7 +43,9 @@ void run_steal(DriverState& st) {
   StealPool spool(workers);
   std::vector<FirstFitScratch> scratch(workers,
                                        FirstFitScratch(st.g.max_degree()));
-  const std::uint32_t grain = 512;
+  // Commit phases are barriered parallel_fors; the flag phase's imbalance
+  // is handled by the deques, so the schedule/hub knobs don't apply here.
+  const std::uint32_t grain = std::max(st.opts.grain, 1u);
   color_t palette = 0;  // colors used so far; barriers keep it exact
   std::vector<color_t> wmax(workers);
 

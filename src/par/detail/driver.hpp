@@ -2,7 +2,9 @@
 // analogue of coloring/detail/driver.hpp. Internal header.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <vector>
 
@@ -54,14 +56,60 @@ inline void store_color(color_t& slot, color_t c) {
   std::atomic_ref<color_t>(slot).store(c, std::memory_order_relaxed);
 }
 
-/// Per-worker first-fit scratch: forbidden[c] == stamp marks color c as
-/// taken by a neighbour. Stamping avoids clearing between vertices.
+/// Per-worker first-fit scratch. Two paths share one contract — return
+/// the smallest color unused by v's neighbours (read through load_color):
+///
+///  * bitset: a forbidden-color mask at one bit per color, 64 colors per
+///    word. A vertex of degree d has at most d forbidden colors, so only
+///    colors < d+1 can matter; the mask is cleared and scanned up to that
+///    limit and the answer is the first zero bit (countr_one). This keeps
+///    the whole scan for typical vertices inside a handful of words.
+///  * stamp array: the original O(colors) stamped array, kept as the
+///    fallback for ultra-high-degree vertices where clearing the bitset
+///    per call would dominate. Allocated only when the graph can need it.
 struct FirstFitScratch {
-  explicit FirstFitScratch(vid_t max_degree)
-      : forbidden(static_cast<std::size_t>(max_degree) + 2, 0) {}
+  /// Colors at or above this use the stamp fallback (degree >= cap).
+  static constexpr std::size_t kBitsetColorCap = 4096;
 
-  /// Smallest color unused by v's neighbours, read through load_color.
+  explicit FirstFitScratch(vid_t max_degree) {
+    const std::size_t colors = static_cast<std::size_t>(max_degree) + 1;
+    words.assign((std::min(colors, kBitsetColorCap) + 63) / 64, 0);
+    if (colors > kBitsetColorCap) forbidden.assign(colors + 1, 0);
+  }
+
   color_t first_fit(const Csr& g, std::span<const color_t> colors, vid_t v) {
+    // At most degree(v) colors are forbidden, so the answer is at most
+    // degree(v) and neighbour colors beyond that bound are irrelevant.
+    const std::size_t limit = static_cast<std::size_t>(g.degree(v)) + 1;
+    return limit <= kBitsetColorCap ? bitset_fit(g, colors, v, limit)
+                                    : stamp_fit(g, colors, v);
+  }
+
+  std::vector<std::uint64_t> words;      ///< forbidden-color bitset
+  std::vector<std::uint64_t> forbidden;  ///< stamp fallback (big graphs only)
+  std::uint64_t stamp = 0;
+
+ private:
+  color_t bitset_fit(const Csr& g, std::span<const color_t> colors, vid_t v,
+                     std::size_t limit) {
+    const std::size_t nw = (limit + 63) / 64;
+    std::fill_n(words.begin(), nw, std::uint64_t{0});
+    for (vid_t u : g.neighbors(v)) {
+      // kUncolored (-1) wraps to UINT32_MAX, so one compare rejects both
+      // uncolored neighbours and colors too large to matter.
+      const auto c = static_cast<std::uint32_t>(load_color(colors[u]));
+      if (c < limit) words[c >> 6] |= std::uint64_t{1} << (c & 63);
+    }
+    for (std::size_t k = 0;; ++k) {
+      if (words[k] != ~std::uint64_t{0}) {
+        return static_cast<color_t>(k * 64 +
+                                    static_cast<std::size_t>(
+                                        std::countr_one(words[k])));
+      }
+    }
+  }
+
+  color_t stamp_fit(const Csr& g, std::span<const color_t> colors, vid_t v) {
     ++stamp;
     for (vid_t u : g.neighbors(v)) {
       const color_t c = load_color(colors[u]);
@@ -73,9 +121,6 @@ struct FirstFitScratch {
     while (forbidden[static_cast<std::size_t>(c)] == stamp) ++c;
     return c;
   }
-
-  std::vector<std::uint64_t> forbidden;
-  std::uint64_t stamp = 0;
 };
 
 /// Accumulates busy time into one worker's stats on scope exit.
@@ -103,7 +148,9 @@ struct FrontierAppender {
   std::uint32_t claim(std::uint32_t count) {
     const std::uint32_t at =
         counter.fetch_add(count, std::memory_order_relaxed);
-    GCG_ASSERT(at + count <= out.size());
+    // Widen before adding: `at + count` in 32 bits can wrap on a huge
+    // frontier and sail past the bounds check it is supposed to enforce.
+    GCG_ASSERT(std::uint64_t{at} + count <= out.size());
     return at;
   }
 };

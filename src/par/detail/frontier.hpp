@@ -1,0 +1,300 @@
+// Degree-aware frontier execution for the vertex-parallel algorithms
+// (speculative, jpl): edge-balanced or vertex-count chunking off the
+// ParOptions schedule, a cooperative whole-team path for hub vertices,
+// and an adaptive dense/sparse frontier representation. Internal header.
+//
+// Determinism contract: none of the machinery here may change what an
+// algorithm computes, only how the work is divided. The frontier switches
+// representation (bitmap vs compacted worklist) and partitioning (vertex
+// vs edge-balanced) freely because the algorithms' phases are
+// order-independent within a phase; the cooperative hub reductions
+// (OR-mask first-fit, exists-scan) are commutative, so a hub's result is
+// identical to the per-worker path's.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "par/detail/driver.hpp"
+
+namespace gcg::par::detail {
+
+/// Scheduling parameters resolved once per run from ParOptions + graph.
+struct SchedulePlan {
+  Schedule schedule = Schedule::kEdgeBalanced;
+  std::uint32_t grain = 512;     ///< target vertices per chunk
+  vid_t hub_threshold = 0;       ///< degree above which a vertex is a hub
+  bool hubs = false;             ///< hub path active this run
+  std::uint32_t dense_min = 1;   ///< frontier size at/above which the
+                                 ///< dense (bitmap) representation is used
+};
+
+SchedulePlan make_plan(const Csr& g, const ParOptions& opts, unsigned workers);
+
+/// Neighbours per slice when the team cooperates on one hub's adjacency.
+inline constexpr std::uint32_t kHubSliceGrain = 2048;
+
+/// Shared forbidden-color mask for cooperative hub first-fit; sized once
+/// for the largest possible hub.
+struct HubScratch {
+  explicit HubScratch(vid_t max_degree)
+      : mask((static_cast<std::size_t>(max_degree) + 1 + 63) / 64, 0) {}
+  std::vector<std::uint64_t> mask;
+};
+
+/// All workers cooperatively compute the first-fit color of one hub: each
+/// scans slices of v's adjacency and ORs forbidden colors into the shared
+/// bitset (fetch_or is commutative, so the mask — and the returned color —
+/// is independent of the slicing), then the caller finds the first zero
+/// bit. Must be called outside any parallel region.
+inline color_t coop_first_fit(DriverState& st, HubScratch& hs, vid_t v) {
+  const vid_t deg = st.g.degree(v);
+  const std::size_t limit = static_cast<std::size_t>(deg) + 1;
+  const std::size_t nw = (limit + 63) / 64;
+  std::fill_n(hs.mask.begin(), nw, std::uint64_t{0});
+  const vid_t* nbrs = st.g.col_indices().data() + st.g.offset(v);
+  st.pool.parallel_for(
+      deg, kHubSliceGrain,
+      [&](std::uint32_t b, std::uint32_t e, unsigned w) {
+        BusyTimer timer(st.run.workers[w]);
+        for (std::uint32_t i = b; i < e; ++i) {
+          const auto c =
+              static_cast<std::uint32_t>(load_color(st.colors[nbrs[i]]));
+          if (c < limit) {
+            std::atomic_ref<std::uint64_t>(hs.mask[c >> 6])
+                .fetch_or(std::uint64_t{1} << (c & 63),
+                          std::memory_order_relaxed);
+          }
+        }
+      });
+  // The pool barrier orders the relaxed ORs before these plain reads.
+  for (std::size_t k = 0;; ++k) {
+    if (hs.mask[k] != ~std::uint64_t{0}) {
+      return static_cast<color_t>(
+          k * 64 + static_cast<std::size_t>(std::countr_one(hs.mask[k])));
+    }
+  }
+}
+
+/// True if any neighbour of the hub satisfies pred; workers scan slices
+/// and publish into a shared flag, checked per slice for early exit.
+/// Existence is independent of the slicing, so the result is
+/// deterministic. Must be called outside any parallel region.
+template <class Pred>
+bool coop_exists(DriverState& st, vid_t v, Pred&& pred) {
+  const vid_t deg = st.g.degree(v);
+  const vid_t* nbrs = st.g.col_indices().data() + st.g.offset(v);
+  std::atomic<bool> found{false};
+  st.pool.parallel_for(
+      deg, kHubSliceGrain,
+      [&](std::uint32_t b, std::uint32_t e, unsigned w) {
+        BusyTimer timer(st.run.workers[w]);
+        if (found.load(std::memory_order_relaxed)) return;
+        for (std::uint32_t i = b; i < e; ++i) {
+          if (pred(nbrs[i])) {
+            found.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+  return found.load(std::memory_order_relaxed);
+}
+
+/// The frontier of an iterative vertex-parallel coloring, split into a
+/// normal part (per-worker parallel processing under the configured
+/// schedule) and a hub part (cooperative, one vertex at a time).
+///
+/// Representation adapts to density: while the normal frontier holds at
+/// least `dense_min` vertices it is an iteration-stamped bitmap over all
+/// vertices — survivors mark their own slot, so nothing funnels through a
+/// shared append cursor — and the partitioner can use the CSR row-offset
+/// array as a ready-made degree prefix. Once the frontier thins out it is
+/// compacted into an explicit worklist (frontiers only shrink, so this
+/// happens at most once) whose degree prefix is rebuilt per round.
+class FrontierExec {
+ public:
+  FrontierExec(DriverState& st, const SchedulePlan& plan)
+      : st_(st), plan_(plan) {
+    const vid_t n = st_.g.num_vertices();
+    if (plan_.hubs) {
+      for (vid_t v = 0; v < n; ++v) {
+        if (st_.g.degree(v) > plan_.hub_threshold) hubs_.push_back(v);
+      }
+    }
+    wsize_ = n - static_cast<std::uint32_t>(hubs_.size());
+    dense_ = wsize_ >= plan_.dense_min;
+    if (dense_) {
+      stamps_.assign(n, round_);
+      for (vid_t v : hubs_) stamps_[v] = 0;  // hubs never take the flat path
+    } else {
+      worklist_.reserve(wsize_);
+      for (vid_t v = 0; v < n; ++v) {
+        if (!plan_.hubs || st_.g.degree(v) <= plan_.hub_threshold) {
+          worklist_.push_back(v);
+        }
+      }
+      next_.resize(wsize_);
+      refresh_prefix();
+    }
+  }
+
+  /// Active vertices (normal + hub) still uncommitted.
+  std::uint32_t active() const {
+    return wsize_ + static_cast<std::uint32_t>(hubs_.size());
+  }
+
+  std::span<const vid_t> hubs() const { return hubs_; }
+
+  /// Read/flag pass: fn(v, worker) on every active normal vertex in
+  /// parallel, then hub_fn(v) serially per active hub (hub_fn fans its
+  /// own work out over the pool via the coop_* helpers).
+  template <class VertexFn, class HubFn>
+  void phase(VertexFn&& fn, HubFn&& hub_fn) {
+    dispatch([&](std::uint32_t b, std::uint32_t e, unsigned w) {
+      ParWorkerStats& ws = st_.run.workers[w];
+      BusyTimer timer(ws);
+      std::uint64_t seen = 0;
+      if (dense_) {
+        for (std::uint32_t v = b; v < e; ++v) {
+          if (stamps_[v] == round_) {
+            fn(static_cast<vid_t>(v), w);
+            ++seen;
+          }
+        }
+      } else {
+        for (std::uint32_t i = b; i < e; ++i) fn(worklist_[i], w);
+        seen = e - b;
+      }
+      ws.vertices += seen;
+    });
+    st_.run.hub_vertices += hubs_.size();
+    for (vid_t v : hubs_) hub_fn(v);
+  }
+
+  /// Survivor pass: keep(v, worker) -> true keeps v in the next frontier,
+  /// keep_hub(v) likewise for hubs; then the frontier advances one round
+  /// (representation switch, prefix rebuild).
+  template <class KeepFn, class HubKeepFn>
+  void rebuild(KeepFn&& keep, HubKeepFn&& keep_hub) {
+    std::uint32_t new_size = 0;
+    if (dense_) {
+      // Survivors stamp their own slot for the next round: no shared
+      // append cursor, no scatter into a worklist while the frontier is
+      // wide. Only the per-chunk counts meet at an atomic.
+      std::atomic<std::uint32_t> survivors{0};
+      dispatch([&](std::uint32_t b, std::uint32_t e, unsigned w) {
+        BusyTimer timer(st_.run.workers[w]);
+        std::uint32_t kept = 0;
+        for (std::uint32_t v = b; v < e; ++v) {
+          if (stamps_[v] != round_) continue;
+          if (keep(static_cast<vid_t>(v), w)) {
+            stamps_[v] = round_ + 1;
+            ++kept;
+          }
+        }
+        if (kept > 0) survivors.fetch_add(kept, std::memory_order_relaxed);
+      });
+      new_size = survivors.load(std::memory_order_relaxed);
+    } else {
+      FrontierAppender app{next_};
+      dispatch([&](std::uint32_t b, std::uint32_t e, unsigned w) {
+        BusyTimer timer(st_.run.workers[w]);
+        std::vector<vid_t> kept;
+        for (std::uint32_t i = b; i < e; ++i) {
+          const vid_t v = worklist_[i];
+          if (keep(v, w)) kept.push_back(v);
+        }
+        if (!kept.empty()) {
+          std::uint32_t at = app.claim(static_cast<std::uint32_t>(kept.size()));
+          for (vid_t v : kept) next_[at++] = v;
+        }
+      });
+      new_size = app.counter.load(std::memory_order_relaxed);
+      worklist_.swap(next_);
+    }
+
+    next_hubs_.clear();
+    for (vid_t v : hubs_) {
+      if (keep_hub(v)) next_hubs_.push_back(v);
+    }
+    hubs_.swap(next_hubs_);
+
+    ++round_;
+    wsize_ = new_size;
+    if (dense_ && wsize_ < plan_.dense_min) compact();
+    if (!dense_ && plan_.schedule == Schedule::kEdgeBalanced) refresh_prefix();
+  }
+
+ private:
+  /// Runs chunk_fn(begin, end, worker) over the active index space with
+  /// the configured schedule. Dense mode ranges over vertex ids and uses
+  /// the CSR row offsets as the degree prefix; sparse mode ranges over
+  /// worklist positions with a per-round prefix.
+  template <class ChunkFn>
+  void dispatch(ChunkFn&& chunk_fn) {
+    if (dense_) {
+      const vid_t n = st_.g.num_vertices();
+      if (plan_.schedule == Schedule::kEdgeBalanced) {
+        st_.pool.parallel_for_edges(n, st_.g.row_offsets().data(),
+                                    edge_grain(st_.g.num_arcs(), n), chunk_fn);
+      } else {
+        st_.pool.parallel_for(n, plan_.grain, chunk_fn);
+      }
+    } else {
+      if (wsize_ == 0) return;
+      if (plan_.schedule == Schedule::kEdgeBalanced) {
+        st_.pool.parallel_for_edges(wsize_, prefix_.data(),
+                                    edge_grain(prefix_[wsize_], wsize_),
+                                    chunk_fn);
+      } else {
+        st_.pool.parallel_for(wsize_, plan_.grain, chunk_fn);
+      }
+    }
+  }
+
+  /// Edge weight per chunk that cuts `items` into the same number of
+  /// chunks the vertex schedule would produce.
+  std::uint64_t edge_grain(std::uint64_t total_weight,
+                           std::uint32_t items) const {
+    const std::uint64_t chunks =
+        std::max<std::uint64_t>(1, (items + plan_.grain - 1) / plan_.grain);
+    return std::max<std::uint64_t>(1, (total_weight + chunks - 1) / chunks);
+  }
+
+  /// One-time dense -> sparse transition: gather the stamped survivors
+  /// into an explicit worklist (ascending ids, so a 1-thread run keeps
+  /// processing in natural order).
+  void compact() {
+    const vid_t n = st_.g.num_vertices();
+    worklist_.clear();
+    worklist_.reserve(wsize_);
+    for (vid_t v = 0; v < n; ++v) {
+      if (stamps_[v] == round_) worklist_.push_back(v);
+    }
+    next_.resize(worklist_.size());
+    dense_ = false;  // caller refreshes the prefix right after
+  }
+
+  /// Serial degree prefix over the worklist; sparse mode only, where the
+  /// frontier is by definition a small fraction of the graph.
+  void refresh_prefix() {
+    prefix_.resize(static_cast<std::size_t>(wsize_) + 1);
+    prefix_[0] = 0;
+    for (std::uint32_t i = 0; i < wsize_; ++i) {
+      prefix_[i + 1] = prefix_[i] + st_.g.degree(worklist_[i]);
+    }
+  }
+
+  DriverState& st_;
+  SchedulePlan plan_;
+  std::vector<vid_t> worklist_, next_;    ///< sparse mode (normals only)
+  std::vector<std::uint64_t> prefix_;     ///< sparse degree prefix (size+1)
+  std::vector<std::uint32_t> stamps_;     ///< dense mode: active-iff ==round_
+  std::vector<vid_t> hubs_, next_hubs_;   ///< active hubs, ascending
+  std::uint32_t wsize_ = 0;               ///< active normal vertices
+  std::uint32_t round_ = 1;               ///< stamp epoch
+  bool dense_ = false;
+};
+
+}  // namespace gcg::par::detail

@@ -78,4 +78,35 @@ void ThreadPool::parallel_for(
   });
 }
 
+void ThreadPool::parallel_for_edges(
+    std::uint32_t n, const std::uint64_t* prefix, std::uint64_t grain_weight,
+    const std::function<void(std::uint32_t, std::uint32_t, unsigned)>& body) {
+  if (n == 0) return;
+  grain_weight = std::max<std::uint64_t>(grain_weight, 1);
+  const std::uint64_t total = prefix[n];
+  // An all-zero-weight range still gets one chunk so every index is seen.
+  const std::uint64_t num_chunks =
+      std::max<std::uint64_t>(1, (total + grain_weight - 1) / grain_weight);
+  // Chunk k spans [boundary(k), boundary(k+1)): the first indices whose
+  // cumulative weight reaches k*grain and (k+1)*grain. The last chunk is
+  // pinned to n so a weightless tail (isolated vertices) is not dropped.
+  const auto boundary = [&](std::uint64_t k) -> std::uint32_t {
+    if (k >= num_chunks) return n;
+    const std::uint64_t* it =
+        std::lower_bound(prefix, prefix + n + 1, k * grain_weight);
+    return static_cast<std::uint32_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(it - prefix), n));
+  };
+  std::atomic<std::uint64_t> cursor{0};
+  run([&](unsigned worker) {
+    while (true) {
+      const std::uint64_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_chunks) break;
+      const std::uint32_t begin = boundary(k);
+      const std::uint32_t end = boundary(k + 1);
+      if (begin < end) body(begin, end, worker);
+    }
+  });
+}
+
 }  // namespace gcg::par

@@ -38,6 +38,21 @@ class ThreadPool {
                     const std::function<void(std::uint32_t, std::uint32_t,
                                              unsigned)>& body);
 
+  /// Weighted parallel-for over [0, n): `prefix` is a monotone cumulative
+  /// weight array of size n+1 with prefix[0] == 0 — for a graph frontier,
+  /// the running sum of vertex degrees (the CSR row-offset array itself
+  /// when iterating every vertex). The index space is cut at
+  /// binary-searched split points into chunks of ~grain_weight cumulative
+  /// weight, so a run of light items is batched while an item heavier
+  /// than grain_weight gets a chunk of its own. With degree weights this
+  /// is the edge-balanced partitioning of the paper's load-imbalance fix:
+  /// every chunk carries a comparable amount of *edge* work no matter how
+  /// skewed the degree distribution. body(begin, end, worker).
+  void parallel_for_edges(std::uint32_t n, const std::uint64_t* prefix,
+                          std::uint64_t grain_weight,
+                          const std::function<void(std::uint32_t, std::uint32_t,
+                                                   unsigned)>& body);
+
   /// hardware_concurrency(), never 0.
   static unsigned default_threads();
 

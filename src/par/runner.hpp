@@ -33,13 +33,47 @@ const char* par_algorithm_name(ParAlgorithm a);
 ParAlgorithm par_algorithm_from_name(const std::string& name);
 std::vector<ParAlgorithm> all_par_algorithms();
 
+/// How the vertex-parallel phases of speculative/jpl divide a frontier
+/// among workers. (kSteal divides its flag phase with work-stealing
+/// deques instead; the schedule still governs its barriered commit
+/// phases' grain.)
+enum class Schedule {
+  kVertexChunks,  ///< fixed vertex-count chunks off a shared cursor — the
+                  ///< paper's baseline, degree-oblivious partitioning
+  kEdgeBalanced,  ///< chunks of ~equal cumulative degree, split points
+                  ///< binary-searched in a degree prefix sum
+};
+
+const char* schedule_name(Schedule s);
+Schedule schedule_from_name(const std::string& name);
+
 struct ParOptions {
   unsigned threads = 0;  ///< 0 = hardware concurrency
   PriorityMode priority = PriorityMode::kRandom;
   std::uint64_t seed = 1;
   unsigned max_iterations = 1u << 20;  ///< safety cap
 
+  // --- scheduling of the vertex-parallel phases (speculative / jpl) ---
+  /// Frontier partitioning policy. kEdgeBalanced keeps the chunk *count*
+  /// of kVertexChunks but moves the boundaries so every chunk carries a
+  /// comparable number of edges — the load-imbalance fix for skewed
+  /// degree distributions. Never changes any coloring, only wall time.
+  Schedule schedule = Schedule::kEdgeBalanced;
+  /// Target vertices per scheduler chunk (was a hardcoded 512). Under
+  /// kEdgeBalanced the same count of chunks is cut by cumulative degree.
+  std::uint32_t grain = 512;
+  /// Degree above which a frontier vertex leaves the per-worker path and
+  /// is processed cooperatively by the whole team (the paper's hybrid
+  /// thresholding: one hub's neighbour list is scanned in slices by all
+  /// workers with a shared reduction). 0 = auto, scaled from the average
+  /// degree; any value >= num_vertices disables the hub path. Ignored on
+  /// 1 thread (cooperation needs a team) and by kSteal (its deques
+  /// already rebalance). Never changes the jpl coloring.
+  std::uint32_t hub_degree_threshold = 0;
+
   // kSteal only: frontier items per deque chunk and victim selection.
+  // (chunk_size sizes the *deque* chunks of the stealing flag phase;
+  // `grain` above sizes the barriered commit phases.)
   std::uint32_t chunk_size = 256;
   VictimPolicy victim = VictimPolicy::kRandom;
 
@@ -69,6 +103,9 @@ struct ParRun {
   /// coloring is then partial (uncolored slots hold kUncolored).
   bool cancelled = false;
   double wall_ms = 0.0;          ///< steady_clock time for the whole run
+  /// Hub-vertex passes run cooperatively (whole team on one adjacency
+  /// list); 0 when the hub path was disabled or never triggered.
+  std::uint64_t hub_vertices = 0;
   std::vector<ParWorkerStats> workers;
   StealStats steal;              ///< aggregate across workers (kSteal)
   /// Busy-time skew across workers (cu_* fields read "per worker", and

@@ -35,6 +35,9 @@ struct JobSpec {
   std::string priority = "random";  ///< PriorityMode name
   std::uint64_t seed = 1;
   unsigned threads = 0;         ///< par only: 0 = scheduler's per-job pool
+  std::uint32_t grain = 0;      ///< par only: chunk grain; 0 = backend default
+  std::string schedule;         ///< par only: "vertex"|"edge"; "" = default
+  std::uint32_t hub_threshold = 0;  ///< par only: hub degree cutoff; 0 = auto
   double deadline_ms = 0.0;     ///< from submit; 0 = no deadline
   bool keep_colors = false;     ///< retain the full color array in the result
 };

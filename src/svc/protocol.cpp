@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "par/runner.hpp"
+
 namespace gcg::svc {
 
 namespace {
@@ -67,6 +69,20 @@ JobSpec job_spec_from_json(const Json& req) {
     throw std::runtime_error("\"threads\" must be in [0, 4096]");
   }
   spec.threads = static_cast<unsigned>(threads);
+  const std::int64_t grain = req.get_int("grain", 0);
+  if (grain < 0 || grain > 0xFFFFFFFFll) {
+    throw std::runtime_error("\"grain\" must be in [0, 4294967295]");
+  }
+  spec.grain = static_cast<std::uint32_t>(grain);
+  spec.schedule = req.get_string("schedule", "");
+  if (!spec.schedule.empty()) {
+    par::schedule_from_name(spec.schedule);  // throws on unknown names
+  }
+  const std::int64_t hub = req.get_int("hub_threshold", 0);
+  if (hub < 0 || hub > 0xFFFFFFFFll) {
+    throw std::runtime_error("\"hub_threshold\" must be in [0, 4294967295]");
+  }
+  spec.hub_threshold = static_cast<std::uint32_t>(hub);
   spec.deadline_ms = req.get_double("deadline_ms", 0.0);
   if (spec.deadline_ms < 0.0) {
     throw std::runtime_error("\"deadline_ms\" must be >= 0");
@@ -83,6 +99,9 @@ Json job_spec_to_json(const JobSpec& spec) {
   out["priority"] = Json(spec.priority);
   out["seed"] = Json(spec.seed);
   out["threads"] = Json(static_cast<std::int64_t>(spec.threads));
+  out["grain"] = Json(static_cast<std::int64_t>(spec.grain));
+  if (!spec.schedule.empty()) out["schedule"] = Json(spec.schedule);
+  out["hub_threshold"] = Json(static_cast<std::int64_t>(spec.hub_threshold));
   out["deadline_ms"] = Json(spec.deadline_ms);
   out["keep_colors"] = Json(spec.keep_colors);
   return out;

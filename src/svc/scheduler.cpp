@@ -259,6 +259,11 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
       par::ParOptions popts;
       popts.priority = prio;
       popts.seed = job->spec.seed;
+      if (job->spec.grain != 0) popts.grain = job->spec.grain;
+      if (!job->spec.schedule.empty()) {
+        popts.schedule = par::schedule_from_name(job->spec.schedule);
+      }
+      popts.hub_degree_threshold = job->spec.hub_threshold;
       JobRecord* rec = job.get();
       popts.should_cancel = [rec, has_deadline, deadline] {
         return rec->cancel.load(std::memory_order_relaxed) ||

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "svc/protocol.hpp"
+
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -59,6 +61,59 @@ TEST(Scheduler, AllParAlgorithmsAndPriorities) {
     EXPECT_EQ(snap->status, JobStatus::kDone) << snap->result.error;
     EXPECT_TRUE(snap->result.verified);
   }
+}
+
+TEST(Scheduler, SchedulingKnobsReachTheParBackend) {
+  Scheduler sched(small_opts());
+  // Same skewed graph, deterministic algorithm, one job per schedule
+  // variant: all must complete, verify, and (being jpl) agree on the
+  // color count regardless of partitioning or the hub path.
+  std::vector<std::uint64_t> ids;
+  for (const char* schedule : {"vertex", "edge"}) {
+    for (std::uint32_t hub : {0u, 64u, 0xFFFFFFFFu}) {
+      JobSpec spec = par_job(kTinySkewed, "jpl");
+      spec.priority = "natural";
+      spec.grain = 128;
+      spec.schedule = schedule;
+      spec.hub_threshold = hub;
+      const auto sub = sched.submit(std::move(spec));
+      ASSERT_TRUE(sub.accepted) << schedule << "/" << hub;
+      ids.push_back(sub.id);
+    }
+  }
+  int colors = -1;
+  for (const auto id : ids) {
+    const auto snap = sched.wait(id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->status, JobStatus::kDone) << snap->result.error;
+    EXPECT_TRUE(snap->result.verified);
+    if (colors < 0) colors = snap->result.num_colors;
+    EXPECT_EQ(snap->result.num_colors, colors)
+        << "jpl must be schedule-invariant";
+  }
+}
+
+TEST(Scheduler, ProtocolValidatesSchedulingKnobs) {
+  Scheduler sched(small_opts());
+  // An unknown schedule name must be rejected at parse time, before the
+  // job ever reaches the queue.
+  const Json bad = handle_request_line(
+      sched, std::string("{\"op\":\"submit\",\"graph\":\"") + kTiny +
+                 "\",\"schedule\":\"bogus\"}");
+  EXPECT_FALSE(bad.get_bool("ok", true));
+  EXPECT_EQ(bad.get_string("error", ""), kErrBadRequest);
+
+  const Json neg = handle_request_line(
+      sched, std::string("{\"op\":\"submit\",\"graph\":\"") + kTiny +
+                 "\",\"grain\":-5}");
+  EXPECT_FALSE(neg.get_bool("ok", true));
+
+  const Json good = handle_request_line(
+      sched, std::string("{\"op\":\"submit\",\"graph\":\"") + kTiny +
+                 "\",\"schedule\":\"edge\",\"grain\":256,"
+                 "\"hub_threshold\":1024,\"wait\":true}");
+  EXPECT_TRUE(good.get_bool("ok", false)) << good.dump();
+  EXPECT_EQ(good.get_string("status", ""), "done");
 }
 
 TEST(Scheduler, SimBackendCharacterizationJob) {
