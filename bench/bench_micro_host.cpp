@@ -4,7 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/builder.hpp"
 #include "graph/gen/grid.hpp"
 #include "graph/gen/powerlaw.hpp"
@@ -76,7 +76,7 @@ void BM_VerifyColoring(benchmark::State& state) {
   const Csr g = make_rmat(static_cast<unsigned>(state.range(0)), 8, {}, 1);
   const auto coloring = greedy_color(g);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(is_valid_coloring(g, coloring.colors));
+    benchmark::DoNotOptimize(check::is_valid_coloring(g, coloring.colors));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_arcs()));

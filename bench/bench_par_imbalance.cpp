@@ -15,7 +15,7 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "coloring/verify.hpp"
+#include "check/check.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/random.hpp"
 #include "par/pool.hpp"
@@ -75,6 +75,12 @@ int main(int argc, char** argv) {
 
   par::ThreadPool pool(threads);
   for (const auto& g : graphs) {
+    // Generator bugs must not masquerade as scheduling wins.
+    if (const auto issue = check::validate_csr(g.graph)) {
+      std::cerr << "malformed " << g.name << " graph: " << issue->to_string()
+                << '\n';
+      return 1;
+    }
     for (par::ParAlgorithm algo :
          {par::ParAlgorithm::kSpeculative, par::ParAlgorithm::kJpl}) {
       double base_ms = 0.0;
@@ -95,7 +101,7 @@ int main(int argc, char** argv) {
             run = std::move(attempt);
           }
         }
-        GCG_EXPECT(is_valid_coloring(g.graph, run.colors));
+        GCG_EXPECT(check::is_valid_coloring(g.graph, run.colors));
         if (&cfg == &configs[0]) base_ms = best;
 
         table.add_row({g.name, par_algorithm_name(algo),

@@ -18,7 +18,7 @@
 
 #include "bench_common.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "par/pool.hpp"
 #include "par/runner.hpp"
 #include "util/expect.hpp"
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
             run = std::move(attempt);
           }
         }
-        GCG_EXPECT(is_valid_coloring(entry.graph, run.colors));
+        GCG_EXPECT(check::is_valid_coloring(entry.graph, run.colors));
         if (t == threads.front()) base_ms = best;
 
         table.add_row({entry.name, par_algorithm_name(algo),

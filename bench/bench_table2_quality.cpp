@@ -2,7 +2,7 @@
 // algorithm per graph, against sequential-greedy references.
 #include "bench_common.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "util/expect.hpp"
 
 int main(int argc, char** argv) {
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                static_cast<double>(greedy_sl) / greedy_nat});
     for (Algorithm a : all_algorithms()) {
       const ColoringRun r = bench::run(env, entry.graph, a);
-      GCG_ENSURE(is_valid_coloring(entry.graph, r.colors));
+      GCG_ENSURE(check::is_valid_coloring(entry.graph, r.colors));
       t.add_row({entry.name, std::string(algorithm_name(a)),
                  static_cast<std::int64_t>(r.num_colors),
                  static_cast<std::int64_t>(r.iterations),

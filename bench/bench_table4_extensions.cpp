@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     const RecolorResult one = recolor_pass(entry.graph, base.colors);
     const RecolorResult full = reduce_colors(entry.graph, base.colors);
     const int greedy = greedy_color(entry.graph).num_colors;
-    GCG_ENSURE(is_valid_coloring(entry.graph, full.colors));
+    GCG_ENSURE(check::is_valid_coloring(entry.graph, full.colors));
     tr.add_row({entry.name, static_cast<std::int64_t>(base.num_colors),
                 static_cast<std::int64_t>(one.num_colors),
                 static_cast<std::int64_t>(full.num_colors),

@@ -1,0 +1,39 @@
+# Header self-containedness check: generate one translation unit per
+# header under src/ that includes it (twice — the include guard must
+# hold) and nothing else, then compile them all into an OBJECT library.
+# A header that silently depends on its includer's context fails this
+# target, which is what keeps "#include what you use" true as the layers
+# grow. Driven by the GCGPU_CHECK_HEADERS option; the lint CI job builds
+# the target explicitly.
+function(gcg_add_header_check)
+  file(GLOB_RECURSE gcg_headers
+    RELATIVE ${CMAKE_SOURCE_DIR}/src
+    CONFIGURE_DEPENDS
+    ${CMAKE_SOURCE_DIR}/src/*.hpp)
+
+  set(gen_dir ${CMAKE_BINARY_DIR}/header_checks)
+  set(sources "")
+  foreach(hdr ${gcg_headers})
+    string(MAKE_C_IDENTIFIER ${hdr} ident)
+    set(tu ${gen_dir}/check_${ident}.cpp)
+    set(content "// generated: ${hdr} must compile stand-alone
+#include \"${hdr}\"
+#include \"${hdr}\"  // and its include guard must hold
+")
+    # Only rewrite on content change so configure reruns don't trigger
+    # recompilation of every check TU.
+    set(previous "")
+    if(EXISTS ${tu})
+      file(READ ${tu} previous)
+    endif()
+    if(NOT previous STREQUAL content)
+      file(WRITE ${tu} "${content}")
+    endif()
+    list(APPEND sources ${tu})
+  endforeach()
+
+  add_library(gcg_header_selfcontained OBJECT ${sources})
+  target_include_directories(gcg_header_selfcontained PRIVATE
+    ${CMAKE_SOURCE_DIR}/src)
+  target_link_libraries(gcg_header_selfcontained PRIVATE gcgpu_warnings)
+endfunction()

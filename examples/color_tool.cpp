@@ -19,7 +19,7 @@
 
 #include "coloring/quality.hpp"
 #include "coloring/runner.hpp"
-#include "coloring/verify.hpp"
+#include "check/check.hpp"
 #include "graph/io/io.hpp"
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
@@ -51,7 +51,7 @@ int run_sim(const gcg::Cli& cli, const gcg::Csr& g) {
   opts.collect_launches = false;
 
   const ColoringRun run = run_coloring(simgpu::tahiti(), g, algo, opts);
-  if (const auto violation = find_violation(g, run.colors)) {
+  if (const auto violation = check::verify_coloring(g, run.colors)) {
     std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
     return kExitInvalidColoring;
   }
@@ -83,7 +83,7 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
       cli.get_int("hub-threshold", opts.hub_degree_threshold));
 
   const par::ParRun run = par::run_par_coloring(g, algo, opts);
-  if (const auto violation = find_violation(g, run.colors)) {
+  if (const auto violation = check::verify_coloring(g, run.colors)) {
     std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
     return kExitInvalidColoring;
   }
@@ -128,6 +128,10 @@ int main(int argc, char** argv) {
 
   try {
     Csr g = load_graph(cli.positional()[0]);
+    if (const auto issue = check::validate_csr(g)) {
+      std::cerr << "error: malformed graph: " << issue->to_string() << '\n';
+      return 1;
+    }
     const Order order = order_from_name(cli.get("order", "natural"));
     if (order != Order::kNatural) g = reorder(g, order);
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   // Distance-1 coloring groups adjacent-only columns — NOT structurally
   // orthogonal (two neighbours of the same row collide). Demonstrate.
   const SeqColoring d1 = greedy_color(g);
-  GCG_ENSURE(is_valid_coloring(g, d1.colors));
+  GCG_ENSURE(check::is_valid_coloring(g, d1.colors));
   const bool d1_ok = is_valid_coloring_d2(g, d1.colors);
 
   // Proper compression: distance-2 colorings, host and simulated GPU.

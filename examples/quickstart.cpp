@@ -6,7 +6,7 @@
 
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
                static_cast<std::int64_t>(run.num_colors),
                static_cast<std::int64_t>(run.iterations), run.total_cycles,
                run.total_ms,
-               std::string(is_valid_coloring(g, run.colors) ? "yes" : "NO")});
+               std::string(check::is_valid_coloring(g, run.colors) ? "yes" : "NO")});
   }
   std::cout << t.to_ascii();
   std::cout << "\nTip: the hybrid variants should be fastest here — "

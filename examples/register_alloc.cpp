@@ -12,7 +12,7 @@
 
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/builder.hpp"
 #include "util/cli.hpp"
 #include "util/expect.hpp"
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
 
   auto report = [&](const std::string& name, const std::vector<color_t>& colors,
                     int num_colors) {
-    GCG_ENSURE(is_valid_coloring(g, colors));
+    GCG_ENSURE(check::is_valid_coloring(g, colors));
     const std::uint32_t s = spills(colors, regs);
     t.add_row({name, static_cast<std::int64_t>(num_colors),
                static_cast<std::int64_t>(s),

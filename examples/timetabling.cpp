@@ -13,7 +13,7 @@
 #include "coloring/quality.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/builder.hpp"
 #include "util/cli.hpp"
 #include "util/expect.hpp"
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     ColoringOptions opts;
     opts.collect_launches = false;
     const ColoringRun run = run_coloring(device, g, a, opts);
-    GCG_ENSURE(is_valid_coloring(g, run.colors));
+    GCG_ENSURE(check::is_valid_coloring(g, run.colors));
     const QualityReport q = analyze_quality(g, run.colors);
     t.add_row({std::string("gpu-") + algorithm_name(a),
                static_cast<std::int64_t>(q.num_colors),

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "util/expect.hpp"
 
 namespace gcg {
@@ -37,7 +37,7 @@ GsResult gauss_seidel_multicolor(simgpu::Device& dev, const SparseMatrix& A,
   using simgpu::Wave;
   GCG_EXPECT(b.size() == A.n());
   GCG_EXPECT(colors.size() == A.n());
-  GCG_EXPECT(is_valid_coloring(A.structure, colors));
+  GCG_EXPECT(check::is_valid_coloring(A.structure, colors));
 
   // Group unknowns by color class once (device-side index lists).
   std::vector<color_t> dense(colors.begin(), colors.end());

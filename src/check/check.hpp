@@ -1,0 +1,8 @@
+// Umbrella header for the correctness-checking library: CSR structural
+// validation, the shared coloring verifier, and the schedule-stress
+// harness. See docs/CORRECTNESS.md for the full tooling story.
+#pragma once
+
+#include "check/coloring.hpp"  // IWYU pragma: export
+#include "check/csr.hpp"       // IWYU pragma: export
+#include "check/stress.hpp"    // IWYU pragma: export

@@ -1,10 +1,10 @@
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 
 #include <sstream>
 
 #include "util/expect.hpp"
 
-namespace gcg {
+namespace gcg::check {
 
 std::string Violation::to_string() const {
   std::ostringstream os;
@@ -16,9 +16,9 @@ std::string Violation::to_string() const {
   return os.str();
 }
 
-std::optional<Violation> find_violation(const Csr& g,
-                                        std::span<const color_t> colors,
-                                        bool require_complete) {
+std::optional<Violation> verify_coloring(const Csr& g,
+                                         std::span<const color_t> colors,
+                                         bool require_complete) {
   GCG_EXPECT(colors.size() == g.num_vertices());
   for (vid_t u = 0; u < g.num_vertices(); ++u) {
     if (colors[u] == kUncolored) {
@@ -37,7 +37,7 @@ std::optional<Violation> find_violation(const Csr& g,
 
 bool is_valid_coloring(const Csr& g, std::span<const color_t> colors,
                        bool require_complete) {
-  return !find_violation(g, colors, require_complete).has_value();
+  return !verify_coloring(g, colors, require_complete).has_value();
 }
 
-}  // namespace gcg
+}  // namespace gcg::check

@@ -1,0 +1,33 @@
+// Coloring certificate checking — the single shared verifier. Every
+// consumer of a coloring (tests, benches, examples, the service layer)
+// validates results through check::verify_coloring; there are no private
+// re-implementations of the conflict scan.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+
+namespace gcg::check {
+
+struct Violation {
+  vid_t u = 0;
+  vid_t v = 0;
+  color_t color = kUncolored;
+  std::string to_string() const;
+};
+
+/// Certificate check: first adjacent pair sharing a color, or first
+/// uncolored vertex (when require_complete). nullopt = valid coloring.
+std::optional<Violation> verify_coloring(const Csr& g,
+                                         std::span<const color_t> colors,
+                                         bool require_complete = true);
+
+/// True iff colors is a proper (and, by default, complete) coloring.
+bool is_valid_coloring(const Csr& g, std::span<const color_t> colors,
+                       bool require_complete = true);
+
+}  // namespace gcg::check

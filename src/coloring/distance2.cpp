@@ -68,23 +68,23 @@ SeqColoring greedy_color_d2(const Csr& g, GreedyOrder order,
   return out;
 }
 
-std::optional<Violation> find_violation_d2(const Csr& g,
+std::optional<check::Violation> find_violation_d2(const Csr& g,
                                            std::span<const color_t> colors,
                                            bool require_complete) {
   GCG_EXPECT(colors.size() == g.num_vertices());
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     if (colors[v] == kUncolored) {
-      if (require_complete) return Violation{v, v, kUncolored};
+      if (require_complete) return check::Violation{v, v, kUncolored};
       continue;
     }
     for (vid_t u : g.neighbors(v)) {
       if (colors[u] != kUncolored && colors[u] == colors[v] && u != v) {
-        return Violation{std::min(u, v), std::max(u, v), colors[v]};
+        return check::Violation{std::min(u, v), std::max(u, v), colors[v]};
       }
       for (vid_t w : g.neighbors(u)) {
         if (w == v) continue;
         if (colors[w] != kUncolored && colors[w] == colors[v]) {
-          return Violation{std::min(w, v), std::max(w, v), colors[v]};
+          return check::Violation{std::min(w, v), std::max(w, v), colors[v]};
         }
       }
     }

@@ -9,7 +9,7 @@
 
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 
 namespace gcg {
 
@@ -20,7 +20,7 @@ SeqColoring greedy_color_d2(const Csr& g,
 
 /// First distance-2 conflict (two vertices with a common neighbour — or
 /// adjacent — sharing a color), or first uncolored vertex.
-std::optional<Violation> find_violation_d2(const Csr& g,
+std::optional<check::Violation> find_violation_d2(const Csr& g,
                                            std::span<const color_t> colors,
                                            bool require_complete = true);
 

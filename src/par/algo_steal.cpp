@@ -134,6 +134,7 @@ void run_steal(DriverState& st) {
       }
     });
 
+    // order: relaxed — read after the pool barrier that ended the phase.
     fsize = app.counter.load(std::memory_order_relaxed);
     frontier.swap(next);
   }

@@ -50,9 +50,13 @@ inline bool cancel_requested(DriverState& st) {
 /// that matters; the relaxed accesses only make the benign races of the
 /// speculative kernel well-defined (and TSan-clean).
 inline color_t load_color(const color_t& slot) {
+  // order: relaxed — phase barriers publish colors between phases; within
+  // a phase a stale read only causes a conflict the next iteration fixes
+  // (the speculative algorithms are correct under any interleaving).
   return std::atomic_ref<const color_t>(slot).load(std::memory_order_relaxed);
 }
 inline void store_color(color_t& slot, color_t c) {
+  // order: relaxed — see load_color; the pool barrier is the publisher.
   std::atomic_ref<color_t>(slot).store(c, std::memory_order_relaxed);
 }
 
@@ -146,6 +150,8 @@ struct FrontierAppender {
 
   /// Reserve `count` slots; returns the first index.
   std::uint32_t claim(std::uint32_t count) {
+    // order: relaxed — slot reservation only; the appended entries are
+    // published by the pool barrier that ends the phase.
     const std::uint32_t at =
         counter.fetch_add(count, std::memory_order_relaxed);
     // Widen before adding: `at + count` in 32 bits can wrap on a huge

@@ -62,6 +62,8 @@ inline color_t coop_first_fit(DriverState& st, HubScratch& hs, vid_t v) {
           const auto c =
               static_cast<std::uint32_t>(load_color(st.colors[nbrs[i]]));
           if (c < limit) {
+            // order: relaxed — fetch_or is commutative and the pool
+            // barrier below publishes the full mask before it is scanned.
             std::atomic_ref<std::uint64_t>(hs.mask[c >> 6])
                 .fetch_or(std::uint64_t{1} << (c & 63),
                           std::memory_order_relaxed);
@@ -90,14 +92,18 @@ bool coop_exists(DriverState& st, vid_t v, Pred&& pred) {
       deg, kHubSliceGrain,
       [&](std::uint32_t b, std::uint32_t e, unsigned w) {
         BusyTimer timer(st.run.workers[w]);
+        // order: relaxed — early-exit hint; a missed flag only means one
+        // extra slice is scanned.
         if (found.load(std::memory_order_relaxed)) return;
         for (std::uint32_t i = b; i < e; ++i) {
           if (pred(nbrs[i])) {
+            // order: relaxed — monotonic flag, published by the barrier.
             found.store(true, std::memory_order_relaxed);
             return;
           }
         }
       });
+  // order: relaxed — the pool barrier above ordered all stores.
   return found.load(std::memory_order_relaxed);
 }
 
@@ -193,8 +199,10 @@ class FrontierExec {
             ++kept;
           }
         }
+        // order: relaxed — count aggregation; read after the barrier.
         if (kept > 0) survivors.fetch_add(kept, std::memory_order_relaxed);
       });
+      // order: relaxed — the pool barrier ordered the fetch_adds above.
       new_size = survivors.load(std::memory_order_relaxed);
     } else {
       FrontierAppender app{next_};
@@ -210,6 +218,7 @@ class FrontierExec {
           for (vid_t v : kept) next_[at++] = v;
         }
       });
+      // order: relaxed — the pool barrier ordered all claim() calls.
       new_size = app.counter.load(std::memory_order_relaxed);
       worklist_.swap(next_);
     }

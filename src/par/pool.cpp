@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/stress.hpp"
 
 namespace gcg::par {
 
@@ -70,9 +71,12 @@ void ThreadPool::parallel_for(
   std::atomic<std::uint32_t> cursor{0};
   run([&](unsigned worker) {
     while (true) {
+      // order: relaxed — the cursor only partitions the index space;
+      // everything the chunks write is ordered by the pool barrier.
       const std::uint32_t begin =
           cursor.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) break;
+      stress_point(worker);  // schedule-perturbation hook (no-op unless installed)
       body(begin, std::min(begin + grain, n), worker);
     }
   });
@@ -100,8 +104,11 @@ void ThreadPool::parallel_for_edges(
   std::atomic<std::uint64_t> cursor{0};
   run([&](unsigned worker) {
     while (true) {
+      // order: relaxed — chunk indices only; the pool barrier orders
+      // the chunk bodies' effects.
       const std::uint64_t k = cursor.fetch_add(1, std::memory_order_relaxed);
       if (k >= num_chunks) break;
+      stress_point(worker);  // schedule-perturbation hook (no-op unless installed)
       const std::uint32_t begin = boundary(k);
       const std::uint32_t end = boundary(k + 1);
       if (begin < end) body(begin, end, worker);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/stress.hpp"
 
 namespace gcg::par {
 
@@ -33,14 +34,20 @@ void StealPool::fill(const std::vector<std::vector<Chunk>>& per_worker) {
     }
     total += static_cast<std::int64_t>(chunks.size());
   }
+  // order: release publishes the freshly filled deques to workers whose
+  // drained() acquire load observes the new count.
   remaining_.store(total, std::memory_order_release);
 }
 
 std::optional<Chunk> StealPool::pop_own(unsigned worker) {
+  stress_point(worker);  // schedule-perturbation hook (no-op unless installed)
   auto& slot = *slots_[worker];
   std::optional<Chunk> c = slot.deque.pop_bottom();
   if (c) {
     ++slot.stats.pops;
+    // order: acq_rel — the release side lets drained()'s acquire observe
+    // a fully handed-out fill; acquire keeps decrements ordered with the
+    // deque operation that produced the chunk.
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   }
   return c;
@@ -53,6 +60,7 @@ std::optional<Chunk> StealPool::try_victim(unsigned thief, unsigned victim) {
     auto& stats = slots_[thief]->stats;
     ++stats.steal_hits;
     ++stats.chunks_stolen;
+    // order: acq_rel — same contract as pop_own's decrement.
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   }
   return c;
@@ -61,6 +69,7 @@ std::optional<Chunk> StealPool::try_victim(unsigned thief, unsigned victim) {
 std::optional<Chunk> StealPool::steal(unsigned thief, VictimPolicy policy,
                                       Xoshiro256ss& rng) {
   const unsigned n = workers();
+  stress_point(thief);  // schedule-perturbation hook (no-op unless installed)
   ++slots_[thief]->stats.steal_attempts;
   if (n < 2) return std::nullopt;
   switch (policy) {

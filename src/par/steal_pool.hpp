@@ -42,6 +42,8 @@ class StealPool {
   /// True once every chunk of the current fill has been handed out
   /// (handed out, not necessarily finished — pair with a pool barrier).
   bool drained() const {
+    // order: acquire pairs with the acq_rel decrements in pop/steal so a
+    // worker that sees 0 also sees every handed-out chunk's bookkeeping.
     return remaining_.load(std::memory_order_acquire) == 0;
   }
 

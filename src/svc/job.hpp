@@ -59,7 +59,7 @@ struct JobResult {
   double latency_ms = 0.0;    ///< submit -> terminal state
   double queue_ms = 0.0;      ///< submit -> dispatch
   unsigned threads = 0;       ///< threads the run actually used
-  bool verified = false;      ///< conflict-free per find_violation
+  bool verified = false;      ///< conflict-free per check::verify_coloring
   bool cache_hit = false;     ///< graph came from the registry cache
   std::string error;          ///< set for kFailed / kCancelled
   std::vector<color_t> colors;  ///< only when spec.keep_colors

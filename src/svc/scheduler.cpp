@@ -7,7 +7,7 @@
 
 #include "coloring/priorities.hpp"
 #include "coloring/runner.hpp"
-#include "coloring/verify.hpp"
+#include "check/check.hpp"
 #include "par/pool.hpp"
 #include "par/runner.hpp"
 #include "simgpu/dispatch.hpp"
@@ -181,6 +181,8 @@ bool Scheduler::cancel(std::uint64_t id) {
     std::lock_guard<std::mutex> lock(job->mu);
     if (job->terminal_locked()) return false;
   }
+  // order: relaxed — standalone flag; the worker only polls it and no
+  // data is published through it.
   job->cancel.store(true, std::memory_order_relaxed);
   // If it is still queued, retire it immediately; if it already left the
   // queue the running dispatcher observes the flag at the next iteration.
@@ -231,6 +233,7 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
                            std::chrono::duration<double, std::milli>(
                                job->spec.deadline_ms));
 
+  // order: relaxed — poll of the standalone cancel flag.
   if (job->cancel.load(std::memory_order_relaxed)) {
     fail_terminal(job, JobStatus::kCancelled, "cancelled");
     return;
@@ -251,6 +254,16 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
   result.cache_hit = cache_hit;
 
   try {
+    if (opts_.verify) {
+      // A malformed graph would make every downstream "valid coloring"
+      // claim meaningless, so the certificate check starts at the input.
+      if (const auto issue = check::validate_csr(*graph)) {
+        JobResult r = std::move(result);
+        r.error = "invalid_graph: " + issue->to_string();
+        finish(job, JobStatus::kFailed, std::move(r));
+        return;
+      }
+    }
     const PriorityMode prio = priority_mode_from_name(job->spec.priority);
     std::vector<color_t> colors;
     bool cancelled = false;
@@ -266,6 +279,7 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
       popts.hub_degree_threshold = job->spec.hub_threshold;
       JobRecord* rec = job.get();
       popts.should_cancel = [rec, has_deadline, deadline] {
+        // order: relaxed — poll of the standalone cancel flag.
         return rec->cancel.load(std::memory_order_relaxed) ||
                (has_deadline && Clock::now() > deadline);
       };
@@ -301,6 +315,7 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
     }
 
     if (cancelled) {
+      // order: relaxed — poll of the standalone cancel flag.
       const char* why = job->cancel.load(std::memory_order_relaxed)
                             ? "cancelled"
                             : "deadline_exceeded";
@@ -313,7 +328,7 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
     }
 
     if (opts_.verify) {
-      if (const auto violation = find_violation(*graph, colors)) {
+      if (const auto violation = check::verify_coloring(*graph, colors)) {
         JobResult r = std::move(result);
         r.error = "invalid_coloring: " + violation->to_string();
         finish(job, JobStatus::kFailed, std::move(r));

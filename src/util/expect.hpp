@@ -31,3 +31,18 @@ namespace gcg {
   do {                                                                      \
     if (!(cond)) ::gcg::contract_failure("invariant", #cond, __FILE__, __LINE__); \
   } while (0)
+
+// Debug-only check: compiled out entirely under NDEBUG (Release), so it
+// may guard O(n) or hot-loop conditions too expensive to keep on in
+// production. The condition is NOT evaluated in Release — never put side
+// effects in a GCG_DCHECK.
+#ifndef NDEBUG
+#define GCG_DCHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) ::gcg::contract_failure("debug check", #cond, __FILE__, __LINE__); \
+  } while (0)
+#else
+#define GCG_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif

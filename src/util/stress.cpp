@@ -1,0 +1,20 @@
+#include "util/stress.hpp"
+
+namespace gcg {
+
+namespace detail {
+std::atomic<const StressHook*> g_stress_hook{nullptr};
+}  // namespace detail
+
+void install_stress_hook(const StressHook* hook) {
+  // order: release publishes the hook object's fields (fn, state) before
+  // the pointer becomes visible to workers' acquire loads in stress_point.
+  detail::g_stress_hook.store(hook, std::memory_order_release);
+}
+
+bool stress_hook_installed() {
+  // order: relaxed — diagnostic read, no data is published through it.
+  return detail::g_stress_hook.load(std::memory_order_relaxed) != nullptr;
+}
+
+}  // namespace gcg

@@ -1,0 +1,99 @@
+// Table-driven malformed-CSR tests: every defect class the validator
+// knows about, fed as raw arrays (the Csr constructor would reject some
+// of these shapes outright, which is exactly why validate_csr accepts
+// spans).
+#include "check/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gen/special.hpp"
+#include "graph/gen/random.hpp"
+
+namespace gcg {
+namespace {
+
+using check::CsrCheckOptions;
+using check::CsrDefect;
+using check::validate_csr;
+
+struct MalformedCase {
+  const char* name;
+  std::vector<eid_t> rows;
+  std::vector<vid_t> cols;
+  CsrDefect expect;
+};
+
+TEST(ValidateCsr, MalformedTable) {
+  const MalformedCase cases[] = {
+      {"empty_offsets", {}, {}, CsrDefect::kEmptyOffsets},
+      {"bad_first_offset", {1, 2}, {0, 0}, CsrDefect::kBadFirstOffset},
+      {"non_monotone", {0, 3, 2, 4}, {1, 2, 0, 0}, CsrDefect::kNonMonotoneOffsets},
+      {"arc_count_mismatch", {0, 1, 2}, {1, 0, 0}, CsrDefect::kArcCountMismatch},
+      {"out_of_range", {0, 1, 2}, {1, 7}, CsrDefect::kColumnOutOfRange},
+      // vertex 0 lists {2, 1}: descending, no self loop involved
+      {"unsorted", {0, 2, 2, 2}, {2, 1}, CsrDefect::kUnsortedNeighbors},
+      {"unsorted_row2", {0, 1, 3, 4}, {1, 2, 0, 1}, CsrDefect::kUnsortedNeighbors},
+      {"duplicate", {0, 2, 4}, {1, 1, 0, 0}, CsrDefect::kDuplicateNeighbor},
+      {"self_loop", {0, 1, 2}, {0, 1}, CsrDefect::kSelfLoop},
+      // 0->1 present, 1->0 missing (1 lists only itself? no: 1 lists 2)
+      {"asymmetric", {0, 1, 2, 3}, {1, 2, 1}, CsrDefect::kAsymmetricEdge},
+  };
+  for (const auto& tc : cases) {
+    const auto issue = validate_csr(tc.rows, tc.cols);
+    ASSERT_TRUE(issue.has_value()) << tc.name;
+    EXPECT_EQ(issue->defect, tc.expect)
+        << tc.name << ": " << issue->to_string();
+    EXPECT_FALSE(issue->to_string().empty()) << tc.name;
+  }
+}
+
+TEST(ValidateCsr, UnsortedReportsRowAndPosition) {
+  // Row 1's adjacency list {2, 0} descends at flat position 2.
+  const std::vector<eid_t> rows{0, 1, 3, 4};
+  const std::vector<vid_t> cols{1, 2, 0, 1};
+  const auto issue = validate_csr(rows, cols, {.require_symmetric = false});
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_EQ(issue->defect, CsrDefect::kUnsortedNeighbors);
+  EXPECT_EQ(issue->row, 1u);
+  EXPECT_EQ(issue->index, 2u);
+}
+
+TEST(ValidateCsr, OptionsRelaxChecks) {
+  // A directed (asymmetric) edge passes when symmetry is not required.
+  const std::vector<eid_t> rows{0, 1, 1};
+  const std::vector<vid_t> cols{1};
+  EXPECT_TRUE(validate_csr(rows, cols).has_value());
+  EXPECT_FALSE(
+      validate_csr(rows, cols, {.require_symmetric = false}).has_value());
+
+  // Self loop allowed when asked for (and must then satisfy symmetry
+  // trivially: u->u is its own mate).
+  const std::vector<eid_t> loop_rows{0, 1};
+  const std::vector<vid_t> loop_cols{0};
+  EXPECT_TRUE(validate_csr(loop_rows, loop_cols).has_value());
+  EXPECT_FALSE(
+      validate_csr(loop_rows, loop_cols, {.allow_self_loops = true})
+          .has_value());
+
+  // Duplicates allowed when uniqueness is off (still sorted).
+  const std::vector<eid_t> dup_rows{0, 2, 4};
+  const std::vector<vid_t> dup_cols{1, 1, 0, 0};
+  EXPECT_TRUE(validate_csr(dup_rows, dup_cols).has_value());
+  EXPECT_FALSE(
+      validate_csr(dup_rows, dup_cols, {.require_unique = false}).has_value());
+}
+
+TEST(ValidateCsr, AcceptsWellFormedGraphs) {
+  EXPECT_FALSE(validate_csr(make_cycle(5)).has_value());
+  EXPECT_FALSE(validate_csr(make_star(100)).has_value());
+  EXPECT_FALSE(validate_csr(make_empty(3)).has_value());
+  EXPECT_FALSE(validate_csr(make_erdos_renyi_gnm(500, 2000, 7)).has_value());
+}
+
+TEST(ValidateCsr, EmptyGraphSingleOffsetIsValid) {
+  const std::vector<eid_t> rows{0};
+  EXPECT_FALSE(validate_csr(rows, {}).has_value());
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,4 +1,4 @@
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 
 #include <gtest/gtest.h>
 
@@ -10,14 +10,14 @@ namespace {
 TEST(Verify, AcceptsProperColoring) {
   const Csr g = make_cycle(4);
   const std::vector<color_t> colors{0, 1, 0, 1};
-  EXPECT_TRUE(is_valid_coloring(g, colors));
-  EXPECT_FALSE(find_violation(g, colors).has_value());
+  EXPECT_TRUE(check::is_valid_coloring(g, colors));
+  EXPECT_FALSE(check::verify_coloring(g, colors).has_value());
 }
 
 TEST(Verify, DetectsAdjacentSameColor) {
   const Csr g = make_path(3);
   const std::vector<color_t> colors{0, 0, 1};
-  const auto v = find_violation(g, colors);
+  const auto v = check::verify_coloring(g, colors);
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->u, 0u);
   EXPECT_EQ(v->v, 1u);
@@ -28,7 +28,7 @@ TEST(Verify, DetectsAdjacentSameColor) {
 TEST(Verify, DetectsUncoloredWhenCompleteRequired) {
   const Csr g = make_path(3);
   const std::vector<color_t> colors{0, kUncolored, 0};
-  const auto v = find_violation(g, colors, /*require_complete=*/true);
+  const auto v = check::verify_coloring(g, colors, /*require_complete=*/true);
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->u, v->v);
   EXPECT_NE(v->to_string().find("uncolored"), std::string::npos);
@@ -37,25 +37,25 @@ TEST(Verify, DetectsUncoloredWhenCompleteRequired) {
 TEST(Verify, PartialColoringOkWhenAllowed) {
   const Csr g = make_path(3);
   const std::vector<color_t> colors{0, kUncolored, 0};
-  EXPECT_TRUE(is_valid_coloring(g, colors, /*require_complete=*/false));
+  EXPECT_TRUE(check::is_valid_coloring(g, colors, /*require_complete=*/false));
 }
 
 TEST(Verify, PartialStillCatchesConflicts) {
   const Csr g = make_path(3);
   const std::vector<color_t> colors{0, 0, kUncolored};
-  EXPECT_FALSE(is_valid_coloring(g, colors, /*require_complete=*/false));
+  EXPECT_FALSE(check::is_valid_coloring(g, colors, /*require_complete=*/false));
 }
 
 TEST(Verify, EmptyGraphIsTriviallyValid) {
   const Csr g = make_empty(4);
   const std::vector<color_t> colors{0, 0, 0, 0};
-  EXPECT_TRUE(is_valid_coloring(g, colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, colors));
 }
 
 TEST(VerifyDeathTest, SizeMismatchAborts) {
   const Csr g = make_path(3);
   const std::vector<color_t> colors{0, 1};
-  EXPECT_DEATH(is_valid_coloring(g, colors), "precondition");
+  EXPECT_DEATH(check::is_valid_coloring(g, colors), "precondition");
 }
 
 }  // namespace

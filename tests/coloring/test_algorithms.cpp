@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/grid.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/random.hpp"
@@ -42,8 +42,8 @@ class AlgorithmTest : public ::testing::TestWithParam<Algorithm> {};
 TEST_P(AlgorithmTest, ValidCompleteColoringOnAllShapes) {
   for (const Case& c : test_graphs()) {
     const ColoringRun run = run_coloring(small_device(), c.graph, GetParam());
-    EXPECT_TRUE(is_valid_coloring(c.graph, run.colors))
-        << c.name << ": " << find_violation(c.graph, run.colors)->to_string();
+    EXPECT_TRUE(check::is_valid_coloring(c.graph, run.colors))
+        << c.name << ": " << check::verify_coloring(c.graph, run.colors)->to_string();
     EXPECT_EQ(run.num_colors, count_colors(run.colors)) << c.name;
     EXPECT_GT(run.iterations, 0u) << c.name;
     EXPECT_GT(run.total_cycles, 0.0) << c.name;
@@ -173,7 +173,7 @@ TEST(AlgorithmSemantics, HybridBinsAreExercised) {
   opts.group_degree_threshold = 64;
   const Csr g = make_star(1500);
   const auto run = run_coloring(small_device(), g, Algorithm::kHybrid, opts);
-  EXPECT_TRUE(is_valid_coloring(g, run.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, run.colors));
   // Max-min on a star: leaves split into max/min classes around the hub's
   // priority, the hub takes a third color once alone. 2 or 3 colors.
   EXPECT_GE(run.num_colors, 2);
@@ -188,7 +188,7 @@ TEST(AlgorithmSemantics, PriorityModeChangesColoring) {
   deg.priority = PriorityMode::kDegreeBiased;
   const auto a = run_coloring(small_device(), g, Algorithm::kBaseline, rnd);
   const auto b = run_coloring(small_device(), g, Algorithm::kBaseline, deg);
-  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, b.colors));
   EXPECT_NE(a.colors, b.colors);
 }
 
@@ -210,7 +210,7 @@ TEST(AlgorithmSemantics, VictimPolicyDoesNotChangeResult) {
     ColoringOptions opts;
     opts.victim = p;
     const auto run = run_coloring(small_device(), g, Algorithm::kSteal, opts);
-    EXPECT_TRUE(is_valid_coloring(g, run.colors));
+    EXPECT_TRUE(check::is_valid_coloring(g, run.colors));
     if (reference.empty()) {
       reference = run.colors;
     } else {
@@ -234,7 +234,7 @@ TEST(AlgorithmSemantics, CollectLaunchesOffKeepsResultsIdentical) {
 TEST(AlgorithmSemantics, RunsOnTahitiConfigToo) {
   const Csr g = make_barabasi_albert(500, 4, 3);
   const auto run = run_coloring(simgpu::tahiti(), g, Algorithm::kHybridSteal);
-  EXPECT_TRUE(is_valid_coloring(g, run.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, run.colors));
 }
 
 }  // namespace

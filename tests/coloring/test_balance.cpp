@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/grid.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/special.hpp"
@@ -15,7 +15,7 @@ TEST(Balance, PreservesValidityAndColorCount) {
   const Csr g = make_barabasi_albert(400, 3, 5);
   const SeqColoring c = greedy_color(g, GreedyOrder::kLargestFirst);
   const BalanceResult b = balance_colors(g, c.colors);
-  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, b.colors));
   EXPECT_EQ(b.num_colors, c.num_colors);
 }
 
@@ -26,7 +26,7 @@ TEST(Balance, ReducesSkewOnGreedyColorings) {
   const SeqColoring c = greedy_color(g);
   ASSERT_GT(c.num_colors, 3);
   const BalanceResult b = balance_colors(g, c.colors);
-  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, b.colors));
   EXPECT_LT(b.cv_after, b.cv_before);
   EXPECT_GT(b.moved, 0u);
 }
@@ -46,7 +46,7 @@ TEST(Balance, StarCannotImprove) {
   const Csr g = make_star(20);
   const SeqColoring c = greedy_color(g);
   const BalanceResult b = balance_colors(g, c.colors);
-  EXPECT_TRUE(is_valid_coloring(g, b.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, b.colors));
   EXPECT_EQ(b.num_colors, 2);
   EXPECT_DOUBLE_EQ(b.cv_after, b.cv_before);
 }

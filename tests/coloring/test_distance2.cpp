@@ -13,7 +13,7 @@ TEST(Distance2Verify, PathNeedsThreeColorsAtDistance2) {
   const Csr g = make_path(6);
   // Proper d1 coloring that fails d2: 0,1,0,1,...
   std::vector<color_t> d1{0, 1, 0, 1, 0, 1};
-  EXPECT_TRUE(is_valid_coloring(g, d1));
+  EXPECT_TRUE(check::is_valid_coloring(g, d1));
   const auto v = find_violation_d2(g, d1);
   ASSERT_TRUE(v.has_value());
   // Vertices 0 and 2 share neighbour 1 and color 0.
@@ -48,7 +48,7 @@ TEST(Distance2Greedy, ValidOnAssortedGraphs) {
       const SeqColoring c = greedy_color_d2(g, order, 7);
       EXPECT_TRUE(is_valid_coloring_d2(g, c.colors));
       // Also trivially a valid distance-1 coloring.
-      EXPECT_TRUE(is_valid_coloring(g, c.colors));
+      EXPECT_TRUE(check::is_valid_coloring(g, c.colors));
     }
   }
 }

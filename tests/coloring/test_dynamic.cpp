@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/special.hpp"
 #include "util/rng.hpp"
@@ -17,7 +17,7 @@ TEST(DynamicColoring, StartsFromExistingColoring) {
   DynamicColoring dc(g, c.colors);
   EXPECT_EQ(dc.num_colors(), c.num_colors);
   EXPECT_EQ(dc.colors(), c.colors);
-  EXPECT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+  EXPECT_TRUE(check::is_valid_coloring(dc.snapshot(), dc.colors()));
 }
 
 TEST(DynamicColoring, NonConflictingEdgeIsFree) {
@@ -27,7 +27,7 @@ TEST(DynamicColoring, NonConflictingEdgeIsFree) {
   dc.add_edge(0, 3);  // colors 0 and 1: no conflict
   EXPECT_EQ(dc.stats().conflicts_repaired, 0u);
   EXPECT_EQ(dc.colors(), c.colors);
-  EXPECT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+  EXPECT_TRUE(check::is_valid_coloring(dc.snapshot(), dc.colors()));
 }
 
 TEST(DynamicColoring, RepairsConflictLocally) {
@@ -37,7 +37,7 @@ TEST(DynamicColoring, RepairsConflictLocally) {
   dc.add_edge(0, 2);  // both color 0: conflict
   EXPECT_EQ(dc.stats().conflicts_repaired, 1u);
   EXPECT_EQ(dc.stats().vertices_recolored, 1u);
-  EXPECT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+  EXPECT_TRUE(check::is_valid_coloring(dc.snapshot(), dc.colors()));
 }
 
 TEST(DynamicColoring, DuplicateAndSelfEdgesIgnored) {
@@ -58,7 +58,7 @@ TEST(DynamicColoring, GrowsCliqueToNColors) {
   for (vid_t u = 0; u < 5; ++u) {
     for (vid_t v = u + 1; v < 5; ++v) {
       dc.add_edge(u, v);
-      ASSERT_TRUE(is_valid_coloring(dc.snapshot(), dc.colors()));
+      ASSERT_TRUE(check::is_valid_coloring(dc.snapshot(), dc.colors()));
     }
   }
   EXPECT_EQ(dc.num_colors(), 5);
@@ -76,7 +76,7 @@ TEST(DynamicColoring, RandomInsertionStressStaysProper) {
     dc.add_edge(u, v);
   }
   const Csr final_graph = dc.snapshot();
-  EXPECT_TRUE(is_valid_coloring(final_graph, dc.colors()));
+  EXPECT_TRUE(check::is_valid_coloring(final_graph, dc.colors()));
   // Palette stays within greedy bounds of the *final* graph.
   EXPECT_LE(dc.num_colors(), static_cast<int>(final_graph.max_degree()) + 1);
   EXPECT_GT(dc.stats().edges_added, 300u);

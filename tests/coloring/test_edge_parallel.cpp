@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "coloring/runner.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/grid.hpp"
 #include "graph/gen/special.hpp"
 
@@ -74,7 +74,7 @@ TEST(EdgeParallel, JplModeValidToo) {
   const auto edge = run_collect(g, Algorithm::kEdgeParallel);
   const auto base = run_collect(g, Algorithm::kBaseline);
   EXPECT_EQ(edge.colors, base.colors);
-  EXPECT_TRUE(is_valid_coloring(g, edge.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, edge.colors));
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/grid.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/special.hpp"
@@ -18,7 +18,7 @@ TEST(RecolorPass, NeverIncreasesColors) {
   for (ClassOrder order : {ClassOrder::kLargestFirst, ClassOrder::kSmallestFirst,
                            ClassOrder::kReverse}) {
     const RecolorResult r = recolor_pass(g, base.colors, order);
-    EXPECT_TRUE(is_valid_coloring(g, r.colors));
+    EXPECT_TRUE(check::is_valid_coloring(g, r.colors));
     EXPECT_LE(r.num_colors, base.num_colors);
   }
 }
@@ -49,7 +49,7 @@ TEST(ReduceColors, MonotoneAndValid) {
   const Csr g = make_rmat(9, 6, {}, 4);
   const auto base = run_coloring(simgpu::test_device(), g, Algorithm::kJpl);
   const RecolorResult r = reduce_colors(g, base.colors);
-  EXPECT_TRUE(is_valid_coloring(g, r.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, r.colors));
   EXPECT_LE(r.num_colors, base.num_colors);
   EXPECT_GE(r.passes, 1);
 }

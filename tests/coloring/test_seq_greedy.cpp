@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/grid.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/special.hpp"
@@ -20,7 +20,7 @@ TEST_P(GreedyOrderTest, ValidOnAssortedGraphs) {
   for (const Csr& g : {make_petersen(), make_grid2d(13, 9),
                        make_barabasi_albert(400, 3, 5), make_complete(17)}) {
     const SeqColoring c = greedy_color(g, GetParam());
-    EXPECT_TRUE(is_valid_coloring(g, c.colors));
+    EXPECT_TRUE(check::is_valid_coloring(g, c.colors));
     EXPECT_EQ(c.num_colors, count_colors(c.colors));
     // Greedy never exceeds max_degree + 1 colors.
     EXPECT_LE(c.num_colors, static_cast<int>(g.max_degree()) + 1);
@@ -51,7 +51,7 @@ TEST(SeqGreedy, KnownChromaticNumbers) {
 TEST(SeqGreedy, PetersenNeedsThree) {
   // chi(Petersen) = 3; natural greedy happens to find it.
   const SeqColoring c = greedy_color(make_petersen());
-  EXPECT_TRUE(is_valid_coloring(make_petersen(), c.colors));
+  EXPECT_TRUE(check::is_valid_coloring(make_petersen(), c.colors));
   EXPECT_EQ(c.num_colors, 3);
 }
 
@@ -59,7 +59,7 @@ TEST(SeqGreedy, EmptyAndSingleton) {
   const Csr e = make_empty(3);
   const SeqColoring c = greedy_color(e);
   EXPECT_EQ(c.num_colors, 1);  // all vertices take color 0
-  EXPECT_TRUE(is_valid_coloring(e, c.colors));
+  EXPECT_TRUE(check::is_valid_coloring(e, c.colors));
   const Csr one = make_empty(1);
   EXPECT_EQ(greedy_color(one).num_colors, 1);
 }

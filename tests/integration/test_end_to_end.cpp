@@ -5,7 +5,7 @@
 #include "coloring/quality.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/suite.hpp"
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
@@ -34,7 +34,7 @@ TEST(EndToEnd, EveryAlgorithmColorsEverySuiteGraph) {
       ColoringOptions opts;
       opts.collect_launches = false;
       const ColoringRun run = run_coloring(cfg, entry.graph, a, opts);
-      ASSERT_TRUE(is_valid_coloring(entry.graph, run.colors))
+      ASSERT_TRUE(check::is_valid_coloring(entry.graph, run.colors))
           << entry.name << " / " << algorithm_name(a);
     }
   }

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "coloring/runner.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/builder.hpp"
 #include "graph/io/io.hpp"
 #include "graph/reorder.hpp"
@@ -40,8 +40,8 @@ TEST(FailureInjection, VerifierCatchesSingleFlippedColor) {
     for (vid_t v = 0; v < 24; ++v) colors[v] = static_cast<color_t>(v % 2);
     const auto victim = static_cast<vid_t>(rng.bounded(24));
     colors[victim] ^= 1;  // equal to both neighbours now
-    EXPECT_FALSE(is_valid_coloring(g, colors)) << "victim " << victim;
-    const auto violation = find_violation(g, colors);
+    EXPECT_FALSE(check::is_valid_coloring(g, colors)) << "victim " << victim;
+    const auto violation = check::verify_coloring(g, colors);
     ASSERT_TRUE(violation.has_value());
     EXPECT_TRUE(violation->u == victim || violation->v == victim);
   }
@@ -52,8 +52,8 @@ TEST(FailureInjection, VerifierCatchesErasedColor) {
   std::vector<color_t> colors(10);
   for (vid_t v = 0; v < 10; ++v) colors[v] = static_cast<color_t>(v % 2);
   colors[7] = kUncolored;
-  EXPECT_FALSE(is_valid_coloring(g, colors));
-  EXPECT_TRUE(is_valid_coloring(g, colors, /*require_complete=*/false));
+  EXPECT_FALSE(check::is_valid_coloring(g, colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, colors, /*require_complete=*/false));
 }
 
 TEST(FailureInjection, TruncatedFilesThrow) {

@@ -7,7 +7,7 @@
 #include "coloring/recolor.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/builder.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/random.hpp"
@@ -56,9 +56,9 @@ TEST_P(PropertySweep, AllGpuAlgorithmsProduceValidColorings) {
   opts.collect_launches = false;
   for (Algorithm a : all_algorithms()) {
     const ColoringRun run = run_coloring(cfg, g, a, opts);
-    ASSERT_TRUE(is_valid_coloring(g, run.colors))
+    ASSERT_TRUE(check::is_valid_coloring(g, run.colors))
         << algorithm_name(a) << " seed " << GetParam() << ": "
-        << find_violation(g, run.colors)->to_string();
+        << check::verify_coloring(g, run.colors)->to_string();
   }
 }
 
@@ -100,10 +100,10 @@ TEST_P(PropertySweep, RecolorAndBalanceKeepInvariants) {
   const auto run =
       run_coloring(simgpu::test_device(), g, Algorithm::kBaseline);
   const RecolorResult r = reduce_colors(g, run.colors);
-  ASSERT_TRUE(is_valid_coloring(g, r.colors));
+  ASSERT_TRUE(check::is_valid_coloring(g, r.colors));
   ASSERT_LE(r.num_colors, run.num_colors);
   const BalanceResult b = balance_colors(g, r.colors);
-  ASSERT_TRUE(is_valid_coloring(g, b.colors));
+  ASSERT_TRUE(check::is_valid_coloring(g, b.colors));
   ASSERT_EQ(b.num_colors, r.num_colors);
 }
 

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/special.hpp"
 #include "graph/gen/suite.hpp"
@@ -95,9 +95,9 @@ TEST_P(ParParityTest, ValidCompleteColoringOnGeneratorSuite) {
     for (unsigned threads : {1u, 4u}) {
       const par::ParRun run =
           par::run_par_coloring(entry.graph, GetParam(), opts_with(threads));
-      EXPECT_TRUE(is_valid_coloring(entry.graph, run.colors))
+      EXPECT_TRUE(check::is_valid_coloring(entry.graph, run.colors))
           << entry.name << " @" << threads << ": "
-          << find_violation(entry.graph, run.colors)->to_string();
+          << check::verify_coloring(entry.graph, run.colors)->to_string();
       EXPECT_EQ(run.num_colors, count_colors(run.colors)) << entry.name;
       EXPECT_GT(run.iterations, 0u) << entry.name;
     }
@@ -118,7 +118,7 @@ TEST_P(ParParityTest, ValidOnDegenerateShapes) {
   for (const Case& c : cases) {
     const par::ParRun run =
         par::run_par_coloring(c.graph, GetParam(), opts_with(2));
-    EXPECT_TRUE(is_valid_coloring(c.graph, run.colors)) << c.name;
+    EXPECT_TRUE(check::is_valid_coloring(c.graph, run.colors)) << c.name;
     EXPECT_EQ(run.colors.size(), c.graph.num_vertices()) << c.name;
   }
 }
@@ -173,7 +173,7 @@ TEST(ParStatsTest, PoolReuseAcrossRunsIsClean) {
   par::ThreadPool pool(2);
   for (par::ParAlgorithm algo : par::all_par_algorithms()) {
     const par::ParRun run = par::run_par_coloring(pool, g, algo, opts_with(2));
-    EXPECT_TRUE(is_valid_coloring(g, run.colors)) << par_algorithm_name(algo);
+    EXPECT_TRUE(check::is_valid_coloring(g, run.colors)) << par_algorithm_name(algo);
     EXPECT_EQ(run.threads, 2u);
   }
 }

@@ -8,7 +8,7 @@
 #include <random>
 
 #include "coloring/seq_greedy.hpp"
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/random.hpp"
 #include "graph/gen/special.hpp"
@@ -76,7 +76,7 @@ TEST(ScheduleParityTest, JplIsInvariantAcrossSchedulesThreadsAndHubs) {
   Combo base{1u, par::Schedule::kVertexChunks, kHubOff};
   const par::ParRun ref =
       par::run_par_coloring(g, par::ParAlgorithm::kJpl, opts_for(base));
-  ASSERT_TRUE(is_valid_coloring(g, ref.colors));
+  ASSERT_TRUE(check::is_valid_coloring(g, ref.colors));
 
   for (const Combo& c : all_combos()) {
     const par::ParRun run =
@@ -122,9 +122,9 @@ TEST_P(ScheduleValidityTest, ValidAndCompleteOnSkewedGraphs) {
     for (const Combo& c : all_combos()) {
       const par::ParRun run =
           par::run_par_coloring(tc.graph, GetParam(), opts_for(c));
-      EXPECT_TRUE(is_valid_coloring(tc.graph, run.colors))
+      EXPECT_TRUE(check::is_valid_coloring(tc.graph, run.colors))
           << tc.name << " " << describe(c) << ": "
-          << find_violation(tc.graph, run.colors)->to_string();
+          << check::verify_coloring(tc.graph, run.colors)->to_string();
       EXPECT_EQ(run.colors.size(), tc.graph.num_vertices()) << tc.name;
       EXPECT_EQ(run.num_colors, count_colors(run.colors))
           << tc.name << " " << describe(c);
@@ -163,7 +163,7 @@ TEST(ScheduleHubTest, HubPathStaysOffOnOneThread) {
   const par::ParRun run =
       par::run_par_coloring(g, par::ParAlgorithm::kSpeculative, opts_for(c));
   EXPECT_EQ(run.hub_vertices, 0u);
-  EXPECT_TRUE(is_valid_coloring(g, run.colors));
+  EXPECT_TRUE(check::is_valid_coloring(g, run.colors));
 }
 
 // --- bitset first-fit scratch ------------------------------------------------

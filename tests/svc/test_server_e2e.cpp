@@ -18,7 +18,7 @@
 #include <thread>
 #include <vector>
 
-#include "coloring/verify.hpp"
+#include "check/coloring.hpp"
 #include "svc/client.hpp"
 #include "svc/graph_registry.hpp"
 #include "svc/protocol.hpp"
@@ -113,7 +113,7 @@ TEST(ServerE2E, ConcurrentMixedLoadAllColoringsValid) {
         const auto colors = colors_from_reply(reply);
         const auto g = local.acquire(spec.graph);
         if (colors.size() != g->num_vertices() ||
-            find_violation(*g, colors).has_value()) {
+            check::verify_coloring(*g, colors).has_value()) {
           invalid_colorings.fetch_add(1);
           continue;
         }

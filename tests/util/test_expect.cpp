@@ -9,6 +9,29 @@ TEST(ExpectDeathTest, MacrosAbortWithKindAndLocation) {
   EXPECT_DEATH(GCG_EXPECT(1 == 2), "precondition violated: 1 == 2");
   EXPECT_DEATH(GCG_ENSURE(false), "postcondition violated");
   EXPECT_DEATH(GCG_ASSERT(0 > 1), "invariant violated");
+#ifndef NDEBUG
+  EXPECT_DEATH(GCG_DCHECK(1 + 1 == 3), "debug check violated");
+#endif
+}
+
+TEST(ExpectDeathTest, DcheckCompiledOutInRelease) {
+#ifdef NDEBUG
+  // Release: the condition must not even be evaluated.
+  int evaluations = 0;
+  GCG_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+#else
+  // Debug: evaluated exactly once, and a true condition is silent.
+  int evaluations = 0;
+  GCG_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+#endif
 }
 
 TEST(Expect, PassingConditionsAreSilent) {

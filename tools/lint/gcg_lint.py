@@ -1,0 +1,464 @@
+#!/usr/bin/env python3
+"""gcg_lint: project-specific static analysis for the gcgpu sources.
+
+Rules (see docs/CORRECTNESS.md for the rationale):
+
+  order-comment   every `memory_order_*` site must carry an `// order:`
+                  justification — on the same line, or in an `// order:`
+                  comment above it with no blank line in between (one
+                  comment may cover a contiguous annotated block, e.g. a
+                  Chase-Lev pop sequence; max 10 lines of reach).
+  include-cycle   the quoted-include graph of src/ must be acyclic.
+  naked-new       no `new` expressions outside smart-pointer factories.
+  naked-delete    no `delete` expressions (`= delete` declarations are fine).
+  rand            no `rand()` / `srand()` — use util/rng.hpp generators.
+  thread-detach   no `.detach()` — every thread must be joined.
+  volatile        no `volatile` — it is not a synchronization primitive;
+                  use std::atomic.
+
+Suppressions (a justification is mandatory):
+
+  some_code();  // lint: allow(naked-new) interop with C API that frees it
+  // lint: allow-next-line(volatile) memory-mapped register access
+  volatile uint32_t* reg = ...;
+
+Usage:
+  gcg_lint.py [--root DIR] [PATHS...]   lint src/ (default) or PATHS
+  gcg_lint.py --self-test               run the built-in rule tests
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+TOKEN_RULES = {
+    "naked-new": (
+        re.compile(r"(?<![\w.])new\b"),
+        "naked `new` — use std::make_unique/std::vector instead",
+    ),
+    "naked-delete": (
+        # `= delete` declarations are erased before matching (see lint_file).
+        re.compile(r"(?<![\w.])delete\b"),
+        "naked `delete` — ownership must live in a smart pointer/container",
+    ),
+    "rand": (
+        re.compile(r"(?<![\w.:])s?rand\s*\("),
+        "rand()/srand() — use the seeded generators in util/rng.hpp",
+    ),
+    "thread-detach": (
+        re.compile(r"\.\s*detach\s*\(\s*\)"),
+        "thread detach — detached threads outlive their invariants; join",
+    ),
+    "volatile": (
+        re.compile(r"(?<!\w)volatile\b"),
+        "volatile is not a synchronization primitive — use std::atomic",
+    ),
+}
+
+ORDER_RULE = "order-comment"
+CYCLE_RULE = "include-cycle"
+ALL_RULES = sorted(list(TOKEN_RULES) + [ORDER_RULE, CYCLE_RULE])
+
+ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
+ORDER_COMMENT = re.compile(r"//\s*order:")
+ORDER_REACH = 10  # max lines an // order: comment covers downward
+
+SUPPRESS_RE = re.compile(
+    r"//\s*lint:\s*(allow|allow-next-line)\(([\w\-, ]+)\)\s*(.*)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so token rules don't fire on prose. Returns a list of
+    code-only lines."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append(" ")
+                i += 1
+            elif c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append(" ")
+                i += 1
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+            else:
+                out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append(" ")
+                if nxt != "\n":
+                    out.append(" " if nxt != "\n" else nxt)
+                    i += 1
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated — bail out of the literal
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out).split("\n")
+
+
+def suppressions(raw_lines):
+    """Map line number (1-based) -> set of rules suppressed there.
+    Returns (map, findings-for-bad-suppressions)."""
+    allowed = {}
+    bad = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            if "lint:" in line and ("allow(" in line or "allow-next-line(" in line):
+                bad.append((idx, "malformed lint suppression"))
+            continue
+        kind, rules_str, reason = m.groups()
+        rules = {r.strip() for r in rules_str.split(",") if r.strip()}
+        unknown = rules - set(ALL_RULES)
+        if unknown:
+            bad.append((idx, f"suppression names unknown rule(s): "
+                             f"{', '.join(sorted(unknown))}"))
+            continue
+        if not reason.strip():
+            bad.append((idx, f"suppression of {', '.join(sorted(rules))} "
+                             "has no justification"))
+            continue
+        target = idx if kind == "allow" else idx + 1
+        allowed.setdefault(target, set()).update(rules)
+    return allowed, bad
+
+
+def order_covered(raw_lines, lineno):
+    """True if the memory_order site at 1-based `lineno` is justified."""
+    if ORDER_COMMENT.search(raw_lines[lineno - 1]):
+        return True
+    for back in range(1, ORDER_REACH + 1):
+        j = lineno - 1 - back
+        if j < 0:
+            return False
+        line = raw_lines[j]
+        if not line.strip():
+            return False  # blank line ends the annotated block
+        if ORDER_COMMENT.search(line):
+            return True
+    return False
+
+
+def lint_file(path, raw_text):
+    raw_lines = raw_text.split("\n")
+    code_lines = strip_code(raw_text)
+    allowed, bad_suppressions = suppressions(raw_lines)
+    findings = [Finding(path, ln, "lint-suppression", msg)
+                for ln, msg in bad_suppressions]
+
+    for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
+        # Deleted special members (`= delete`) are not delete expressions.
+        code = re.sub(r"=\s*delete\b", "", code)
+        here = allowed.get(idx, set())
+        for rule, (pattern, message) in TOKEN_RULES.items():
+            if pattern.search(code) and rule not in here:
+                findings.append(Finding(path, idx, rule, message))
+        if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
+            if not order_covered(raw_lines, idx):
+                findings.append(Finding(
+                    path, idx, ORDER_RULE,
+                    "memory_order use without an `// order:` justification"))
+    return findings
+
+
+def find_include_cycles(files_by_rel):
+    """files_by_rel: {include-path: source text}. Returns list of cycles,
+    each a list of include paths."""
+    graph = {}
+    for rel, text in files_by_rel.items():
+        deps = []
+        for line in text.split("\n"):
+            m = INCLUDE_RE.match(line)
+            if m and m.group(1) in files_by_rel:
+                deps.append(m.group(1))
+        graph[rel] = deps
+
+    cycles = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in graph}
+    stack = []
+
+    def dfs(u):
+        color[u] = GRAY
+        stack.append(u)
+        for v in graph[u]:
+            if color[v] == GRAY:
+                cycles.append(stack[stack.index(v):] + [v])
+            elif color[v] == WHITE:
+                dfs(v)
+        stack.pop()
+        color[u] = BLACK
+
+    for rel in sorted(graph):
+        if color[rel] == WHITE:
+            dfs(rel)
+    return cycles
+
+
+def include_key(full, root):
+    """The path a quoted #include would use for this file: the project
+    adds <root>/src to the include path, so files under src/ are keyed
+    relative to it."""
+    src_root = os.path.join(root, "src")
+    rel = os.path.relpath(full, root)
+    if rel.startswith("src" + os.sep):
+        return os.path.relpath(full, src_root)
+    return rel
+
+
+def collect_files(root, paths):
+    """Returns {absolute path: include-style relative path}."""
+    out = {}
+    if paths:
+        for p in paths:
+            if os.path.isdir(p):
+                for dirpath, _, names in os.walk(p):
+                    for name in sorted(names):
+                        if name.endswith(EXTENSIONS):
+                            full = os.path.join(dirpath, name)
+                            out[full] = include_key(full, root)
+            elif p.endswith(EXTENSIONS):
+                out[p] = include_key(p, root)
+    else:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    out[full] = include_key(full, root)
+    return out
+
+
+def run_lint(root, paths):
+    files = collect_files(root, paths)
+    findings = []
+    texts = {}
+    for full, rel in sorted(files.items()):
+        try:
+            text = open(full, encoding="utf-8").read()
+        except OSError as e:
+            findings.append(Finding(full, 0, "io", str(e)))
+            continue
+        texts[rel] = text
+        findings.extend(lint_file(full, text))
+
+    for cycle in find_include_cycles(texts):
+        findings.append(Finding(
+            cycle[0], 0, CYCLE_RULE,
+            "include cycle: " + " -> ".join(cycle)))
+    return findings
+
+
+# --------------------------- self test --------------------------------------
+
+SELF_TEST_CASES = [
+    # (name, source, expected rules firing)
+    ("naked_new", "int main() { auto* p = new int(3); return *p; }\n",
+     {"naked-new"}),
+    ("naked_delete", "void f(int* p) { delete p; }\n", {"naked-delete"}),
+    ("delete_array", "void f(int* p) { delete[] p; }\n", {"naked-delete"}),
+    ("deleted_fn_ok", "struct S { S(const S&) = delete; };\n", set()),
+    ("placement_new", "void f(void* b) { auto* p = new (b) int; (void)p; }\n",
+     {"naked-new"}),
+    ("rand_call", "#include <cstdlib>\nint f() { return rand(); }\n",
+     {"rand"}),
+    ("srand_call", "#include <cstdlib>\nvoid f() { srand(7); }\n", {"rand"}),
+    ("random_fn_ok", "int my_rand();\nint f() { return my_rand(); }\n", set()),
+    ("detach", "#include <thread>\nvoid f() { std::thread t; t.detach(); }\n",
+     {"thread-detach"}),
+    ("volatile_kw", "volatile int flag;\n", {"volatile"}),
+    ("order_bare",
+     "#include <atomic>\n"
+     "std::atomic<int> a;\n"
+     "int f() { return a.load(std::memory_order_relaxed); }\n",
+     {"order-comment"}),
+    ("order_same_line",
+     "#include <atomic>\n"
+     "std::atomic<int> a;\n"
+     "int f() { return a.load(std::memory_order_relaxed); }"
+     "  // order: counter only\n",
+     set()),
+    ("order_comment_above",
+     "#include <atomic>\n"
+     "std::atomic<int> a;\n"
+     "int f() {\n"
+     "  // order: relaxed — statistics counter, read when quiescent\n"
+     "  return a.load(std::memory_order_relaxed);\n"
+     "}\n",
+     set()),
+    ("order_block_coverage",
+     "#include <atomic>\n"
+     "std::atomic<long> b, t;\n"
+     "void f() {\n"
+     "  // order: relaxed + fence per PPoPP'13\n"
+     "  long x = b.load(std::memory_order_relaxed);\n"
+     "  b.store(x - 1, std::memory_order_relaxed);\n"
+     "  std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+     "}\n",
+     set()),
+    ("order_blank_line_breaks_coverage",
+     "#include <atomic>\n"
+     "std::atomic<int> a;\n"
+     "// order: this comment does not reach past the blank line\n"
+     "\n"
+     "int f() { return a.load(std::memory_order_acquire); }\n",
+     {"order-comment"}),
+    ("tokens_in_comments_ok",
+     "// new delete rand() volatile .detach() memory_order_relaxed\n"
+     "/* delete new */\n"
+     "int x;\n",
+     set()),
+    ("tokens_in_strings_ok",
+     'const char* s = "new delete rand() volatile";\n',
+     set()),
+    ("suppressed_new",
+     "int* f() { return new int; }"
+     "  // lint: allow(naked-new) C API owns and frees this\n",
+     set()),
+    ("suppressed_next_line",
+     "// lint: allow-next-line(volatile) hardware register\n"
+     "volatile int reg;\n",
+     set()),
+    ("suppression_needs_reason",
+     "int* f() { return new int; }  // lint: allow(naked-new)\n",
+     {"lint-suppression", "naked-new"}),
+    ("suppression_unknown_rule",
+     "int x;  // lint: allow(not-a-rule) whatever\n",
+     {"lint-suppression"}),
+    ("suppression_wrong_rule",
+     "int* f() { return new int; }  // lint: allow(rand) wrong rule\n",
+     {"naked-new"}),
+]
+
+
+def self_test():
+    failures = []
+
+    for name, source, expected in SELF_TEST_CASES:
+        found = {f.rule for f in lint_file(name + ".cpp", source)}
+        if found != expected:
+            failures.append(
+                f"{name}: expected rules {sorted(expected)}, got {sorted(found)}")
+
+    # Include-cycle detection on a synthetic 3-file cycle + one clean file.
+    cyclic = {
+        "a/a.hpp": '#include "b/b.hpp"\n',
+        "b/b.hpp": '#include "c/c.hpp"\n',
+        "c/c.hpp": '#include "a/a.hpp"\n',
+        "clean.hpp": '#include "a/a.hpp"\n',
+    }
+    cycles = find_include_cycles(cyclic)
+    if len(cycles) != 1 or set(cycles[0]) != {"a/a.hpp", "b/b.hpp", "c/c.hpp"}:
+        failures.append(f"include-cycle: expected one 3-cycle, got {cycles}")
+    if find_include_cycles({"a.hpp": '#include "b.hpp"\n', "b.hpp": "\n"}):
+        failures.append("include-cycle: false positive on acyclic graph")
+
+    # End-to-end over a temp tree: seeded violations must be reported with
+    # the right paths, and a clean tree must come back empty.
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_dir = os.path.join(tmp, "src")
+        os.makedirs(bad_dir)
+        with open(os.path.join(bad_dir, "bad.cpp"), "w") as f:
+            f.write("void f(int* p) { delete p; }\n")
+        findings = run_lint(tmp, [])
+        if len(findings) != 1 or findings[0].rule != "naked-delete":
+            failures.append(f"end-to-end: expected one naked-delete, got "
+                            f"{[str(f) for f in findings]}")
+
+    # End-to-end cycle detection with the real src/-relative include keys.
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, text in [("a/a.hpp", '#include "b/b.hpp"\n'),
+                          ("b/b.hpp", '#include "a/a.hpp"\n')]:
+            full = os.path.join(tmp, "src", rel)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w") as f:
+                f.write(text)
+        findings = run_lint(tmp, [])
+        if [f.rule for f in findings] != [CYCLE_RULE]:
+            failures.append(f"end-to-end cycle: expected one {CYCLE_RULE}, "
+                            f"got {[str(f) for f in findings]}")
+
+    if failures:
+        print("gcg_lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print(f"gcg_lint self-test passed "
+          f"({len(SELF_TEST_CASES)} cases, {len(ALL_RULES)} rules)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files/dirs to lint (default: <root>/src)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels up from this script)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in rule tests and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    paths = args.paths or [os.path.join(root, "src")]
+
+    findings = run_lint(root, paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"gcg_lint: {len(findings)} finding(s)", file=sys.stderr)
+        sys.exit(1)
+    print("gcg_lint: clean")
+
+
+if __name__ == "__main__":
+    main()
