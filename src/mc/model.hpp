@@ -1,0 +1,245 @@
+// Modeled drop-in stand-ins for the std:: synchronization vocabulary that
+// production code reaches through the sync:: seam (util/sync.hpp):
+// mc::atomic<T>, mc::atomic_flag, mc::mutex and mc::condition_variable
+// mirror the std:: APIs, but every operation is announced to the model
+// checker (mc/checker.hpp), which schedules it explicitly and interprets
+// its memory order under a modeled C++11 memory model — a relaxed load
+// may legally return any store that coherence and happens-before do not
+// rule out, not just the newest one, so too-weak orderings fail here even
+// though the host CPU (x86) would never exhibit them.
+//
+// Outside an active check() — during Model::reset()/finally(), or in
+// plain single-threaded use — every operation falls back to its raw
+// mirrored value, so models can build and inspect state without ceremony.
+#pragma once
+
+#include <atomic>  // std::memory_order: the modeled API reuses the std enum
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace gcg::mc {
+
+namespace detail {
+
+enum class Rmw : std::uint8_t { kAdd, kSub, kAnd, kOr, kXchg };
+
+// Engine hooks, implemented in checker.cpp. `bits` is the location's raw
+// mirror inside the atomic object; the engine keeps it equal to the
+// newest store so that out-of-execution reads (reset/finally) see the
+// final value. All hooks fall back to plain `*bits` access when no
+// execution is active on the calling thread.
+std::uint64_t atomic_load(const void* addr, const std::uint64_t* bits,
+                          std::memory_order mo);
+void atomic_store(const void* addr, std::uint64_t* bits, std::uint64_t value,
+                  unsigned width, std::memory_order mo);
+std::uint64_t atomic_rmw(const void* addr, std::uint64_t* bits, Rmw op,
+                         std::uint64_t operand, unsigned width,
+                         std::memory_order mo);  // returns the old value
+bool atomic_cas(const void* addr, std::uint64_t* bits, std::uint64_t* expected,
+                std::uint64_t desired, unsigned width,
+                std::memory_order success, std::memory_order failure);
+void thread_fence(std::memory_order mo);
+void location_destroyed(const void* addr);
+void mutex_lock(const void* m);
+bool mutex_try_lock(const void* m);
+void mutex_unlock(const void* m);
+void cv_wait(const void* cv, const void* m);
+void cv_notify(const void* cv, bool all);
+[[noreturn]] void require_failed(const char* cond, const char* file, int line);
+
+// order: modeled defaults/mappings mirroring the std::atomic signatures —
+// these named constants are data interpreted by the checker, not host
+// synchronization, and exist so call sites below need no annotations.
+inline constexpr std::memory_order kSeqCst = std::memory_order_seq_cst;
+inline constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+inline constexpr std::memory_order kAcquire = std::memory_order_acquire;
+inline constexpr std::memory_order kRelease = std::memory_order_release;
+inline constexpr std::memory_order kAcqRel = std::memory_order_acq_rel;
+
+// [atomics.types.operations]/21: the one-order compare_exchange overloads
+// derive the failure order by stripping the release half.
+constexpr std::memory_order cas_failure_order(std::memory_order success) {
+  if (success == kAcqRel) return kAcquire;
+  if (success == kRelease) return kRelaxed;
+  return success;
+}
+
+template <class T>
+std::uint64_t to_bits(T v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(T));
+  return bits;
+}
+
+template <class T>
+T from_bits(std::uint64_t bits) {
+  T v;
+  std::memcpy(&v, &bits, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+/// Name a modeled location for failure traces: call from Model::reset()
+/// after constructing the object (`mc::set_name(&top_, "top")`). Ignored
+/// when no check is active.
+void set_name(const void* addr, const char* name);
+
+template <class T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "mc::atomic models word-sized trivially copyable types");
+  static_assert(std::has_unique_object_representations_v<T>,
+                "padding bits would break modeled compare-exchange");
+
+ public:
+  atomic() noexcept : atomic(T{}) {}
+  atomic(T v) noexcept : bits_(detail::to_bits(v)) {}
+  ~atomic() { detail::location_destroyed(this); }
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = detail::kSeqCst) const {
+    return detail::from_bits<T>(detail::atomic_load(this, &bits_, mo));
+  }
+  void store(T v, std::memory_order mo = detail::kSeqCst) {
+    detail::atomic_store(this, &bits_, detail::to_bits(v), sizeof(T), mo);
+  }
+  operator T() const { return load(); }
+  T operator=(T v) {
+    store(v);
+    return v;
+  }
+
+  T exchange(T v, std::memory_order mo = detail::kSeqCst) {
+    return detail::from_bits<T>(detail::atomic_rmw(
+        this, &bits_, detail::Rmw::kXchg, detail::to_bits(v), sizeof(T), mo));
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    std::uint64_t exp = detail::to_bits(expected);
+    const bool ok = detail::atomic_cas(this, &bits_, &exp,
+                                       detail::to_bits(desired), sizeof(T),
+                                       success, failure);
+    expected = detail::from_bits<T>(exp);
+    return ok;
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = detail::kSeqCst) {
+    return compare_exchange_strong(expected, desired, mo,
+                                   detail::cas_failure_order(mo));
+  }
+  // The model has no spurious failures, so weak == strong. Callers'
+  // retry loops still terminate; they just never take the spurious arm.
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = detail::kSeqCst) {
+    return compare_exchange_strong(expected, desired, mo);
+  }
+
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order mo = detail::kSeqCst) {
+    return detail::from_bits<T>(detail::atomic_rmw(
+        this, &bits_, detail::Rmw::kAdd, detail::to_bits(delta), sizeof(T), mo));
+  }
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order mo = detail::kSeqCst) {
+    return detail::from_bits<T>(detail::atomic_rmw(
+        this, &bits_, detail::Rmw::kSub, detail::to_bits(delta), sizeof(T), mo));
+  }
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_and(T mask, std::memory_order mo = detail::kSeqCst) {
+    return detail::from_bits<T>(detail::atomic_rmw(
+        this, &bits_, detail::Rmw::kAnd, detail::to_bits(mask), sizeof(T), mo));
+  }
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_or(T mask, std::memory_order mo = detail::kSeqCst) {
+    return detail::from_bits<T>(detail::atomic_rmw(
+        this, &bits_, detail::Rmw::kOr, detail::to_bits(mask), sizeof(T), mo));
+  }
+
+ private:
+  mutable std::uint64_t bits_;
+};
+
+class atomic_flag {
+ public:
+  constexpr atomic_flag() noexcept = default;
+  ~atomic_flag() { detail::location_destroyed(this); }
+  atomic_flag(const atomic_flag&) = delete;
+  atomic_flag& operator=(const atomic_flag&) = delete;
+
+  bool test_and_set(std::memory_order mo = detail::kSeqCst) {
+    return detail::atomic_rmw(this, &bits_, detail::Rmw::kXchg, 1,
+                              sizeof(std::uint64_t), mo) != 0;
+  }
+  void clear(std::memory_order mo = detail::kSeqCst) {
+    detail::atomic_store(this, &bits_, 0, sizeof(std::uint64_t), mo);
+  }
+  bool test(std::memory_order mo = detail::kSeqCst) const {
+    return detail::atomic_load(this, &bits_, mo) != 0;
+  }
+
+ private:
+  mutable std::uint64_t bits_ = 0;
+};
+
+inline void atomic_thread_fence(std::memory_order mo) {
+  detail::thread_fence(mo);
+}
+
+/// Modeled std::mutex: lock is a scheduling point (disabled while held),
+/// unlock→lock edges carry happens-before. Non-recursive; unlocking a
+/// mutex the calling thread does not hold fails the execution.
+class mutex {
+ public:
+  mutex() = default;
+  ~mutex() { detail::location_destroyed(this); }
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() { detail::mutex_lock(this); }
+  bool try_lock() { return detail::mutex_try_lock(this); }
+  void unlock() { detail::mutex_unlock(this); }
+};
+
+/// Modeled std::condition_variable (over mc::mutex, via any Lock with a
+/// .mutex() accessor, e.g. std::unique_lock<mc::mutex>). No spurious
+/// wakeups: a wait only resumes after a notify, so lost-wakeup bugs
+/// surface as modeled deadlocks instead of being masked by spurious
+/// retries. notify_one picks each eligible waiter in turn across
+/// executions.
+class condition_variable {
+ public:
+  condition_variable() = default;
+  ~condition_variable() { detail::location_destroyed(this); }
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  void notify_one() { detail::cv_notify(this, false); }
+  void notify_all() { detail::cv_notify(this, true); }
+  template <class Lock>
+  void wait(Lock& lk) {
+    detail::cv_wait(this, lk.mutex());
+  }
+  template <class Lock, class Pred>
+  void wait(Lock& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+};
+
+}  // namespace gcg::mc
+
+/// Model-level assertion: fails the current execution (recording the
+/// trace that led here) instead of aborting the process, so the checker
+/// can report the interleaving. Outside a check it aborts like GCG_EXPECT.
+#define MC_REQUIRE(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) ::gcg::mc::detail::require_failed(#cond, __FILE__, __LINE__); \
+  } while (0)

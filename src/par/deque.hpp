@@ -8,12 +8,12 @@
 // between reset()s and ring slots are never recycled while thieves race.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "util/expect.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::par {
 
@@ -82,7 +82,7 @@ class WorkStealingDeque {
     // last item; the individual accesses need no stronger order.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    sync::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t <= b) {
       T item = buffer_[static_cast<std::size_t>(b) & mask_];
@@ -116,7 +116,7 @@ class WorkStealingDeque {
     // pop fence, and acquire on bottom_ pairs with push_bottom's release
     // so the buffer slot read below sees the pushed item.
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    sync::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t < b) {
       T item = buffer_[static_cast<std::size_t>(t) & mask_];
@@ -134,8 +134,8 @@ class WorkStealingDeque {
  private:
   std::vector<T> buffer_;
   std::size_t mask_ = 0;
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) sync::atomic<std::int64_t> top_{0};
+  alignas(64) sync::atomic<std::int64_t> bottom_{0};
 };
 
 }  // namespace gcg::par

@@ -1,0 +1,37 @@
+// Concurrent frontier append, extracted from driver.hpp so the model
+// checker can instantiate the exact production template without pulling
+// in the pool/runner headers: tests/mc/test_mc_frontier.cpp compiles this
+// file with GCG_MC_MODEL and exhaustively checks that concurrent claim()
+// calls hand out disjoint slot ranges. Internal header.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/sync.hpp"
+
+namespace gcg::par::detail {
+
+/// Accumulates survivors into a preallocated output vector: workers claim
+/// disjoint index ranges from a shared cursor and scatter into them.
+template <class V>
+struct BasicFrontierAppender {
+  std::vector<V>& out;
+  sync::atomic<std::uint32_t> counter{0};
+
+  /// Reserve `count` slots; returns the first index.
+  std::uint32_t claim(std::uint32_t count) {
+    // order: relaxed — slot reservation only; the appended entries are
+    // published by the pool barrier that ends the phase (model-checked:
+    // disjointness holds under relaxed, see tests/mc/test_mc_frontier).
+    const std::uint32_t at =
+        counter.fetch_add(count, std::memory_order_relaxed);
+    // Widen before adding: `at + count` in 32 bits can wrap on a huge
+    // frontier and sail past the bounds check it is supposed to enforce.
+    GCG_ASSERT(std::uint64_t{at} + count <= out.size());
+    return at;
+  }
+};
+
+}  // namespace gcg::par::detail

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <vector>
 
+#include "par/detail/appender.hpp"
 #include "par/pool.hpp"
 #include "par/runner.hpp"
 #include "util/expect.hpp"
@@ -143,23 +144,9 @@ class BusyTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Concurrent append of surviving vertices into a preallocated frontier.
-struct FrontierAppender {
-  std::vector<vid_t>& out;
-  std::atomic<std::uint32_t> counter{0};
-
-  /// Reserve `count` slots; returns the first index.
-  std::uint32_t claim(std::uint32_t count) {
-    // order: relaxed — slot reservation only; the appended entries are
-    // published by the pool barrier that ends the phase.
-    const std::uint32_t at =
-        counter.fetch_add(count, std::memory_order_relaxed);
-    // Widen before adding: `at + count` in 32 bits can wrap on a huge
-    // frontier and sail past the bounds check it is supposed to enforce.
-    GCG_ASSERT(std::uint64_t{at} + count <= out.size());
-    return at;
-  }
-};
+/// Concurrent append of surviving vertices into a preallocated frontier
+/// (the model-checked template in par/detail/appender.hpp).
+using FrontierAppender = BasicFrontierAppender<vid_t>;
 
 void run_speculative(DriverState& st);
 void run_jpl(DriverState& st);

@@ -12,11 +12,12 @@
 // identical to the per-worker path's.
 #pragma once
 
-#include <atomic>
+#include <atomic>  // std::atomic_ref (deliberately outside the sync:: seam)
 #include <span>
 #include <vector>
 
 #include "par/detail/driver.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::par::detail {
 
@@ -87,7 +88,7 @@ template <class Pred>
 bool coop_exists(DriverState& st, vid_t v, Pred&& pred) {
   const vid_t deg = st.g.degree(v);
   const vid_t* nbrs = st.g.col_indices().data() + st.g.offset(v);
-  std::atomic<bool> found{false};
+  sync::atomic<bool> found{false};
   st.pool.parallel_for(
       deg, kHubSliceGrain,
       [&](std::uint32_t b, std::uint32_t e, unsigned w) {
@@ -188,7 +189,7 @@ class FrontierExec {
       // Survivors stamp their own slot for the next round: no shared
       // append cursor, no scatter into a worklist while the frontier is
       // wide. Only the per-chunk counts meet at an atomic.
-      std::atomic<std::uint32_t> survivors{0};
+      sync::atomic<std::uint32_t> survivors{0};
       dispatch([&](std::uint32_t b, std::uint32_t e, unsigned w) {
         BusyTimer timer(st_.run.workers[w]);
         std::uint32_t kept = 0;

@@ -1,6 +1,7 @@
 #include "par/pool.hpp"
 
 #include <algorithm>
+#include <mutex>  // std::lock_guard/std::unique_lock over sync::mutex
 
 #include "util/expect.hpp"
 #include "util/stress.hpp"
@@ -22,7 +23,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::mutex> lock(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -31,7 +32,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::helper_loop(unsigned worker) {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::mutex> lock(mu_);
   while (true) {
     start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
     if (shutdown_) return;
@@ -50,7 +51,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<sync::mutex> lock(mu_);
     GCG_ASSERT(outstanding_ == 0);  // reentrant run() would deadlock
     job_ = &body;
     outstanding_ = static_cast<unsigned>(helpers_.size());
@@ -58,7 +59,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
   }
   start_cv_.notify_all();
   body(0);
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<sync::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return outstanding_ == 0; });
   job_ = nullptr;
 }
@@ -68,7 +69,7 @@ void ThreadPool::parallel_for(
     const std::function<void(std::uint32_t, std::uint32_t, unsigned)>& body) {
   if (n == 0) return;
   grain = std::max(grain, 1u);
-  std::atomic<std::uint32_t> cursor{0};
+  sync::atomic<std::uint32_t> cursor{0};
   run([&](unsigned worker) {
     while (true) {
       // order: relaxed — the cursor only partitions the index space;
@@ -101,7 +102,7 @@ void ThreadPool::parallel_for_edges(
     return static_cast<std::uint32_t>(
         std::min<std::size_t>(static_cast<std::size_t>(it - prefix), n));
   };
-  std::atomic<std::uint64_t> cursor{0};
+  sync::atomic<std::uint64_t> cursor{0};
   run([&](unsigned worker) {
     while (true) {
       // order: relaxed — chunk indices only; the pool barrier orders

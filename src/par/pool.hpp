@@ -4,13 +4,12 @@
 // what makes the 1-thread par run bit-identical to a sequential execution.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace gcg::par {
 
@@ -60,9 +59,9 @@ class ThreadPool {
   void helper_loop(unsigned worker);
 
   std::vector<std::thread> helpers_;
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  sync::mutex mu_;
+  sync::condition_variable start_cv_;
+  sync::condition_variable done_cv_;
   const std::function<void(unsigned)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned outstanding_ = 0;

@@ -45,10 +45,15 @@ std::optional<Chunk> StealPool::pop_own(unsigned worker) {
   std::optional<Chunk> c = slot.deque.pop_bottom();
   if (c) {
     ++slot.stats.pops;
-    // order: acq_rel — the release side lets drained()'s acquire observe
-    // a fully handed-out fill; acquire keeps decrements ordered with the
-    // deque operation that produced the chunk.
-    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    // order: release — drained()'s acquire load pairs with the decrement
+    // that hits 0 and, through the release sequence the RMWs continue,
+    // with every earlier decrement, so the 0-observer sees all handed-out
+    // chunks' bookkeeping. The old acq_rel's acquire half synchronized
+    // with nothing (no later writes here are read via remaining_) — the
+    // model checker flagged it as vacuous; LIT-CNT-1 in
+    // tests/mc/test_mc_litmus.cpp shows release suffices and relaxed
+    // does not.
+    remaining_.fetch_sub(1, std::memory_order_release);
   }
   return c;
 }
@@ -60,8 +65,8 @@ std::optional<Chunk> StealPool::try_victim(unsigned thief, unsigned victim) {
     auto& stats = slots_[thief]->stats;
     ++stats.steal_hits;
     ++stats.chunks_stolen;
-    // order: acq_rel — same contract as pop_own's decrement.
-    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    // order: release — same contract as pop_own's decrement (LIT-CNT-1).
+    remaining_.fetch_sub(1, std::memory_order_release);
   }
   return c;
 }

@@ -3,7 +3,6 @@
 // and StealStats vocabulary so sim and par runs report comparable numbers.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -13,6 +12,7 @@
 #include "sched/chunk.hpp"
 #include "sched/steal_queues.hpp"  // VictimPolicy, StealStats
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::par {
 
@@ -42,8 +42,10 @@ class StealPool {
   /// True once every chunk of the current fill has been handed out
   /// (handed out, not necessarily finished — pair with a pool barrier).
   bool drained() const {
-    // order: acquire pairs with the acq_rel decrements in pop/steal so a
-    // worker that sees 0 also sees every handed-out chunk's bookkeeping.
+    // order: acquire pairs with the release decrements in pop/steal so a
+    // worker that sees 0 also sees every handed-out chunk's bookkeeping
+    // (the release sequence headed by fill()'s store runs unbroken through
+    // the RMW decrements — model-checked as LIT-CNT-1).
     return remaining_.load(std::memory_order_acquire) == 0;
   }
 
@@ -61,7 +63,7 @@ class StealPool {
   std::optional<Chunk> try_victim(unsigned thief, unsigned victim);
 
   std::vector<std::unique_ptr<Slot>> slots_;
-  alignas(64) std::atomic<std::int64_t> remaining_{0};
+  alignas(64) sync::atomic<std::int64_t> remaining_{0};
 };
 
 }  // namespace gcg::par

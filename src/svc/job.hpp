@@ -6,7 +6,6 @@
 // flag, which the par backend polls lock-free mid-run).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -16,6 +15,7 @@
 #include <vector>
 
 #include "coloring/common.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::svc {
 
@@ -78,7 +78,7 @@ struct JobRecord {
   const JobSpec spec;
   const std::string graph_key;  ///< canonical registry key (batching key)
   const std::chrono::steady_clock::time_point submitted;
-  std::atomic<bool> cancel{false};
+  sync::atomic<bool> cancel{false};
 
   mutable std::mutex mu;
   mutable std::condition_variable cv;

@@ -1,81 +1,9 @@
 #include "svc/job_queue.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+namespace gcg::svc::detail {
 
-namespace gcg::svc {
+// Pin the service instantiation into one object file so every user of
+// JobQueue shares it instead of re-instantiating the template per TU.
+template class BasicBatchQueue<JobPtr, JobQueueTraits>;
 
-JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) {
-    throw std::invalid_argument("job queue capacity must be >= 1");
-  }
-}
-
-bool JobQueue::try_push(JobPtr job) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || q_.size() >= capacity_) return false;
-    q_.push_back(std::move(job));
-  }
-  cv_.notify_one();
-  return true;
-}
-
-std::vector<JobPtr> JobQueue::pop_batch(std::size_t batch_limit) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
-  std::vector<JobPtr> batch;
-  if (q_.empty()) return batch;  // closed and drained
-
-  batch.push_back(std::move(q_.front()));
-  q_.pop_front();
-  const std::string& key = batch.front()->graph_key;
-  for (auto it = q_.begin();
-       it != q_.end() && batch.size() < std::max<std::size_t>(batch_limit, 1);) {
-    if ((*it)->graph_key == key) {
-      batch.push_back(std::move(*it));
-      it = q_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return batch;
-}
-
-JobPtr JobQueue::remove(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = std::find_if(q_.begin(), q_.end(),
-                               [&](const JobPtr& j) { return j->id == id; });
-  if (it == q_.end()) return nullptr;
-  JobPtr job = std::move(*it);
-  q_.erase(it);
-  return job;
-}
-
-JobPtr JobQueue::remove_front() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (q_.empty()) return nullptr;
-  JobPtr job = std::move(q_.front());
-  q_.pop_front();
-  return job;
-}
-
-void JobQueue::close() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
-  }
-  cv_.notify_all();
-}
-
-bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return closed_;
-}
-
-std::size_t JobQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return q_.size();
-}
-
-}  // namespace gcg::svc
+}  // namespace gcg::svc::detail

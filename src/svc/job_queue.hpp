@@ -5,53 +5,36 @@
 // FIFO order but drain *all* queued jobs for the same graph key in one
 // batch, so a hot graph is looked up once and stays cache-resident across
 // the whole batch.
+//
+// The queue machinery itself lives in svc/detail/batch_queue.hpp as a
+// template so the model checker can instantiate the identical code on a
+// tiny job type (tests/mc/test_mc_queue.cpp); this header only binds it
+// to JobPtr.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <mutex>
+#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "svc/detail/batch_queue.hpp"
 #include "svc/job.hpp"
 
 namespace gcg::svc {
 
-class JobQueue {
+/// How BasicBatchQueue reads a JobRecord: batches share a graph_key so a
+/// hot graph is looked up once; removal is by job id.
+struct JobQueueTraits {
+  static const std::string& key(const JobPtr& j) { return j->graph_key; }
+  static std::uint64_t id(const JobPtr& j) { return j->id; }
+};
+
+// The one shared instantiation lives in job_queue.cpp.
+extern template class detail::BasicBatchQueue<JobPtr, JobQueueTraits>;
+
+class JobQueue : public detail::BasicBatchQueue<JobPtr, JobQueueTraits> {
+  using Base = detail::BasicBatchQueue<JobPtr, JobQueueTraits>;
+
  public:
-  /// capacity = max queued (not yet dispatched) jobs before push rejects.
-  explicit JobQueue(std::size_t capacity);
-
-  /// Non-blocking; false means the queue is full (backpressure) or closed.
-  bool try_push(JobPtr job);
-
-  /// Pops the oldest job plus up to `batch_limit - 1` younger jobs whose
-  /// JobRecord::graph_key matches the front's. Blocks while empty;
-  /// returns an empty vector once closed and drained.
-  std::vector<JobPtr> pop_batch(std::size_t batch_limit);
-
-  /// Removes a queued job by id (for cancellation before dispatch).
-  /// Returns the record if it was still queued.
-  JobPtr remove(std::uint64_t id);
-
-  /// Pops the oldest queued job without blocking; nullptr when empty.
-  /// Used by non-draining shutdown to retire the backlog.
-  JobPtr remove_front();
-
-  /// No further pushes; blocked pop_batch calls drain then return empty.
-  void close();
-  bool closed() const;
-
-  std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
-
- private:
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<JobPtr> q_;
-  bool closed_ = false;
+  using Base::Base;
 };
 
 }  // namespace gcg::svc

@@ -3,7 +3,7 @@
 namespace gcg {
 
 namespace detail {
-std::atomic<const StressHook*> g_stress_hook{nullptr};
+sync::atomic<const StressHook*> g_stress_hook{nullptr};
 }  // namespace detail
 
 void install_stress_hook(const StressHook* hook) {

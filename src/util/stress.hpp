@@ -13,7 +13,7 @@
 // check/stress.hpp enforces the pairing.
 #pragma once
 
-#include <atomic>
+#include "util/sync.hpp"
 
 namespace gcg {
 
@@ -25,7 +25,7 @@ struct StressHook {
 };
 
 namespace detail {
-extern std::atomic<const StressHook*> g_stress_hook;
+extern sync::atomic<const StressHook*> g_stress_hook;
 }  // namespace detail
 
 /// Install `hook` (callers keep ownership; pass nullptr to uninstall).

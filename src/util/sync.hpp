@@ -1,0 +1,68 @@
+// The sync:: seam: the one spelling of the synchronization vocabulary the
+// concurrent core (src/par/, src/svc/, util/stress.*) is allowed to use.
+// In product builds sync::atomic IS std::atomic — see the static_asserts
+// in tests/par/test_sync_seam.cpp — so the seam costs nothing. When a TU
+// is compiled with GCG_MC_MODEL defined (the tests/mc/ models), the same
+// names resolve to the mc:: modeled primitives instead, so the exact
+// production templates (WorkStealingDeque, BasicFrontierAppender,
+// BasicJobQueue, ...) run under the model checker with no forked copies.
+// tools/lint/gcg_lint.py (rule `sync-seam`) bans direct std::atomic use
+// in the migrated directories to keep the seam airtight.
+//
+// The aliases live in mode-specific *inline namespaces* so that any
+// function compiled against the seam mangles differently in the two
+// modes: a test binary that links both std-mode objects (gcg_util) and
+// GCG_MC_MODEL objects can never fuse two definitions across modes (ODR).
+//
+// Deliberately NOT aliased: std::atomic_ref (used by the par backend on
+// plain color/bitmap arrays; the checker models owned mc::atomic objects,
+// not views into foreign memory), std::atomic_signal_fence, and
+// std::memory_order itself — order arguments keep their std:: spelling in
+// both modes.
+#pragma once
+
+#if defined(GCG_MC_MODEL)
+#include "mc/model.hpp"
+#else
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace gcg::sync {
+
+#if defined(GCG_MC_MODEL)
+
+inline namespace modelled {
+
+template <class T>
+using atomic = ::gcg::mc::atomic<T>;
+using atomic_flag = ::gcg::mc::atomic_flag;
+using mutex = ::gcg::mc::mutex;
+using condition_variable = ::gcg::mc::condition_variable;
+
+inline void atomic_thread_fence(std::memory_order mo) {
+  ::gcg::mc::atomic_thread_fence(mo);
+}
+
+}  // namespace modelled
+
+#else
+
+inline namespace native {
+
+template <class T>
+using atomic = ::std::atomic<T>;
+using atomic_flag = ::std::atomic_flag;
+using mutex = ::std::mutex;
+using condition_variable = ::std::condition_variable;
+
+inline void atomic_thread_fence(std::memory_order mo) {
+  ::std::atomic_thread_fence(mo);
+}
+
+}  // namespace native
+
+#endif
+
+}  // namespace gcg::sync

@@ -12,6 +12,12 @@ Rules (see docs/CORRECTNESS.md for the rationale):
   naked-new       no `new` expressions outside smart-pointer factories.
   naked-delete    no `delete` expressions (`= delete` declarations are fine).
   rand            no `rand()` / `srand()` — use util/rng.hpp generators.
+  sync-seam       the concurrent core (src/par/, src/svc/, src/util/
+                  stress.*) must spell atomics through the sync:: seam
+                  (util/sync.hpp) so the model checker can swap them:
+                  no direct std::atomic / std::atomic_flag /
+                  std::atomic_thread_fence there. std::atomic_ref is
+                  deliberately allowed (the seam does not alias it).
   thread-detach   no `.detach()` — every thread must be joined.
   volatile        no `volatile` — it is not a synchronization primitive;
                   use std::atomic.
@@ -59,7 +65,17 @@ TOKEN_RULES = {
 
 ORDER_RULE = "order-comment"
 CYCLE_RULE = "include-cycle"
-ALL_RULES = sorted(list(TOKEN_RULES) + [ORDER_RULE, CYCLE_RULE])
+SEAM_RULE = "sync-seam"
+ALL_RULES = sorted(list(TOKEN_RULES) + [ORDER_RULE, CYCLE_RULE, SEAM_RULE])
+
+# sync-seam: matches std::atomic, std::atomic_flag, std::atomic_thread_fence
+# but NOT std::atomic_ref / std::atomic_signal_fence (outside the seam) —
+# the optional suffix must consume `_flag`/`_thread_fence` entirely or the
+# trailing \b rejects the partial-word match.
+SEAM_TOKEN = re.compile(r"\bstd\s*::\s*atomic(?:_flag|_thread_fence)?\b")
+SEAM_SCOPE = re.compile(r"(^|/)src/(par|svc)/|(^|/)src/util/stress\.")
+SEAM_MESSAGE = ("direct std:: atomic in the concurrent core — spell it "
+                "sync:: (util/sync.hpp) so the model checker can swap it")
 
 ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
@@ -193,6 +209,8 @@ def lint_file(path, raw_text):
     findings = [Finding(path, ln, "lint-suppression", msg)
                 for ln, msg in bad_suppressions]
 
+    in_seam_scope = bool(SEAM_SCOPE.search(path.replace(os.sep, "/")))
+
     for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
         # Deleted special members (`= delete`) are not delete expressions.
         code = re.sub(r"=\s*delete\b", "", code)
@@ -200,6 +218,8 @@ def lint_file(path, raw_text):
         for rule, (pattern, message) in TOKEN_RULES.items():
             if pattern.search(code) and rule not in here:
                 findings.append(Finding(path, idx, rule, message))
+        if in_seam_scope and SEAM_RULE not in here and SEAM_TOKEN.search(code):
+            findings.append(Finding(path, idx, SEAM_RULE, SEAM_MESSAGE))
         if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
             if not order_covered(raw_lines, idx):
                 findings.append(Finding(
@@ -374,6 +394,36 @@ SELF_TEST_CASES = [
     ("suppression_wrong_rule",
      "int* f() { return new int; }  // lint: allow(rand) wrong rule\n",
      {"naked-new"}),
+    # sync-seam: scoped to src/par/, src/svc/, src/util/stress.* — the case
+    # name doubles as the file path the scope check sees.
+    ("src/par/seam_atomic",
+     "#include <atomic>\nstd::atomic<int> a{0};\n",
+     {"sync-seam"}),
+    ("src/svc/detail/seam_flag",
+     "#include <atomic>\nstd::atomic_flag f;\n",
+     {"sync-seam"}),
+    ("src/util/stress",  # lint_file sees "src/util/stress.cpp"
+     "#include <atomic>\n"
+     "// order: test fixture\n"
+     "void f() { std::atomic_thread_fence(std::memory_order_seq_cst); }\n",
+     {"sync-seam"}),
+    ("src/par/seam_sync_ok",
+     '#include "util/sync.hpp"\nsync::atomic<int> a{0};\n',
+     set()),
+    ("src/par/seam_atomic_ref_ok",
+     "#include <atomic>\n"
+     "// order: test fixture\n"
+     "int f(int& s) { return std::atomic_ref<int>(s)"
+     ".load(std::memory_order_relaxed); }\n",
+     set()),
+    ("src/graph/seam_out_of_scope_ok",
+     "#include <atomic>\nstd::atomic<int> a{0};\n",
+     set()),
+    ("src/par/seam_suppressed_ok",
+     "#include <atomic>\n"
+     "std::atomic<int> a{0};"
+     "  // lint: allow(sync-seam) pre-seam fixture kept verbatim\n",
+     set()),
 ]
 
 
