@@ -8,7 +8,13 @@
 //                           [--dispatchers 2] [--threads-per-job 0]
 //                           [--queue 64] [--batch 8]
 //                           [--cache-graphs 16] [--cache-mb 1024]
+//                           [--mapped-cache-gb 256] [--no-mmap]
+//                           [--warmup N] [--hugepages]
 //                           [--no-verify] [--preload g1,g2,...]
+//
+// .gbin v2 graphs are served zero-copy off the page cache via the mmap
+// store (disable with --no-mmap). --warmup N pre-touches mapped pages on
+// N threads at load; --hugepages asks for MAP_HUGETLB (best-effort).
 #include <atomic>
 #include <csignal>
 #include <iostream>
@@ -64,6 +70,10 @@ void print_summary(gcg::svc::Server& server) {
              static_cast<std::int64_t>(s.registry.entries)});
   t.add_row({"resident MB",
              static_cast<double>(s.registry.bytes) / (1024.0 * 1024.0)});
+  t.add_row({"mapped graphs",
+             static_cast<std::int64_t>(s.registry.mapped_entries)});
+  t.add_row({"mapped MB", static_cast<double>(s.registry.mapped_bytes) /
+                              (1024.0 * 1024.0)});
   t.print(std::cout);
 }
 
@@ -87,6 +97,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("cache-graphs", 16));
   opts.scheduler.registry.max_bytes =
       static_cast<std::size_t>(cli.get_int("cache-mb", 1024)) << 20;
+  opts.scheduler.registry.max_mapped_bytes =
+      static_cast<std::size_t>(cli.get_int("mapped-cache-gb", 256)) << 30;
+  opts.scheduler.registry.mmap_store = !cli.get_bool("no-mmap");
+  opts.scheduler.registry.store.warmup_threads =
+      static_cast<unsigned>(cli.get_int("warmup", 0));
+  if (cli.get_bool("hugepages")) {
+    opts.scheduler.registry.store.map.huge_pages = true;
+  }
   opts.scheduler.verify = !cli.get_bool("no-verify");
 
   try {

@@ -14,6 +14,11 @@
 //                                   [--hub-threshold N]   (par scheduling)
 //                                   [--order natural] [--out colors.txt]
 //                                   [--seed 1] [--stats]
+//                                   [--store]
+//
+// --store packs the input to .gbin v2 on first use (reusing an existing
+// pack) and serves it as a zero-copy mmap view — repeat invocations skip
+// the parse entirely.
 #include <fstream>
 #include <iostream>
 
@@ -24,6 +29,8 @@
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
 #include "par/runner.hpp"
+#include "store/mapped_graph.hpp"
+#include "store/writer.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -107,6 +114,27 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
   return 0;
 }
 
+// Pack-on-first-load: convert the input to .gbin v2 next to it (reusing
+// an existing pack), then mmap. The returned Csr is a zero-copy view
+// whose keepalive pins the mapping, so it outlives the local handle.
+gcg::Csr open_via_store(const std::string& input) {
+  using namespace gcg;
+  std::string target = input;
+  if (!store::is_gbin_v2_file(input)) {
+    const store::PackResult pr =
+        store::pack(input, store::default_pack_target(input),
+                    /*reuse_existing=*/true);
+    target = pr.output;
+    std::cout << "store:       " << (pr.reused ? "reusing " : "packed ")
+              << pr.output << " (" << pr.output_bytes << " bytes)\n";
+  }
+  const auto mg = store::MappedGraph::open(target);
+  std::cout << "store:       "
+            << (mg->is_mapped() ? "mapped (zero-copy view)" : "heap fallback")
+            << '\n';
+  return mg->graph();  // view copy shares the mapping anchor
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,7 +143,8 @@ int main(int argc, char** argv) {
   if (cli.positional().empty()) {
     std::cerr << "usage: color_tool <graph.{mtx,col,el,gbin}> "
                  "[--backend sim|par] [--algorithm NAME] [--threads N] "
-                 "[--order NAME] [--out FILE] [--seed N] [--stats]\n";
+                 "[--order NAME] [--out FILE] [--seed N] [--stats] "
+                 "[--store]\n";
     std::cerr << "sim algorithms:";
     for (Algorithm a : all_algorithms()) std::cerr << ' ' << algorithm_name(a);
     std::cerr << "\npar algorithms:";
@@ -127,7 +156,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Csr g = load_graph(cli.positional()[0]);
+    Csr g = cli.get_bool("store") ? open_via_store(cli.positional()[0])
+                                  : load_graph(cli.positional()[0]);
     if (const auto issue = check::validate_csr(g)) {
       std::cerr << "error: malformed graph: " << issue->to_string() << '\n';
       return 1;

@@ -1,15 +1,28 @@
+// .gbin readers/writers. Two generations share the extension and are
+// auto-detected by magic:
+//   v1 "gcgbin01": magic + length-prefixed raw arrays. Compact, but the
+//       arrays land at unaligned offsets, so it can only be heap-loaded.
+//   v2 "gcgbin02": fixed 128-byte header + page-aligned sections with
+//       per-section checksums (layout in store/format.hpp). Heap-loadable
+//       here; mmap'able zero-copy through store::MappedGraph.
+// save_binary writes v1 (legacy interchange); save_binary_v2 writes the
+// store format — save_graph's .gbin dispatch now emits v2.
+#include <algorithm>
 #include <cstring>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
 #include "graph/io/io.hpp"
+#include "store/format.hpp"
 
 namespace gcg {
 
 namespace {
-constexpr char kMagic[8] = {'g', 'c', 'g', 'b', 'i', 'n', '0', '1'};
+constexpr char kMagicV1[8] = {'g', 'c', 'g', 'b', 'i', 'n', '0', '1'};
 
 template <class T>
 void write_pod(std::ostream& out, const T& v) {
@@ -24,8 +37,21 @@ T read_pod(std::istream& in) {
   return v;
 }
 
+/// Bytes left between the current position and the end of a seekable
+/// stream, or nullopt if the stream cannot seek (e.g. a pipe) — callers
+/// then fall back to discovering truncation at read time.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
 template <class T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
+void write_vec(std::ostream& out, std::span<const T> v) {
   write_pod<std::uint64_t>(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
@@ -34,31 +60,158 @@ void write_vec(std::ostream& out, const std::vector<T>& v) {
 template <class T>
 std::vector<T> read_vec(std::istream& in) {
   const auto size = read_pod<std::uint64_t>(in);
+  // Validate the declared element count against what the stream can
+  // still deliver BEFORE allocating: a corrupt header must produce a
+  // clean "truncated stream" error, not a giant allocation / bad_alloc.
+  if (const auto left = remaining_bytes(in)) {
+    if (size > *left / sizeof(T)) {
+      throw std::runtime_error("gbin: truncated stream");
+    }
+  } else if (size > std::numeric_limits<std::uint64_t>::max() / sizeof(T)) {
+    throw std::runtime_error("gbin: truncated stream");
+  }
   std::vector<T> v(size);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(size * sizeof(T)));
   if (!in) throw std::runtime_error("gbin: truncated array");
   return v;
 }
-}  // namespace
 
-void save_binary(std::ostream& out, const Csr& g) {
-  out.write(kMagic, sizeof(kMagic));
-  std::vector<eid_t> rows(g.row_offsets().begin(), g.row_offsets().end());
-  std::vector<vid_t> cols(g.col_indices().begin(), g.col_indices().end());
-  write_vec(out, rows);
-  write_vec(out, cols);
+void write_padding(std::ostream& out, std::uint64_t from, std::uint64_t to) {
+  static constexpr char kZeros[256] = {};
+  while (from < to) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(to - from, 256);
+    out.write(kZeros, static_cast<std::streamsize>(chunk));
+    from += chunk;
+  }
 }
 
-Csr load_binary(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("gbin: bad magic");
-  }
+Csr load_binary_v1(std::istream& in) {
   auto rows = read_vec<eid_t>(in);
   auto cols = read_vec<vid_t>(in);
   return Csr(std::move(rows), std::move(cols));
+}
+
+Csr load_binary_v2(std::istream& in, std::streamoff base) {
+  store::HeaderV2 h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in) throw std::runtime_error("gbin2: truncated header");
+  validate_gbin_v2_header(h);
+
+  // Geometry checked against the actual stream size before allocating,
+  // same contract as the hardened v1 path.
+  if (const auto left = remaining_bytes(in)) {
+    const std::uint64_t file_size = sizeof h + *left;
+    if (h.cols_offset + h.cols_bytes > file_size ||
+        h.rows_offset + h.rows_bytes > file_size) {
+      throw std::runtime_error("gbin2: truncated stream");
+    }
+  }
+
+  std::vector<eid_t> rows(h.num_vertices + 1);
+  in.seekg(base + static_cast<std::streamoff>(h.rows_offset));
+  in.read(reinterpret_cast<char*>(rows.data()),
+          static_cast<std::streamsize>(h.rows_bytes));
+  if (!in) throw std::runtime_error("gbin2: truncated rows section");
+
+  std::vector<vid_t> cols(h.num_arcs);
+  in.seekg(base + static_cast<std::streamoff>(h.cols_offset));
+  in.read(reinterpret_cast<char*>(cols.data()),
+          static_cast<std::streamsize>(h.cols_bytes));
+  if (!in) throw std::runtime_error("gbin2: truncated cols section");
+
+  // A heap load touches every byte anyway, so the checksums are free to
+  // verify here (the lazy mmap path makes them opt-in instead).
+  if (store::fnv1a64(rows.data(), h.rows_bytes) != h.rows_checksum) {
+    throw std::runtime_error("gbin2: rows section checksum mismatch");
+  }
+  if (store::fnv1a64(cols.data(), h.cols_bytes) != h.cols_checksum) {
+    throw std::runtime_error("gbin2: cols section checksum mismatch");
+  }
+  return Csr(std::move(rows), std::move(cols));
+}
+
+}  // namespace
+
+void validate_gbin_v2_header(const store::HeaderV2& h) {
+  if (!store::has_v2_magic(h.magic, sizeof h.magic)) {
+    throw std::runtime_error("gbin2: bad magic");
+  }
+  if (h.version != store::kFormatVersion) {
+    throw std::runtime_error("gbin2: unsupported version " +
+                             std::to_string(h.version));
+  }
+  if (h.endian_tag != store::kEndianTag) {
+    throw std::runtime_error(
+        "gbin2: endianness mismatch (file written on a foreign-endian "
+        "machine)");
+  }
+  if (store::header_checksum(h) != h.header_checksum) {
+    throw std::runtime_error("gbin2: header checksum mismatch");
+  }
+  if (h.num_vertices + 1 > std::numeric_limits<vid_t>::max() ||
+      h.rows_bytes != (h.num_vertices + 1) * sizeof(eid_t) ||
+      h.cols_bytes != h.num_arcs * sizeof(vid_t)) {
+    throw std::runtime_error("gbin2: header geometry inconsistent");
+  }
+  if (h.rows_offset % alignof(eid_t) != 0 ||
+      h.cols_offset % alignof(vid_t) != 0 ||
+      h.rows_offset < sizeof(store::HeaderV2) ||
+      h.cols_offset < h.rows_offset + h.rows_bytes) {
+    throw std::runtime_error("gbin2: section offsets misaligned or "
+                             "overlapping");
+  }
+}
+
+void save_binary(std::ostream& out, const Csr& g) {
+  out.write(kMagicV1, sizeof(kMagicV1));
+  write_vec(out, g.row_offsets());
+  write_vec(out, g.col_indices());
+}
+
+void save_binary_v2(std::ostream& out, const Csr& g) {
+  const auto rows = g.row_offsets();
+  const auto cols = g.col_indices();
+
+  store::HeaderV2 h{};
+  std::memcpy(h.magic, store::kMagicV2, sizeof h.magic);
+  h.version = store::kFormatVersion;
+  h.endian_tag = store::kEndianTag;
+  h.num_vertices = g.num_vertices();
+  h.num_arcs = g.num_arcs();
+  h.rows_bytes = rows.size_bytes();
+  h.cols_bytes = cols.size_bytes();
+  h.rows_offset = store::align_up(sizeof h);
+  h.cols_offset = store::align_up(h.rows_offset + h.rows_bytes);
+  h.rows_checksum = store::fnv1a64(rows.data(), h.rows_bytes);
+  h.cols_checksum = store::fnv1a64(cols.data(), h.cols_bytes);
+  h.header_checksum = store::header_checksum(h);
+
+  write_pod(out, h);
+  write_padding(out, sizeof h, h.rows_offset);
+  out.write(reinterpret_cast<const char*>(rows.data()),
+            static_cast<std::streamsize>(h.rows_bytes));
+  write_padding(out, h.rows_offset + h.rows_bytes, h.cols_offset);
+  out.write(reinterpret_cast<const char*>(cols.data()),
+            static_cast<std::streamsize>(h.cols_bytes));
+  if (!out) throw std::runtime_error("gbin2: write failed");
+}
+
+Csr load_binary(std::istream& in) {
+  const std::streamoff base = in.tellg();
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in) throw std::runtime_error("gbin: bad magic");
+  if (store::has_v2_magic(magic, sizeof magic)) {
+    // Rewind: the v2 header overlays the magic and its section offsets
+    // are relative to the header's own position in the stream.
+    in.seekg(base >= 0 ? base : std::streamoff{0});
+    return load_binary_v2(in, base >= 0 ? base : std::streamoff{0});
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    throw std::runtime_error("gbin: bad magic");
+  }
+  return load_binary_v1(in);
 }
 
 }  // namespace gcg

@@ -63,7 +63,9 @@ void save_graph(const std::string& path, const Csr& g) {
   } else if (ext == "col" || ext == "dimacs") {
     save_dimacs_color(out, g);
   } else if (ext == "gbin") {
-    save_binary(out, g);
+    // v2 is the write default: what save_graph produces, the store can
+    // mmap. load_graph keeps reading v1 files by magic detection.
+    save_binary_v2(out, g);
   } else {
     save_edge_list(out, g);  // el / txt / edges
   }

@@ -1,0 +1,159 @@
+#include "store/mapped_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/io/io.hpp"
+#include "par/pool.hpp"
+
+namespace gcg::store {
+
+namespace {
+
+/// Header + geometry validation against the mapped file size. Reuses the
+/// shared header validator, then checks the sections actually fit.
+HeaderV2 checked_header(const Mapping& m) {
+  if (m.size() < sizeof(HeaderV2)) {
+    throw std::runtime_error("gbin2: " + m.path() + ": file shorter than "
+                             "the v2 header");
+  }
+  HeaderV2 h{};
+  std::memcpy(&h, m.data(), sizeof h);
+  try {
+    validate_gbin_v2_header(h);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + m.path());
+  }
+  if (h.rows_offset + h.rows_bytes > m.size() ||
+      h.cols_offset + h.cols_bytes > m.size()) {
+    throw std::runtime_error("gbin2: " + m.path() + ": truncated stream");
+  }
+  return h;
+}
+
+std::size_t file_size_of(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const std::streamoff size = in ? static_cast<std::streamoff>(in.tellg())
+                                 : std::streamoff{0};
+  return size > 0 ? static_cast<std::size_t>(size) : 0;
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedGraph> MappedGraph::open(const std::string& path,
+                                                     const OpenOptions& opts) {
+  auto out = std::shared_ptr<MappedGraph>(new MappedGraph());  // lint: allow(naked-new) private ctor — make_shared cannot reach it
+  out->path_ = path;
+
+  if (opts.storage != OpenOptions::Storage::kHeap) {
+    try {
+      out->mapping_ = Mapping::open(path, opts.map);
+    } catch (const MappingError&) {
+      // Graceful fallback: the file is there and readable, only the
+      // mapping failed. kAuto degrades to the heap path below.
+      if (opts.storage == OpenOptions::Storage::kMapped) throw;
+    }
+  }
+
+  if (out->mapping_) {
+    const Mapping& m = *out->mapping_;
+    out->header_ = checked_header(m);
+    out->file_bytes_ = m.size();
+    const HeaderV2& h = out->header_;
+    if (opts.verify_checksums) {
+      if (fnv1a64(m.data() + h.rows_offset, h.rows_bytes) !=
+          h.rows_checksum) {
+        throw std::runtime_error("gbin2: " + path +
+                                 ": rows section checksum mismatch");
+      }
+      if (fnv1a64(m.data() + h.cols_offset, h.cols_bytes) !=
+          h.cols_checksum) {
+        throw std::runtime_error("gbin2: " + path +
+                                 ": cols section checksum mismatch");
+      }
+    }
+    const std::span<const eid_t> rows{
+        reinterpret_cast<const eid_t*>(m.data() + h.rows_offset),
+        static_cast<std::size_t>(h.num_vertices + 1)};
+    const std::span<const vid_t> cols{
+        reinterpret_cast<const vid_t*>(m.data() + h.cols_offset),
+        static_cast<std::size_t>(h.num_arcs)};
+    // The view's keepalive is the mapping itself: a Csr copied out of
+    // here stays valid even after the MappedGraph handle is dropped.
+    out->graph_ = Csr::view(rows, cols, out->mapping_);
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("store: cannot open " + path);
+    out->graph_ = load_binary(in);  // owning; verifies checksums
+    out->file_bytes_ = file_size_of(path);
+  }
+
+  if (opts.warmup_threads > 0 && out->is_mapped()) {
+    if (opts.warmup_threads == 1) {
+      out->warmup(nullptr);
+    } else {
+      par::ThreadPool pool(opts.warmup_threads);
+      out->warmup(&pool);
+    }
+  }
+  return out;
+}
+
+ResidencyStats MappedGraph::residency() const {
+  if (mapping_) return mapping_->residency();
+  const std::size_t psz = Mapping::page_size();
+  ResidencyStats all;
+  all.total_pages = (file_bytes_ + psz - 1) / psz;
+  all.resident_pages = all.total_pages;  // the heap copy IS the residency
+  return all;
+}
+
+std::size_t MappedGraph::warmup(par::ThreadPool* pool) const {
+  if (!mapping_) return 0;
+  const std::uint8_t* base = mapping_->data();
+  const std::size_t psz = Mapping::page_size();
+  const std::size_t bytes = mapping_->size();
+  const auto pages = static_cast<std::uint32_t>((bytes + psz - 1) / psz);
+
+  // One byte per page is enough to fault it in; the running sum keeps
+  // the loop observable so it cannot be optimized to nothing.
+  std::atomic<std::uint64_t> sink{0};
+  auto touch = [&](std::uint32_t begin, std::uint32_t end) {
+    std::uint64_t local = 0;
+    for (std::uint32_t p = begin; p < end; ++p) local += base[p * psz];
+    sink.fetch_add(local);
+  };
+  if (pool != nullptr && pool->size() > 1 && pages > 1) {
+    const std::uint32_t grain = std::max<std::uint32_t>(64, pages / (pool->size() * 8));
+    pool->parallel_for(pages, grain,
+                       [&](std::uint32_t b, std::uint32_t e, unsigned) {
+                         touch(b, e);
+                       });
+  } else {
+    touch(0, pages);
+  }
+  return pages;
+}
+
+void MappedGraph::advise(Advice a) const {
+  if (mapping_) mapping_->advise(a);
+}
+
+std::shared_ptr<const Csr> graph_view(std::shared_ptr<const MappedGraph> g) {
+  if (!g) return nullptr;
+  const Csr* csr = &g->graph();
+  return std::shared_ptr<const Csr>(std::move(g), csr);
+}
+
+bool is_gbin_v2_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  return in && has_v2_magic(magic, sizeof magic);
+}
+
+}  // namespace gcg::store

@@ -1,6 +1,7 @@
 #include "svc/graph_registry.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <charconv>
 #include <filesystem>
 #include <stdexcept>
@@ -81,8 +82,18 @@ std::string format_scale(double scale) {
 }
 
 std::size_t graph_bytes(const Csr& g) {
-  return g.row_offsets().size() * sizeof(eid_t) +
-         g.col_indices().size() * sizeof(vid_t) + sizeof(Csr);
+  return g.heap_bytes() + sizeof(Csr);
+}
+
+/// Case-insensitive ".gbin" suffix check on a canonical key.
+bool has_gbin_extension(const std::string& key) {
+  const auto dot = key.rfind('.');
+  if (dot == std::string::npos) return false;
+  std::string ext = key.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return ext == "gbin";
 }
 
 }  // namespace
@@ -147,6 +158,8 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
   // Load outside the lock so a slow parse/generate never stalls hits on
   // other graphs.
   std::shared_ptr<const Csr> graph;
+  std::size_t charge = 0;
+  bool mapped = false;
   try {
     if (is_gen_spec(key)) {
       const GenSpec g = parse_gen_spec(key);
@@ -155,6 +168,16 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
       sopts.seed = g.seed;
       graph = std::make_shared<const Csr>(
           make_suite_graph(g.name, sopts).graph);
+    } else if (opts_.mmap_store && has_gbin_extension(key) &&
+               store::is_gbin_v2_file(key)) {
+      // Zero-copy path: the cached shared_ptr aliases the MappedGraph's
+      // view, so this entry (and every job holding it) pins the mapping,
+      // never a heap copy. v1 .gbin files miss the magic sniff and take
+      // the heap branch below unchanged.
+      auto mg = store::MappedGraph::open(key, opts_.store);
+      mapped = mg->is_mapped();
+      charge = mg->file_bytes();
+      graph = store::graph_view(std::move(mg));
     } else {
       graph = std::make_shared<const Csr>(load_graph(key));
     }
@@ -177,7 +200,8 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {  // may have been clear()ed meanwhile
-      it->second.bytes = graph_bytes(*graph);
+      it->second.bytes = mapped ? charge : graph_bytes(*graph);
+      it->second.mapped = mapped;
       it->second.ready = true;
       evict_to_capacity();
     }
@@ -192,17 +216,29 @@ void GraphRegistry::touch(Entry& e) {
 
 void GraphRegistry::evict_to_capacity() {
   if (lru_.size() < 2) return;  // never evict the only (just-loaded) entry
-  std::size_t bytes = 0;
-  for (const auto& [k, e] : entries_) bytes += e.bytes;
+  std::size_t heap_bytes = 0;
+  std::size_t mapped_bytes = 0;
+  for (const auto& [k, e] : entries_) {
+    (e.mapped ? mapped_bytes : heap_bytes) += e.bytes;
+  }
   // Walk from the cold end toward (but never onto) the MRU entry,
-  // skipping in-flight loads — they have waiters.
+  // skipping in-flight loads — they have waiters — and entries whose
+  // eviction would not relieve any exceeded bound (evicting a mapped
+  // entry cannot fix a heap overage, and vice versa).
   auto it = std::prev(lru_.end());
-  while ((entries_.size() > opts_.max_entries || bytes > opts_.max_bytes) &&
+  while ((entries_.size() > opts_.max_entries ||
+          heap_bytes > opts_.max_bytes ||
+          mapped_bytes > opts_.max_mapped_bytes) &&
          it != lru_.begin()) {
     const auto cur = it--;
     const auto eit = entries_.find(*cur);
     if (eit == entries_.end() || !eit->second.ready) continue;
-    bytes -= eit->second.bytes;
+    const Entry& e = eit->second;
+    const bool helps = entries_.size() > opts_.max_entries ||
+                       (e.mapped ? mapped_bytes > opts_.max_mapped_bytes
+                                 : heap_bytes > opts_.max_bytes);
+    if (!helps) continue;
+    (e.mapped ? mapped_bytes : heap_bytes) -= e.bytes;
     entries_.erase(eit);
     lru_.erase(cur);
     ++stats_.evictions;
@@ -214,10 +250,17 @@ GraphRegistry::Stats GraphRegistry::stats() const {
   Stats s = stats_;
   s.entries = 0;
   s.bytes = 0;
+  s.mapped_entries = 0;
+  s.mapped_bytes = 0;
   for (const auto& [k, e] : entries_) {
     if (!e.ready) continue;
     ++s.entries;
-    s.bytes += e.bytes;
+    if (e.mapped) {
+      ++s.mapped_entries;
+      s.mapped_bytes += e.bytes;
+    } else {
+      s.bytes += e.bytes;
+    }
   }
   return s;
 }

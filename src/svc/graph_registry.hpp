@@ -10,6 +10,13 @@
 // block on the in-flight load instead of duplicating I/O or generation.
 // Entries are handed out as shared_ptr<const Csr>, so eviction never
 // invalidates a graph a running job still holds.
+//
+// Store integration: a path carrying the .gbin v2 magic is opened
+// through store::MappedGraph and served as a zero-copy Csr view off the
+// page cache. Mapped entries are charged their FILE size against their
+// own budget (max_mapped_bytes), not the heap budget — a mapped graph
+// far larger than RAM stays servable because the kernel, not the
+// registry, decides which of its pages are resident.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,7 @@
 #include <string>
 
 #include "graph/csr.hpp"
+#include "store/mapped_graph.hpp"
 
 namespace gcg::svc {
 
@@ -28,9 +36,20 @@ class GraphRegistry {
  public:
   struct Options {
     std::size_t max_entries = 16;  ///< LRU capacity in graphs
-    /// LRU capacity in (approximate) CSR bytes; whichever bound trips
-    /// first evicts. Default 1 GiB.
+    /// LRU capacity in (approximate) heap CSR bytes across resident
+    /// heap-loaded entries; whichever bound trips first evicts.
+    /// Default 1 GiB. Mapped entries do not count here.
     std::size_t max_bytes = std::size_t{1} << 30;
+    /// LRU capacity in file bytes across mapped (.gbin v2) entries.
+    /// Deliberately huge by default: mapped bytes are page-cache
+    /// backed, so this bounds address space, not RAM. Default 256 GiB.
+    std::size_t max_mapped_bytes = std::size_t{1} << 38;
+    /// Serve .gbin v2 files as zero-copy mapped views (false = heap-load
+    /// everything, the pre-store behaviour).
+    bool mmap_store = true;
+    /// Forwarded to store::MappedGraph::open for mapped entries
+    /// (advice, huge pages, checksum verify, warmup threads).
+    store::OpenOptions store;
   };
 
   struct Stats {
@@ -39,7 +58,9 @@ class GraphRegistry {
     std::uint64_t evictions = 0;
     std::uint64_t load_errors = 0;
     std::size_t entries = 0;     ///< resident graphs right now
-    std::size_t bytes = 0;       ///< approximate resident CSR bytes
+    std::size_t bytes = 0;       ///< resident heap CSR bytes (heap entries)
+    std::size_t mapped_entries = 0;  ///< of `entries`, served off mmap
+    std::size_t mapped_bytes = 0;    ///< file bytes charged by mapped entries
   };
 
   GraphRegistry();  ///< default Options (GCC can't take `Options{}` as a
@@ -70,7 +91,9 @@ class GraphRegistry {
     /// Resolves to the graph; carries the load exception on failure.
     /// shared_future so any number of waiters can join one load.
     std::shared_future<std::shared_ptr<const Csr>> future;
-    std::size_t bytes = 0;    ///< 0 until the load finished
+    std::size_t bytes = 0;    ///< LRU charge: heap bytes, or file bytes
+                              ///< for mapped entries. 0 until loaded.
+    bool mapped = false;      ///< charge counts against max_mapped_bytes
     bool ready = false;       ///< future resolved successfully
     Lru::iterator lru_it;
   };

@@ -61,6 +61,7 @@ struct JobResult {
   unsigned threads = 0;       ///< threads the run actually used
   bool verified = false;      ///< conflict-free per check::verify_coloring
   bool cache_hit = false;     ///< graph came from the registry cache
+  bool mapped = false;        ///< graph served zero-copy off the mmap store
   std::string error;          ///< set for kFailed / kCancelled
   std::vector<color_t> colors;  ///< only when spec.keep_colors
 };

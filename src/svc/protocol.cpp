@@ -28,6 +28,7 @@ Json result_to_json(const JobResult& r, bool include_colors) {
   out["threads"] = Json(static_cast<std::int64_t>(r.threads));
   out["verified"] = Json(r.verified);
   out["cache_hit"] = Json(r.cache_hit);
+  out["mapped"] = Json(r.mapped);
   if (!r.error.empty()) out["error"] = Json(r.error);
   if (include_colors && !r.colors.empty()) {
     JsonArray colors;
@@ -149,6 +150,10 @@ Json stats_reply(const SchedulerStats& s) {
   reg["load_errors"] = Json(s.registry.load_errors);
   reg["entries"] = Json(static_cast<std::int64_t>(s.registry.entries));
   reg["bytes"] = Json(static_cast<std::int64_t>(s.registry.bytes));
+  reg["mapped_entries"] =
+      Json(static_cast<std::int64_t>(s.registry.mapped_entries));
+  reg["mapped_bytes"] =
+      Json(static_cast<std::int64_t>(s.registry.mapped_bytes));
   out["registry"] = std::move(reg);
   return out;
 }

@@ -252,6 +252,7 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
   JobResult result;
   result.queue_ms = ms_since(job->submitted, dispatched);
   result.cache_hit = cache_hit;
+  result.mapped = graph->is_view();  // zero-copy: served off the mmap store
 
   try {
     if (opts_.verify) {

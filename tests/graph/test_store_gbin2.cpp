@@ -1,0 +1,330 @@
+// .gbin v2 store round-trip and corruption suite: write -> mmap ->
+// validate must be lossless, every corrupted header/section field must
+// fail with a precise error (never garbage data or bad_alloc), and the
+// hardened v1 loader must reject truncated streams before allocating.
+#include "store/mapped_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/gen/suite.hpp"
+#include "graph/io/io.hpp"
+#include "store/format.hpp"
+#include "store/writer.hpp"
+
+namespace gcg {
+namespace {
+
+bool same_graph(const Csr& a, const Csr& b) {
+  return a.num_vertices() == b.num_vertices() &&
+         std::equal(a.row_offsets().begin(), a.row_offsets().end(),
+                    b.row_offsets().begin(), b.row_offsets().end()) &&
+         std::equal(a.col_indices().begin(), a.col_indices().end(),
+                    b.col_indices().begin(), b.col_indices().end());
+}
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {}
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Csr suite_graph() {
+  return make_suite_graph("kron-like", {.scale = 0.02, .seed = 7}).graph;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Writes `g` as v2, applies `mutate` to the raw bytes, writes back.
+void write_corrupted(const std::string& path, const Csr& g,
+                     void (*mutate)(std::vector<char>&)) {
+  store::write_gbin_v2(path, g);
+  std::vector<char> bytes = read_file(path);
+  mutate(bytes);
+  write_file(path, bytes);
+}
+
+std::string load_error(const std::string& path) {
+  try {
+    (void)load_graph(path);
+    return "";
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+}
+
+// ---------------------------------------------------------------- roundtrip
+
+TEST(StoreGbin2, WriteMapValidateRoundTrips) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_rt.gbin"));
+  store::write_gbin_v2(f.path(), g);
+
+  const auto mg = store::MappedGraph::open(f.path());
+  ASSERT_TRUE(mg->is_mapped());
+  EXPECT_TRUE(mg->graph().is_view());
+  EXPECT_TRUE(same_graph(g, mg->graph()));
+  EXPECT_NO_THROW(mg->graph().validate());
+  EXPECT_EQ(mg->header().num_vertices, g.num_vertices());
+  EXPECT_EQ(mg->header().num_arcs, g.num_arcs());
+}
+
+TEST(StoreGbin2, HeapModeMatchesMappedMode) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_heap.gbin"));
+  store::write_gbin_v2(f.path(), g);
+
+  store::OpenOptions heap;
+  heap.storage = store::OpenOptions::Storage::kHeap;
+  const auto hg = store::MappedGraph::open(f.path(), heap);
+  EXPECT_FALSE(hg->is_mapped());
+  EXPECT_FALSE(hg->graph().is_view());
+  EXPECT_TRUE(same_graph(g, hg->graph()));
+}
+
+TEST(StoreGbin2, LoadGraphReadsV2Heap) {
+  // save_graph's .gbin dispatch writes v2; the plain heap loader must
+  // read it back so non-store consumers keep working.
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_dispatch.gbin"));
+  save_graph(f.path(), g);
+  EXPECT_TRUE(same_graph(g, load_graph(f.path())));
+}
+
+TEST(StoreGbin2, LegacyV1StillLoads) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_v1.gbin"));
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    save_binary(out, g);
+  }
+  EXPECT_FALSE(store::is_gbin_v2_file(f.path()));
+  EXPECT_TRUE(same_graph(g, load_graph(f.path())));
+}
+
+TEST(StoreGbin2, EmptyGraphRoundTrips) {
+  const Csr g(std::vector<eid_t>{0}, std::vector<vid_t>{});
+  const ScopedFile f(temp_path("store_empty.gbin"));
+  store::write_gbin_v2(f.path(), g);
+  const auto mg = store::MappedGraph::open(f.path());
+  EXPECT_EQ(mg->graph().num_vertices(), 0u);
+  EXPECT_EQ(mg->graph().num_arcs(), 0u);
+}
+
+TEST(StoreGbin2, ViewOutlivesMappedGraphHandle) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_keepalive.gbin"));
+  store::write_gbin_v2(f.path(), g);
+
+  Csr copy;
+  {
+    const auto mg = store::MappedGraph::open(f.path());
+    copy = mg->graph();  // view copy shares the mapping anchor
+  }
+  // The MappedGraph handle is gone; the keepalive must pin the mapping.
+  EXPECT_TRUE(copy.is_view());
+  EXPECT_TRUE(same_graph(g, copy));
+}
+
+TEST(StoreGbin2, SectionsArePageAligned) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_align.gbin"));
+  store::write_gbin_v2(f.path(), g);
+  const auto mg = store::MappedGraph::open(f.path());
+  EXPECT_EQ(mg->header().rows_offset % store::kSectionAlign, 0u);
+  EXPECT_EQ(mg->header().cols_offset % store::kSectionAlign, 0u);
+  EXPECT_GE(mg->header().rows_offset, sizeof(store::HeaderV2));
+}
+
+// --------------------------------------------------------------- corruption
+
+TEST(StoreGbin2, BadMagicRejected) {
+  const ScopedFile f(temp_path("store_badmagic.gbin"));
+  write_corrupted(f.path(), suite_graph(),
+                  [](std::vector<char>& b) { b[0] = 'X'; });
+  // Without either magic the heap loader can't even classify the file.
+  EXPECT_NE(load_error(f.path()), "");
+  EXPECT_THROW((void)store::MappedGraph::open(f.path()), std::runtime_error);
+}
+
+TEST(StoreGbin2, BadVersionRejected) {
+  const ScopedFile f(temp_path("store_badver.gbin"));
+  write_corrupted(f.path(), suite_graph(), [](std::vector<char>& b) {
+    std::uint32_t v = 99;
+    std::memcpy(b.data() + 8, &v, sizeof v);  // version follows magic
+  });
+  EXPECT_NE(load_error(f.path()).find("gbin2"), std::string::npos);
+}
+
+TEST(StoreGbin2, ForeignEndianRejected) {
+  const ScopedFile f(temp_path("store_endian.gbin"));
+  write_corrupted(f.path(), suite_graph(), [](std::vector<char>& b) {
+    std::uint32_t swapped;
+    std::memcpy(&swapped, b.data() + 12, sizeof swapped);
+    swapped = __builtin_bswap32(swapped);
+    std::memcpy(b.data() + 12, &swapped, sizeof swapped);
+  });
+  const std::string err = load_error(f.path());
+  EXPECT_NE(err.find("endian"), std::string::npos) << err;
+}
+
+TEST(StoreGbin2, HeaderRotRejected) {
+  const ScopedFile f(temp_path("store_rot.gbin"));
+  write_corrupted(f.path(), suite_graph(), [](std::vector<char>& b) {
+    b[100] ^= 0x40;  // inside the reserved tail — only the checksum sees it
+  });
+  const std::string err = load_error(f.path());
+  EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+  EXPECT_THROW((void)store::MappedGraph::open(f.path()), std::runtime_error);
+}
+
+TEST(StoreGbin2, SectionRotCaughtByHeapLoadAndOptInVerify) {
+  const ScopedFile f(temp_path("store_bitrot.gbin"));
+  write_corrupted(f.path(), suite_graph(), [](std::vector<char>& b) {
+    b.back() ^= 0x01;  // flip one bit in the cols section
+  });
+  // Heap loads always verify.
+  const std::string err = load_error(f.path());
+  EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+
+  // Mapped opens skip the verify by default (lazy paging)...
+  EXPECT_NO_THROW((void)store::MappedGraph::open(f.path()));
+  // ...and catch the rot when asked.
+  store::OpenOptions strict;
+  strict.verify_checksums = true;
+  EXPECT_THROW((void)store::MappedGraph::open(f.path(), strict),
+               std::runtime_error);
+}
+
+TEST(StoreGbin2, TruncatedFileRejected) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_trunc.gbin"));
+  store::write_gbin_v2(f.path(), g);
+  std::vector<char> bytes = read_file(f.path());
+  bytes.resize(bytes.size() / 2);  // cut mid-cols-section
+  write_file(f.path(), bytes);
+
+  EXPECT_NE(load_error(f.path()), "");
+  EXPECT_THROW((void)store::MappedGraph::open(f.path()), std::runtime_error);
+}
+
+TEST(StoreGbin2, GeometryLiesRejected) {
+  // Header claims a cols section far past EOF; both loaders must notice
+  // before touching it. Recompute the header checksum so geometry — not
+  // rot — is what the validator sees.
+  const ScopedFile f(temp_path("store_geom.gbin"));
+  write_corrupted(f.path(), suite_graph(), [](std::vector<char>& b) {
+    store::HeaderV2 h;
+    std::memcpy(&h, b.data(), sizeof h);
+    h.cols_bytes = std::uint64_t{1} << 50;
+    h.num_arcs = h.cols_bytes / sizeof(vid_t);
+    h.header_checksum = store::header_checksum(h);
+    std::memcpy(b.data(), &h, sizeof h);
+  });
+  EXPECT_NE(load_error(f.path()), "");
+  EXPECT_THROW((void)store::MappedGraph::open(f.path()), std::runtime_error);
+}
+
+// --------------------------------------------------- hardened v1 loader
+
+TEST(StoreGbin2, V1OversizedCountFailsCleanlyBeforeAllocating) {
+  // A v1 header whose declared element count dwarfs the file must throw
+  // the loader's "truncated stream" error, not attempt the allocation.
+  const ScopedFile f(temp_path("store_v1_oversized.gbin"));
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out.write("gcgbin01", 8);
+    const std::uint64_t huge = std::uint64_t{1} << 60;
+    out.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  }
+  const std::string err = load_error(f.path());
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(StoreGbin2, V1TruncatedMidArrayFailsCleanly) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_v1_trunc.gbin"));
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    save_binary(out, g);
+  }
+  std::vector<char> bytes = read_file(f.path());
+  bytes.resize(bytes.size() - bytes.size() / 3);
+  write_file(f.path(), bytes);
+  const std::string err = load_error(f.path());
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+// ----------------------------------------------------------- pack + warmup
+
+TEST(StoreGbin2, PackConvertsAndReuses) {
+  const Csr g = suite_graph();
+  const ScopedFile mtx(temp_path("store_pack.mtx"));
+  const ScopedFile packed(temp_path("store_pack.mtx.gbin"));
+  save_graph(mtx.path(), g);
+
+  EXPECT_EQ(store::default_pack_target(mtx.path()), packed.path());
+  const store::PackResult first =
+      store::pack(mtx.path(), packed.path(), /*reuse_existing=*/true);
+  EXPECT_FALSE(first.reused);
+  EXPECT_GT(first.output_bytes, 0u);
+
+  const store::PackResult second =
+      store::pack(mtx.path(), packed.path(), /*reuse_existing=*/true);
+  EXPECT_TRUE(second.reused);
+
+  const auto mg = store::MappedGraph::open(packed.path());
+  EXPECT_TRUE(same_graph(g, mg->graph()));
+}
+
+TEST(StoreGbin2, WarmupTouchesEveryPageAndResidencyReports) {
+  const Csr g = suite_graph();
+  const ScopedFile f(temp_path("store_warm.gbin"));
+  store::write_gbin_v2(f.path(), g);
+
+  const auto mg = store::MappedGraph::open(f.path());
+  ASSERT_TRUE(mg->is_mapped());
+  const std::size_t touched = mg->warmup();
+  EXPECT_GT(touched, 0u);
+
+  const store::ResidencyStats r = mg->residency();
+  EXPECT_GT(r.total_pages, 0u);
+  EXPECT_LE(r.resident_pages, r.total_pages);
+  // Just touched every page, nothing evicted them yet.
+  EXPECT_EQ(r.resident_pages, r.total_pages);
+}
+
+TEST(StoreGbin2, AdviceRoundTripsByName) {
+  EXPECT_EQ(store::advice_from_name("random"), store::Advice::kRandom);
+  EXPECT_STREQ(store::advice_name(store::Advice::kWillNeed), "willneed");
+  EXPECT_THROW((void)store::advice_from_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -1,0 +1,196 @@
+// Store packer/inspector: convert any loadable graph file into the
+// mmap'able .gbin v2 store format (or back down to legacy v1), and
+// inspect/verify packed files without loading them.
+//
+//   graph_pack <input> [output]        pack to .gbin v2
+//       [--force]                      repack even if output is valid v2
+//       [--v1]                         write legacy v1 instead of v2
+//   graph_pack --inspect <file.gbin>   print header/sections/checksums
+//   graph_pack --verify <file.gbin>    recompute + compare checksums
+//
+// Exit codes: 0 = ok, 1 = error (unreadable input, failed verify),
+// 2 = usage.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/io/io.hpp"
+#include "store/format.hpp"
+#include "store/mapped_graph.hpp"
+#include "store/writer.hpp"
+
+namespace {
+
+using namespace gcg;
+
+int usage() {
+  std::cerr
+      << "usage: graph_pack <input.{mtx,col,el,gbin}> [output.gbin] "
+         "[--force] [--v1]\n"
+         "       graph_pack --inspect <file.gbin>\n"
+         "       graph_pack --verify <file.gbin>\n";
+  return 2;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Reads the raw v2 header without validating — --inspect should print
+/// whatever is on disk, even for a corrupt file.
+store::HeaderV2 read_raw_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  store::HeaderV2 h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in) throw std::runtime_error(path + ": shorter than a v2 header");
+  return h;
+}
+
+int inspect(const std::string& path) {
+  // Sniff the magic first: a legacy v1 file can be smaller than a v2
+  // header, so don't demand 128 bytes before knowing the generation.
+  char magic[8] = {};
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    in.read(magic, sizeof magic);
+    if (!in) throw std::runtime_error(path + ": shorter than a magic tag");
+  }
+  std::cout << "file:            " << path << '\n'
+            << "magic:           " << std::string(magic, magic + sizeof magic)
+            << (store::has_v2_magic(magic, sizeof magic) ? "" : "  (NOT v2)")
+            << '\n';
+  if (!store::has_v2_magic(magic, sizeof magic)) {
+    // Might be v1 — say so instead of dumping garbage fields.
+    if (std::memcmp(magic, "gcgbin01", 8) == 0) {
+      std::cout << "format:          legacy v1 (length-prefixed, "
+                   "not mmap'able; repack with graph_pack)\n";
+      return 0;
+    }
+    std::cerr << "error: not a .gbin file\n";
+    return 1;
+  }
+  const store::HeaderV2 h = read_raw_header(path);
+  const std::uint64_t expect_header = store::header_checksum(h);
+  std::cout << "version:         " << h.version << '\n'
+            << "endian tag:      " << hex64(h.endian_tag)
+            << (h.endian_tag == store::kEndianTag ? "  (native)"
+                                                  : "  (FOREIGN)")
+            << '\n'
+            << "vertices:        " << h.num_vertices << '\n'
+            << "arcs:            " << h.num_arcs << '\n'
+            << "rows section:    offset " << h.rows_offset << ", "
+            << h.rows_bytes << " bytes, checksum " << hex64(h.rows_checksum)
+            << '\n'
+            << "cols section:    offset " << h.cols_offset << ", "
+            << h.cols_bytes << " bytes, checksum " << hex64(h.cols_checksum)
+            << '\n'
+            << "header checksum: " << hex64(h.header_checksum)
+            << (h.header_checksum == expect_header ? "  (ok)" : "  (BAD)")
+            << '\n';
+  return h.header_checksum == expect_header ? 0 : 1;
+}
+
+int verify(const std::string& path) {
+  const store::HeaderV2 h = read_raw_header(path);
+  validate_gbin_v2_header(h);  // throws with a precise message
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  auto section_sum = [&](std::uint64_t offset, std::uint64_t bytes) {
+    in.seekg(static_cast<std::streamoff>(offset));
+    std::vector<char> buf(static_cast<std::size_t>(bytes));
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!in) throw std::runtime_error(path + ": truncated section");
+    return store::fnv1a64(buf.data(), buf.size());
+  };
+  const std::uint64_t rows = section_sum(h.rows_offset, h.rows_bytes);
+  const std::uint64_t cols = section_sum(h.cols_offset, h.cols_bytes);
+  bool ok = true;
+  if (rows != h.rows_checksum) {
+    std::cerr << "rows checksum mismatch: stored " << hex64(h.rows_checksum)
+              << ", computed " << hex64(rows) << '\n';
+    ok = false;
+  }
+  if (cols != h.cols_checksum) {
+    std::cerr << "cols checksum mismatch: stored " << hex64(h.cols_checksum)
+              << ", computed " << hex64(cols) << '\n';
+    ok = false;
+  }
+  if (ok) {
+    std::cout << path << ": ok (" << h.num_vertices << " vertices, "
+              << h.num_arcs << " arcs)\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int pack_v1(const std::string& input, const std::string& output) {
+  const Csr g = load_graph(input);
+  std::ofstream out(output, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + output);
+  save_binary(out, g);
+  if (!out) throw std::runtime_error("write failed: " + output);
+  std::cout << "wrote " << output << " (legacy v1)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Every flag here is a boolean mode, so parse argv directly — the
+  // shared gcg::Cli helper would absorb the token after `--v1` or
+  // `--inspect` as the flag's value.
+  std::vector<std::string> pos;
+  bool want_v1 = false, force = false, inspect_mode = false,
+       verify_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--v1") {
+      want_v1 = true;
+    } else if (a == "--force") {
+      force = true;
+    } else if (a == "--inspect") {
+      inspect_mode = true;
+    } else if (a == "--verify") {
+      verify_mode = true;
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag " << a << '\n';
+      return usage();
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.empty()) return usage();
+
+  try {
+    if (inspect_mode) return inspect(pos[0]);
+    if (verify_mode) return verify(pos[0]);
+
+    const std::string& input = pos[0];
+    const std::string output =
+        pos.size() > 1 ? pos[1] : store::default_pack_target(input);
+    if (want_v1) return pack_v1(input, output);
+
+    const store::PackResult r =
+        store::pack(input, output, /*reuse_existing=*/!force);
+    if (r.reused) {
+      std::cout << r.output << " already packed (" << r.output_bytes
+                << " bytes) -- use --force to repack\n";
+    } else {
+      std::cout << "packed " << input << " (" << r.input_bytes
+                << " bytes) -> " << r.output << " (" << r.output_bytes
+                << " bytes)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -3,6 +3,10 @@
 
 Rules (see docs/CORRECTNESS.md for the rationale):
 
+  raw-mmap        no direct mmap/munmap/madvise/mincore calls outside
+                  src/store/ — page-level lifetime must go through
+                  store::Mapping so fallback, hints, and unmap stay in
+                  one audited place.
   order-comment   every `memory_order_*` site must carry an `// order:`
                   justification — on the same line, or in an `// order:`
                   comment above it with no blank line in between (one
@@ -66,7 +70,9 @@ TOKEN_RULES = {
 ORDER_RULE = "order-comment"
 CYCLE_RULE = "include-cycle"
 SEAM_RULE = "sync-seam"
-ALL_RULES = sorted(list(TOKEN_RULES) + [ORDER_RULE, CYCLE_RULE, SEAM_RULE])
+MMAP_RULE = "raw-mmap"
+ALL_RULES = sorted(list(TOKEN_RULES) +
+                   [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE])
 
 # sync-seam: matches std::atomic, std::atomic_flag, std::atomic_thread_fence
 # but NOT std::atomic_ref / std::atomic_signal_fence (outside the seam) —
@@ -76,6 +82,15 @@ SEAM_TOKEN = re.compile(r"\bstd\s*::\s*atomic(?:_flag|_thread_fence)?\b")
 SEAM_SCOPE = re.compile(r"(^|/)src/(par|svc)/|(^|/)src/util/stress\.")
 SEAM_MESSAGE = ("direct std:: atomic in the concurrent core — spell it "
                 "sync:: (util/sync.hpp) so the model checker can swap it")
+
+# raw-mmap: the store owns every page-table interaction. Call-shaped
+# matches only (`mmap(...)`) so identifiers like `my_mmap` or prose in
+# comments (already stripped) don't fire.
+MMAP_TOKEN = re.compile(r"(?<![\w.:])(?:mmap64|mmap|munmap|madvise|mincore)\s*\(")
+MMAP_SCOPE_OK = re.compile(r"(^|/)src/store/")
+MMAP_MESSAGE = ("raw mmap/munmap/madvise/mincore outside src/store/ — go "
+                "through store::Mapping so lifetime, fallback, and paging "
+                "hints stay in one place")
 
 ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
@@ -210,6 +225,7 @@ def lint_file(path, raw_text):
                 for ln, msg in bad_suppressions]
 
     in_seam_scope = bool(SEAM_SCOPE.search(path.replace(os.sep, "/")))
+    in_store_scope = bool(MMAP_SCOPE_OK.search(path.replace(os.sep, "/")))
 
     for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
         # Deleted special members (`= delete`) are not delete expressions.
@@ -220,6 +236,9 @@ def lint_file(path, raw_text):
                 findings.append(Finding(path, idx, rule, message))
         if in_seam_scope and SEAM_RULE not in here and SEAM_TOKEN.search(code):
             findings.append(Finding(path, idx, SEAM_RULE, SEAM_MESSAGE))
+        if (not in_store_scope and MMAP_RULE not in here
+                and MMAP_TOKEN.search(code)):
+            findings.append(Finding(path, idx, MMAP_RULE, MMAP_MESSAGE))
         if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
             if not order_covered(raw_lines, idx):
                 findings.append(Finding(
@@ -423,6 +442,32 @@ SELF_TEST_CASES = [
      "#include <atomic>\n"
      "std::atomic<int> a{0};"
      "  // lint: allow(sync-seam) pre-seam fixture kept verbatim\n",
+     set()),
+    # raw-mmap: everywhere EXCEPT src/store/ — again the case name is the
+    # path the scope check sees.
+    ("src/svc/raw_mmap",
+     "#include <sys/mman.h>\n"
+     "void* f(int fd, long n) "
+     "{ return mmap(nullptr, n, 1, 1, fd, 0); }\n",
+     {"raw-mmap"}),
+    ("src/graph/raw_munmap",
+     "#include <sys/mman.h>\nvoid f(void* p, long n) { munmap(p, n); }\n",
+     {"raw-mmap"}),
+    ("src/par/raw_madvise",
+     "#include <sys/mman.h>\nvoid f(void* p, long n) { madvise(p, n, 3); }\n",
+     {"raw-mmap"}),
+    ("src/store/mmap_in_store_ok",
+     "#include <sys/mman.h>\n"
+     "void* f(int fd, long n) "
+     "{ return mmap(nullptr, n, 1, 1, fd, 0); }\n",
+     set()),
+    ("src/util/mmap_named_fn_ok",
+     "int my_mmap(int);\nint f() { return my_mmap(0); }\n",
+     set()),
+    ("src/util/mmap_suppressed_ok",
+     "#include <sys/mman.h>\n"
+     "void f(void* p, long n) { munmap(p, n); }"
+     "  // lint: allow(raw-mmap) unmapping a region a C library handed us\n",
      set()),
 ]
 
