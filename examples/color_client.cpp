@@ -27,9 +27,10 @@ constexpr const char* kDefaultSocket = "/tmp/gcg_color.sock";
 int usage() {
   std::cerr
       << "usage: color_client <verb> [args] [--socket PATH]\n"
-         "  submit <graph-spec> [--backend par|sim] [--algorithm NAME]\n"
+         "  submit <graph-spec> [--backend par|sim|shard] [--algorithm NAME]\n"
          "         [--priority random|degree-biased|natural] [--seed N]\n"
          "         [--threads N] [--deadline-ms MS] [--keep-colors]\n"
+         "         [--shards N] [--shard-rounds N] (backend shard)\n"
          "         [--wait] [--count N] [--concurrency C]\n"
          "  status <id> | result <id> | cancel <id>\n"
          "  stats | ping | shutdown\n";
@@ -42,13 +43,16 @@ gcg::svc::JobSpec spec_from_cli(const gcg::Cli& cli,
   spec.graph = graph;
   spec.backend = gcg::svc::backend_from_name(cli.get("backend", "par"));
   spec.algorithm = cli.get(
-      "algorithm", spec.backend == gcg::svc::Backend::kPar ? "steal"
-                                                           : "hybrid+steal");
+      "algorithm", spec.backend == gcg::svc::Backend::kPar     ? "steal"
+                   : spec.backend == gcg::svc::Backend::kShard ? "jpl"
+                                                               : "hybrid+steal");
   spec.priority = cli.get("priority", "random");
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   spec.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   spec.deadline_ms = cli.get_double("deadline-ms", 0.0);
   spec.keep_colors = cli.get_bool("keep-colors");
+  spec.shards = static_cast<unsigned>(cli.get_int("shards", 0));
+  spec.shard_rounds = static_cast<unsigned>(cli.get_int("shard-rounds", 0));
   return spec;
 }
 

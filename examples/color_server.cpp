@@ -11,16 +11,24 @@
 //                           [--mapped-cache-gb 256] [--no-mmap]
 //                           [--warmup N] [--hugepages]
 //                           [--no-verify] [--preload g1,g2,...]
+//                           [--shard-workers 2] [--shard-threads 0]
+//                           [--shard-rounds 16] [--shards 4]
+//                           [--shard-in-process]
 //
 // .gbin v2 graphs are served zero-copy off the page cache via the mmap
 // store (disable with --no-mmap). --warmup N pre-touches mapped pages on
 // N threads at load; --hugepages asks for MAP_HUGETLB (best-effort).
+//
+// backend=shard jobs fan out to a fleet of shard_worker processes that
+// is spawned lazily on the first such job (--shard-workers 0 disables
+// the backend; such jobs are then rejected at submit).
 #include <atomic>
 #include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "shard/backend.hpp"
 #include "svc/server.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -107,6 +115,19 @@ int main(int argc, char** argv) {
   }
   opts.scheduler.verify = !cli.get_bool("no-verify");
 
+  const unsigned shard_workers =
+      static_cast<unsigned>(cli.get_int("shard-workers", 2));
+  if (shard_workers > 0) {
+    shard::BackendOptions bopts;
+    bopts.workers = shard_workers;
+    bopts.worker_threads =
+        static_cast<unsigned>(cli.get_int("shard-threads", 0));
+    bopts.default_shards = static_cast<unsigned>(cli.get_int("shards", 4));
+    bopts.max_rounds = static_cast<unsigned>(cli.get_int("shard-rounds", 16));
+    bopts.in_process = cli.get_bool("shard-in-process");
+    opts.scheduler.shard_backend = shard::make_shard_backend(bopts);
+  }
+
   try {
     svc::Server server(opts);
     std::cout << "color_server listening on " << server.socket_path() << "\n"
@@ -114,7 +135,7 @@ int main(int argc, char** argv) {
               << " queue=" << opts.scheduler.queue_capacity
               << " batch=" << opts.scheduler.batch_limit
               << " cache-graphs=" << opts.scheduler.registry.max_entries
-              << "\n";
+              << " shard-workers=" << shard_workers << "\n";
 
     // Warm the registry so first requests skip the load.
     for (const std::string& spec : split_csv(cli.get("preload", ""))) {

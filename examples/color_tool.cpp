@@ -1,17 +1,21 @@
-// Command-line coloring tool: load a graph file (.mtx/.col/.el/.gbin),
-// color it with a chosen algorithm, verify, and optionally write the
-// color assignment. Runs on the simulated GPU (default) or the native
-// multicore backend.
+// Command-line coloring tool: load a graph file (.mtx/.col/.el/.gbin)
+// or a generator spec (gen:kron-like?scale=0.5&seed=1), color it with a
+// chosen algorithm, verify, and optionally write the color assignment.
+// Runs on the simulated GPU (default), the native multicore backend, or
+// a sharded multi-process worker fleet.
 //
 // Exit codes (stable, for scripts/CI): 0 = valid coloring produced,
 // 1 = error (unreadable graph, bad flag value, ...), 2 = usage,
 // 3 = the produced coloring FAILED validity verification.
 //
-//   ./examples/color_tool graph.mtx [--backend sim|par]
+//   ./examples/color_tool graph.mtx [--backend sim|par|shard]
 //                                   [--algorithm hybrid+steal]
 //                                   [--threads N]   (par backend)
 //                                   [--grain N] [--schedule vertex|edge]
 //                                   [--hub-threshold N]   (par scheduling)
+//                                   [--shards 4] [--workers 2]
+//                                   [--rounds 16] [--in-process]
+//                                                   (shard backend)
 //                                   [--order natural] [--out colors.txt]
 //                                   [--seed 1] [--stats]
 //                                   [--store]
@@ -29,8 +33,10 @@
 #include "graph/reorder.hpp"
 #include "graph/stats.hpp"
 #include "par/runner.hpp"
+#include "shard/coordinator.hpp"
 #include "store/mapped_graph.hpp"
 #include "store/writer.hpp"
+#include "svc/graph_registry.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -114,6 +120,54 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
   return 0;
 }
 
+// Sharded backend: a worker fleet (forked shard_worker processes, or
+// in-process server threads with --in-process) colors edge-balanced
+// vertex ranges independently, then the coordinator drives bounded
+// rounds of boundary-conflict repair. The workers re-resolve `spec`
+// through their own graph registries, so it must name the same graph we
+// loaded here (a path or a gen: spec — NOT a reordered variant, which
+// is why --order is rejected for this backend in main()).
+int run_shard(const gcg::Cli& cli, const gcg::Csr& g,
+              const std::string& spec) {
+  using namespace gcg;
+  shard::CoordinatorOptions copts;
+  copts.workers = static_cast<unsigned>(cli.get_int("workers", 2));
+  copts.worker_threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  copts.max_rounds = static_cast<unsigned>(cli.get_int("rounds", 16));
+  copts.in_process = cli.get_bool("in-process");
+  shard::Coordinator coord(copts);
+
+  shard::ShardJob job;
+  job.graph = spec;
+  job.shards = static_cast<unsigned>(cli.get_int("shards", 4));
+  job.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  job.algorithm = cli.get("algorithm", "jpl");
+
+  shard::ShardRunStats st;
+  const std::vector<color_t> colors = coord.color(g, job, &st);
+  if (const auto violation = check::verify_coloring(g, colors)) {
+    std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
+    return kExitInvalidColoring;
+  }
+
+  const QualityReport q = analyze_quality(g, colors);
+  std::cout << "backend:     shard (" << st.shards << " shards on "
+            << st.workers << (copts.in_process ? " threads)\n" : " workers)\n")
+            << "algorithm:   " << job.algorithm << '\n'
+            << "colors:      " << st.num_colors << '\n'
+            << "rounds:      " << st.conflict_rounds << " conflict rounds\n"
+            << "boundary:    " << st.boundary_vertices << " vertices ("
+            << 100.0 * st.boundary_fraction << "% of n), " << st.cut_arcs
+            << " cut arcs\n"
+            << "recolored:   " << st.recolored << " by workers, "
+            << st.fallback_recolored << " inline\n"
+            << "wall time:   " << st.wall_ms << " ms\n"
+            << "parallelism: " << q.mean_parallelism
+            << " vertices/color class (mean)\n";
+  write_colors(cli, colors);
+  return 0;
+}
+
 // Pack-on-first-load: convert the input to .gbin v2 next to it (reusing
 // an existing pack), then mmap. The returned Csr is a zero-copy view
 // whose keepalive pins the mapping, so it outlives the local handle.
@@ -141,8 +195,9 @@ int main(int argc, char** argv) {
   using namespace gcg;
   const Cli cli(argc, argv);
   if (cli.positional().empty()) {
-    std::cerr << "usage: color_tool <graph.{mtx,col,el,gbin}> "
-                 "[--backend sim|par] [--algorithm NAME] [--threads N] "
+    std::cerr << "usage: color_tool <graph.{mtx,col,el,gbin} | gen:NAME> "
+                 "[--backend sim|par|shard] [--algorithm NAME] [--threads N] "
+                 "[--shards N] [--workers N] [--rounds N] [--in-process] "
                  "[--order NAME] [--out FILE] [--seed N] [--stats] "
                  "[--store]\n";
     std::cerr << "sim algorithms:";
@@ -156,24 +211,38 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Csr g = cli.get_bool("store") ? open_via_store(cli.positional()[0])
-                                  : load_graph(cli.positional()[0]);
+    const std::string& spec = cli.positional()[0];
+    // gen: specs go through the service registry (same parser the shard
+    // workers use); a copy of a generated graph is owning, so the local
+    // registry can die right here.
+    Csr g = spec.rfind("gen:", 0) == 0 ? *svc::GraphRegistry().acquire(spec)
+            : cli.get_bool("store")    ? open_via_store(spec)
+                                       : load_graph(spec);
     if (const auto issue = check::validate_csr(g)) {
       std::cerr << "error: malformed graph: " << issue->to_string() << '\n';
       return 1;
     }
+    const std::string backend = cli.get("backend", "sim");
     const Order order = order_from_name(cli.get("order", "natural"));
-    if (order != Order::kNatural) g = reorder(g, order);
+    if (order != Order::kNatural) {
+      if (backend == "shard") {
+        std::cerr << "error: --order is not supported with --backend shard "
+                     "(workers load the unmodified graph)\n";
+        return 2;
+      }
+      g = reorder(g, order);
+    }
 
     if (cli.get_bool("stats")) {
       std::cout << describe(compute_stats(g)) << '\n';
       std::cout << degree_histogram(g).render();
     }
 
-    const std::string backend = cli.get("backend", "sim");
     if (backend == "sim") return run_sim(cli, g);
     if (backend == "par") return run_par(cli, g);
-    std::cerr << "error: unknown backend '" << backend << "' (sim|par)\n";
+    if (backend == "shard") return run_shard(cli, g, spec);
+    std::cerr << "error: unknown backend '" << backend
+              << "' (sim|par|shard)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,95 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+namespace {
+
+/// Cumulative weight of the first v vertices under the degree+1 metric.
+/// rows[v] is the degree prefix, v the vertex-count prefix.
+inline std::uint64_t weight_prefix(std::span<const eid_t> rows, vid_t v) {
+  return rows[v] + v;
+}
+
+}  // namespace
+
+unsigned Partition::shard_of(vid_t v) const {
+  GCG_EXPECT(!bounds.empty() && v < bounds.back());
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<unsigned>(it - bounds.begin()) - 1;
+}
+
+Partition partition_edge_balanced(const Csr& g, unsigned shards) {
+  const vid_t n = g.num_vertices();
+  shards = std::max(1u, std::min(shards, std::max(vid_t{1}, n)));
+  const std::span<const eid_t> rows = g.row_offsets();
+
+  Partition p;
+  p.bounds.resize(shards + 1);
+  p.bounds[0] = 0;
+  p.bounds[shards] = n;
+  if (n == 0) return p;
+
+  const std::uint64_t total = weight_prefix(rows, n);
+  for (unsigned s = 1; s < shards; ++s) {
+    // Smallest v whose cumulative weight reaches s/shards of the total —
+    // the same binary-searched split parallel_for_edges uses for chunks.
+    const std::uint64_t target = total * s / shards;
+    vid_t lo = p.bounds[s - 1], hi = n;
+    while (lo < hi) {
+      const vid_t mid = lo + (hi - lo) / 2;
+      if (weight_prefix(rows, mid) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    p.bounds[s] = lo;
+  }
+  // Monotonicity holds by construction (each search starts at the
+  // previous bound); empty shards are legal on tiny graphs.
+  return p;
+}
+
+PartitionReport analyze_partition(const Csr& g, const Partition& p) {
+  PartitionReport r;
+  const vid_t n = g.num_vertices();
+  const unsigned shards = p.num_shards();
+  GCG_EXPECT(shards > 0 && p.bounds.front() == 0 && p.bounds.back() == n);
+
+  bool first = true;
+  std::uint64_t max_weight = 0;
+  for (unsigned s = 0; s < shards; ++s) {
+    const vid_t begin = p.begin(s), end = p.end(s);
+    const eid_t arcs = g.row_offsets()[end] - g.row_offsets()[begin];
+    r.max_shard_arcs = first ? arcs : std::max(r.max_shard_arcs, arcs);
+    r.min_shard_arcs = first ? arcs : std::min(r.min_shard_arcs, arcs);
+    first = false;
+    max_weight = std::max(max_weight, arcs + std::uint64_t{end} - begin);
+
+    for (vid_t v = begin; v < end; ++v) {
+      bool boundary = false;
+      for (vid_t u : g.neighbors(v)) {
+        if (u < begin || u >= end) {
+          ++r.cut_arcs;
+          boundary = true;
+        }
+      }
+      if (boundary) ++r.boundary_vertices;
+    }
+  }
+  if (n > 0) {
+    r.boundary_fraction = static_cast<double>(r.boundary_vertices) / n;
+    const double ideal =
+        static_cast<double>(g.num_arcs() + n) / shards;
+    if (ideal > 0.0) {
+      r.weight_imbalance = static_cast<double>(max_weight) / ideal;
+    }
+  }
+  return r;
+}
+
+}  // namespace gcg

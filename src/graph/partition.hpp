@@ -1,0 +1,58 @@
+// Contiguous vertex-range partitioner for sharded coloring: split [0, n)
+// into S ranges of approximately equal *work* (cumulative degree plus a
+// per-vertex constant), not equal vertex count. Uses the same
+// prefix-sum-and-binary-search machinery as ThreadPool::parallel_for_edges
+// — the CSR row-offset array IS the degree prefix — so a hub-heavy rmat
+// graph gets narrow shards around its hubs and wide shards over its
+// low-degree tail. The split is deterministic: same graph + shard count
+// always yields the same bounds, which sharded runs rely on for
+// bit-stable results.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gcg {
+
+/// A contiguous partition of the vertex space: shard s owns the
+/// half-open vertex range [bounds[s], bounds[s+1]).
+struct Partition {
+  std::vector<vid_t> bounds;  ///< size num_shards()+1; bounds[0] == 0
+
+  unsigned num_shards() const {
+    return bounds.empty() ? 0 : static_cast<unsigned>(bounds.size() - 1);
+  }
+  vid_t begin(unsigned shard) const { return bounds[shard]; }
+  vid_t end(unsigned shard) const { return bounds[shard + 1]; }
+  vid_t size(unsigned shard) const {
+    return bounds[shard + 1] - bounds[shard];
+  }
+  /// Owning shard of vertex v (bounds are sorted; binary search).
+  unsigned shard_of(vid_t v) const;
+};
+
+/// Cuts [0, n) into `shards` contiguous ranges at edge-balanced split
+/// points: the weight of vertex v is degree(v) + 1 (the +1 keeps
+/// vertex-count balance on sparse/empty stretches), and split s lands on
+/// the smallest vertex whose cumulative weight reaches s/shards of the
+/// total. Every shard's weight is within one vertex weight of the ideal
+/// share, so no shard can exceed total/shards + (max_degree + 1).
+/// `shards` is clamped to [1, max(1, n)].
+Partition partition_edge_balanced(const Csr& g, unsigned shards);
+
+/// Cross-shard structure of a partition — what the conflict-resolution
+/// cost of a sharded coloring depends on.
+struct PartitionReport {
+  eid_t cut_arcs = 0;           ///< arcs (u,v) with shard(u) != shard(v)
+  vid_t boundary_vertices = 0;  ///< vertices with >= 1 cross-shard arc
+  double boundary_fraction = 0.0;  ///< boundary_vertices / n
+  eid_t max_shard_arcs = 0;     ///< heaviest shard, in arcs
+  eid_t min_shard_arcs = 0;
+  /// max over shards of (degree + 1 weight) / ideal share; 1.0 = perfect.
+  double weight_imbalance = 1.0;
+};
+
+PartitionReport analyze_partition(const Csr& g, const Partition& p);
+
+}  // namespace gcg

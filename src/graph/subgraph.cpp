@@ -30,6 +30,39 @@ Subgraph induced_subgraph(const Csr& g, const std::vector<bool>& keep) {
   return out;
 }
 
+RangeSubgraph extract_subgraph(const Csr& g, vid_t begin, vid_t end) {
+  GCG_EXPECT(begin <= end && end <= g.num_vertices());
+  RangeSubgraph out;
+  out.begin = begin;
+  out.end = end;
+  const vid_t local = end - begin;
+  out.is_boundary.assign(local, 0);
+
+  std::vector<eid_t> rows(local + 1, 0);
+  std::vector<vid_t> cols;
+  cols.reserve(static_cast<std::size_t>(g.row_offsets()[end] -
+                                        g.row_offsets()[begin]));
+  for (vid_t i = 0; i < local; ++i) {
+    const vid_t v = begin + i;
+    for (vid_t u : g.neighbors(v)) {
+      if (u >= begin && u < end) {
+        cols.push_back(u - begin);
+      } else {
+        ++out.cut_arcs;
+        out.is_boundary[i] = 1;
+        out.ghosts.push_back(u);
+      }
+    }
+    rows[i + 1] = static_cast<eid_t>(cols.size());
+  }
+  for (const std::uint8_t b : out.is_boundary) out.num_boundary += b;
+  std::sort(out.ghosts.begin(), out.ghosts.end());
+  out.ghosts.erase(std::unique(out.ghosts.begin(), out.ghosts.end()),
+                   out.ghosts.end());
+  out.graph = Csr(std::move(rows), std::move(cols));
+  return out;
+}
+
 Subgraph k_core(const Csr& g, vid_t k) {
   const vid_t n = g.num_vertices();
   std::vector<vid_t> deg(n);

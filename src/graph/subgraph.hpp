@@ -3,6 +3,7 @@
 // with these (color the 2-core, handle trees separately, etc.).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -20,6 +21,30 @@ struct Subgraph {
 
 /// Induced subgraph on `keep` (mask over old ids; true = keep).
 Subgraph induced_subgraph(const Csr& g, const std::vector<bool>& keep);
+
+/// A contiguous vertex range [begin, end) extracted for sharded
+/// processing: the induced local graph plus the cross-range structure a
+/// shard worker needs — which local vertices touch the outside
+/// (boundary) and which outside vertices they touch (ghosts). Local
+/// vertex i of `graph` is old vertex begin + i; ghost vertices are NOT
+/// part of `graph` (interior coloring must not be constrained by them —
+/// their colors are unknown until the coordinator's conflict rounds).
+struct RangeSubgraph {
+  Csr graph;            ///< induced on [begin, end); new id = old - begin
+  vid_t begin = 0;
+  vid_t end = 0;
+  /// Old ids of out-of-range neighbors, ascending, deduplicated.
+  std::vector<vid_t> ghosts;
+  /// Per local vertex: 1 if it has at least one out-of-range neighbor.
+  std::vector<std::uint8_t> is_boundary;
+  vid_t num_boundary = 0;
+  eid_t cut_arcs = 0;   ///< local -> out-of-range arcs
+};
+
+/// Extracts [begin, end) with ghost/boundary metadata. O(arcs incident
+/// to the range); adjacency order (and therefore sortedness) of the
+/// input is preserved in the local graph.
+RangeSubgraph extract_subgraph(const Csr& g, vid_t begin, vid_t end);
 
 /// Maximal subgraph where every vertex has degree >= k (repeated peeling).
 Subgraph k_core(const Csr& g, vid_t k);

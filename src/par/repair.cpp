@@ -1,0 +1,125 @@
+#include "par/repair.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "coloring/priorities.hpp"
+#include "par/pool.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace gcg::par {
+
+namespace {
+
+/// True if v is uncolored or shares its color with any neighbour.
+bool needs_fix(const Csr& g, std::span<const color_t> colors, vid_t v) {
+  const color_t c = colors[v];
+  if (c == kUncolored) return true;
+  for (vid_t u : g.neighbors(v)) {
+    if (colors[u] == c) return true;
+  }
+  return false;
+}
+
+/// Smallest color not used by any colored neighbour of v.
+color_t first_fit(const Csr& g, std::span<const color_t> colors, vid_t v,
+                  std::vector<std::uint8_t>& scratch) {
+  const vid_t deg = g.degree(v);
+  scratch.assign(deg + 1u, 0);
+  for (vid_t u : g.neighbors(v)) {
+    const color_t c = colors[u];
+    if (c >= 0 && static_cast<vid_t>(c) <= deg) scratch[c] = 1;
+  }
+  for (vid_t c = 0; c <= deg; ++c) {
+    if (!scratch[c]) return static_cast<color_t>(c);
+  }
+  return static_cast<color_t>(deg + 1);  // unreachable: deg+1 slots, deg marks
+}
+
+}  // namespace
+
+RepairRun repair_subset(const Csr& g, std::span<color_t> colors,
+                        std::span<const vid_t> subset,
+                        const RepairOptions& opts) {
+  GCG_EXPECT(colors.size() == g.num_vertices());
+  const auto t0 = std::chrono::steady_clock::now();
+  RepairRun run;
+
+  const CounterHash prio(opts.seed);
+  // Candidate set: subset members that still need a new color. The
+  // membership bytes are graph-sized so the winner test is O(degree).
+  std::vector<std::uint8_t> candidate(g.num_vertices(), 0);
+  std::vector<vid_t> frontier;
+  frontier.reserve(subset.size());
+  for (vid_t v : subset) {
+    GCG_EXPECT(v < g.num_vertices());
+    if (!candidate[v] && needs_fix(g, colors, v)) {
+      candidate[v] = 1;
+      frontier.push_back(v);
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+
+  std::vector<vid_t> winners;
+  std::vector<std::uint8_t> scratch;
+  while (!frontier.empty() && run.rounds < opts.max_rounds) {
+    ++run.rounds;
+
+    // Winners: candidates maximal under (hash, id) among their candidate
+    // neighbours — an independent set, so they recolor without races and
+    // the outcome is schedule-free.
+    winners.clear();
+    for (vid_t v : frontier) {
+      const std::uint32_t pv = prio.u32(v);
+      bool wins = true;
+      for (vid_t u : g.neighbors(v)) {
+        if (candidate[u] && priority_less(pv, v, prio.u32(u), u)) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) winners.push_back(v);
+    }
+
+    if (opts.pool != nullptr && winners.size() > 1) {
+      opts.pool->parallel_for(
+          static_cast<std::uint32_t>(winners.size()), 64,
+          [&](std::uint32_t b, std::uint32_t e, unsigned) {
+            std::vector<std::uint8_t> local_scratch;
+            for (std::uint32_t i = b; i < e; ++i) {
+              const vid_t v = winners[i];
+              colors[v] = first_fit(g, colors, v, local_scratch);
+            }
+          });
+    } else {
+      for (vid_t v : winners) colors[v] = first_fit(g, colors, v, scratch);
+    }
+    run.recolored += winners.size();
+
+    // A recolored vertex avoids every current neighbour color, so it is
+    // done for good; survivors re-test because a neighbour's move may
+    // have cleared (or been) their conflict.
+    for (vid_t v : winners) candidate[v] = 0;
+    std::vector<vid_t> next;
+    next.reserve(frontier.size());
+    for (vid_t v : frontier) {
+      if (!candidate[v]) continue;
+      if (needs_fix(g, colors, v)) {
+        next.push_back(v);
+      } else {
+        candidate[v] = 0;
+      }
+    }
+    frontier.swap(next);
+  }
+
+  run.remaining_conflicts = frontier.size();
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return run;
+}
+
+}  // namespace gcg::par

@@ -1,0 +1,63 @@
+#include "shard/backend.hpp"
+
+#include <mutex>
+
+#include "shard/coordinator.hpp"
+
+namespace gcg::shard {
+
+namespace {
+
+class ShardBackend final : public svc::ShardBackendIf {
+ public:
+  explicit ShardBackend(BackendOptions opts) : opts_(std::move(opts)) {}
+
+  std::vector<color_t> run(const svc::JobSpec& spec, const Csr& g,
+                           svc::JobResult& result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!coordinator_) {
+      CoordinatorOptions copts;
+      copts.workers = opts_.workers;
+      copts.worker_threads = opts_.worker_threads;
+      copts.worker_exec = opts_.worker_exec;
+      copts.socket_dir = opts_.socket_dir;
+      copts.in_process = opts_.in_process;
+      copts.max_rounds = opts_.max_rounds;
+      coordinator_ = std::make_unique<Coordinator>(copts);
+    }
+
+    ShardJob job;
+    job.graph = spec.graph;
+    job.shards = spec.shards != 0 ? spec.shards : opts_.default_shards;
+    job.max_rounds = spec.shard_rounds;  // 0 = coordinator default
+    job.seed = spec.seed;
+    job.algorithm = spec.algorithm;
+    job.priority = spec.priority;
+
+    ShardRunStats stats;
+    std::vector<color_t> colors = coordinator_->color(g, job, &stats);
+
+    result.shards = stats.shards;
+    result.conflict_rounds = stats.conflict_rounds;
+    result.recolored = stats.recolored + stats.fallback_recolored;
+    result.boundary_fraction = stats.boundary_fraction;
+    result.num_colors = stats.num_colors;
+    result.iterations = stats.conflict_rounds;
+    result.run_ms = stats.wall_ms;
+    result.threads = stats.workers;
+    return colors;
+  }
+
+ private:
+  BackendOptions opts_;
+  std::mutex mu_;  // one sharded run owns the whole fleet at a time
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+}  // namespace
+
+std::shared_ptr<svc::ShardBackendIf> make_shard_backend(BackendOptions opts) {
+  return std::make_shared<ShardBackend>(std::move(opts));
+}
+
+}  // namespace gcg::shard

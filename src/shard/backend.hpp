@@ -1,0 +1,31 @@
+// Adapter that plugs the shard Coordinator into the service scheduler's
+// ShardBackendIf seam. The dependency points this way on purpose: svc
+// cannot link shard (shard speaks svc's wire protocol), so color_server
+// and tests construct this backend and hand it to SchedulerOptions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "svc/scheduler.hpp"
+
+namespace gcg::shard {
+
+struct BackendOptions {
+  unsigned workers = 2;          ///< fleet size (spawned on first shard job)
+  unsigned worker_threads = 0;   ///< 0 = hardware share per worker
+  unsigned default_shards = 4;   ///< when the job spec says shards=0
+  unsigned max_rounds = 16;      ///< default conflict-round cap
+  std::string worker_exec;       ///< "" = shard_worker next to this binary
+  std::string socket_dir;        ///< "" = /tmp
+  bool in_process = false;       ///< thread fleet instead of processes
+};
+
+/// Creates the scheduler-injectable backend. The worker fleet is spawned
+/// lazily on the first backend=shard job and lives until the backend is
+/// destroyed; concurrent jobs serialize on the fleet (one sharded run
+/// owns all workers).
+std::shared_ptr<svc::ShardBackendIf> make_shard_backend(
+    BackendOptions opts = BackendOptions());
+
+}  // namespace gcg::shard

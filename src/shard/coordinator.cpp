@@ -1,0 +1,345 @@
+#include "shard/coordinator.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "coloring/priorities.hpp"
+#include "par/pool.hpp"
+#include "par/repair.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace gcg::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Unique-per-fleet socket name component. Two coordinators in one
+/// process (in-process tests) must not collide on paths.
+unsigned next_fleet_id() {
+  static std::mutex mu;
+  static unsigned counter = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  return counter++;
+}
+
+/// Runs fn(0..count-1) on up to 16 threads (worklist, not chunks: shard
+/// RPCs have wildly different service times). Collects exceptions and
+/// rethrows the first after everything joined — a failed shard must not
+/// leave sibling RPC threads dangling.
+void fan_out(unsigned count, const std::function<void(unsigned)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::mutex mu;
+  unsigned next = 0;
+  std::vector<std::string> errors;
+  const unsigned team_size = std::min(count, 16u);
+  std::vector<std::thread> team;
+  team.reserve(team_size);
+  for (unsigned t = 0; t < team_size; ++t) {
+    team.emplace_back([&] {
+      while (true) {
+        unsigned i;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (next >= count) return;
+          i = next++;
+        }
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(mu);
+          errors.emplace_back(e.what());
+        }
+      }
+    });
+  }
+  for (std::thread& t : team) t.join();
+  if (!errors.empty()) {
+    std::string msg = errors.front();
+    if (errors.size() > 1) {
+      msg += " (+" + std::to_string(errors.size() - 1) + " more shard errors)";
+    }
+    throw std::runtime_error(msg);
+  }
+}
+
+/// One shard RPC round trip; turns error replies into exceptions.
+svc::Json rpc(svc::Client& client, const svc::Json& req) {
+  svc::Json reply = client.request(req);
+  if (!reply.get_bool("ok", false)) {
+    throw std::runtime_error("worker replied " +
+                             reply.get_string("error", "error") + ": " +
+                             reply.get_string("detail", ""));
+  }
+  return reply;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
+  const unsigned workers = std::max(1u, opts_.workers);
+  unsigned threads = opts_.worker_threads;
+  if (threads == 0) {
+    threads = std::max(1u, par::ThreadPool::default_threads() / workers);
+  }
+  const std::string dir =
+      opts_.socket_dir.empty() ? std::string("/tmp") : opts_.socket_dir;
+  const unsigned fleet_id = next_fleet_id();
+  const std::string exec =
+      opts_.worker_exec.empty() ? default_worker_exec() : opts_.worker_exec;
+
+  fleet_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    WorkerHandle h;
+    h.socket = dir + "/gcg-shard-" + std::to_string(::getpid()) + "-" +
+               std::to_string(fleet_id) + "-" + std::to_string(w) + ".sock";
+    if (opts_.in_process) {
+      Worker::Options wopts;
+      wopts.threads = threads;
+      h.local = std::make_unique<WorkerServer>(h.socket, wopts);
+    } else {
+      h.process = ChildProcess::spawn(
+          exec, {"--socket", h.socket, "--threads", std::to_string(threads)});
+    }
+    fleet_.push_back(std::move(h));
+  }
+
+  // Fail fast and loud: a worker that cannot come up (missing binary,
+  // bad socket dir) should fail construction, not the first job. The
+  // connect-retry budget absorbs the exec -> listen() startup race.
+  svc::Client::Options copt;
+  copt.connect_timeout_ms = opts_.connect_timeout_ms;
+  copt.request_timeout_ms = opts_.request_timeout_ms;
+  try {
+    for (WorkerHandle& h : fleet_) {
+      svc::Client probe(h.socket, copt);
+      if (!probe.ping()) {
+        throw std::runtime_error("worker on " + h.socket +
+                                 " did not answer ping");
+      }
+    }
+  } catch (...) {
+    shutdown_fleet();  // reap whatever did spawn before rethrowing
+    throw;
+  }
+  GCG_LOG(kInfo) << "shard: fleet of " << fleet_.size() << " worker(s), "
+                 << threads << " thread(s) each"
+                 << (opts_.in_process ? " (in-process)" : "");
+}
+
+Coordinator::~Coordinator() { shutdown_fleet(); }
+
+void Coordinator::shutdown_fleet() {
+  for (WorkerHandle& h : fleet_) {
+    if (h.local) {
+      h.local->stop();
+      h.local.reset();
+      continue;
+    }
+    if (!h.process.valid()) continue;
+    try {
+      svc::Client bye(h.socket);  // single connect attempt; it may be dead
+      bye.shutdown_server();
+    } catch (const std::exception&) {
+      // Worker already gone (or never listened); the escalation below
+      // and ChildProcess's destructor still guarantee the reap.
+    }
+    if (!h.process.wait_for(2000.0)) {
+      h.process.terminate();
+      if (!h.process.wait_for(1000.0)) h.process.kill_hard();
+    }
+    h.process.wait();
+  }
+  fleet_.clear();
+}
+
+std::vector<color_t> Coordinator::color(const Csr& g, const ShardJob& job,
+                                        ShardRunStats* stats_out) {
+  const auto t0 = Clock::now();
+  ShardRunStats st;
+  const Partition part =
+      partition_edge_balanced(g, job.shards == 0 ? 4u : job.shards);
+  const unsigned num_shards = part.num_shards();
+  const unsigned round_cap =
+      job.max_rounds != 0 ? job.max_rounds : opts_.max_rounds;
+  st.shards = num_shards;
+  st.workers = workers();
+
+  // One connection per shard (not per worker): requests on a line-JSON
+  // connection are strictly ordered, and shards mapped to the same
+  // worker must still overlap in flight.
+  svc::Client::Options copt;
+  copt.connect_timeout_ms = opts_.connect_timeout_ms;
+  copt.request_timeout_ms = opts_.request_timeout_ms;
+  std::vector<std::unique_ptr<svc::Client>> clients(num_shards);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    clients[s] = std::make_unique<svc::Client>(
+        fleet_[s % fleet_.size()].socket, copt);
+  }
+
+  const vid_t n = g.num_vertices();
+  std::vector<color_t> colors(n, kUncolored);
+
+  // --- phase 1: ghost-blind interior coloring, all shards in flight ----
+  std::vector<svc::ShardColorReply> replies(num_shards);
+  fan_out(num_shards, [&](unsigned s) {
+    svc::ShardColorRequest rq;
+    rq.graph = job.graph;
+    rq.begin = part.begin(s);
+    rq.end = part.end(s);
+    rq.seed = job.seed;
+    rq.algorithm = job.algorithm;
+    rq.priority = job.priority;
+    svc::ShardColorReply reply = svc::shard_color_reply_from_json(
+        rpc(*clients[s], shard_color_request_to_json(rq)));
+    if (reply.colors.size() != part.size(s)) {
+      throw std::runtime_error("shard " + std::to_string(s) +
+                               ": reply color count mismatch");
+    }
+    replies[s] = std::move(reply);
+  });
+  for (unsigned s = 0; s < num_shards; ++s) {
+    const svc::ShardColorReply& reply = replies[s];
+    std::copy(reply.colors.begin(), reply.colors.end(),
+              colors.begin() + part.begin(s));
+    st.cut_arcs += reply.cut_arcs;
+    st.boundary_vertices += reply.num_boundary;
+    st.phase1_ms = std::max(st.phase1_ms, reply.run_ms);
+  }
+  st.boundary_fraction =
+      n == 0 ? 0.0 : static_cast<double>(st.boundary_vertices) / n;
+  replies.clear();
+
+  // Only boundary vertices can clash (interiors are properly colored by
+  // construction), so conflict detection scans this list, not [0, n).
+  std::vector<vid_t> boundary;
+  boundary.reserve(st.boundary_vertices);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    const vid_t begin = part.begin(s), end = part.end(s);
+    for (vid_t v = begin; v < end; ++v) {
+      for (vid_t u : g.neighbors(v)) {
+        if (u < begin || u >= end) {
+          boundary.push_back(v);
+          break;
+        }
+      }
+    }
+  }
+
+  // --- conflict rounds -------------------------------------------------
+  std::vector<vid_t> conflicted;
+  std::vector<std::vector<vid_t>> losers(num_shards);
+  unsigned round = 0;
+  while (true) {
+    // Fresh per-round priorities (part of the deterministic round
+    // schedule): a vertex that lost round r can win round r+1, which
+    // breaks livelock patterns a fixed priority could sustain.
+    const CounterHash prio(mix64(job.seed + 0x0b5e55edULL + round));
+    conflicted.clear();
+    for (auto& l : losers) l.clear();
+    for (vid_t v : boundary) {
+      const unsigned sv = part.shard_of(v);
+      const vid_t begin = part.begin(sv), end = part.end(sv);
+      const std::uint32_t pv = prio.u32(v);
+      bool clash = false, lose = false;
+      for (vid_t u : g.neighbors(v)) {
+        if (u >= begin && u < end) continue;
+        if (colors[u] != colors[v]) continue;
+        clash = true;
+        if (priority_less(pv, v, prio.u32(u), u)) {
+          lose = true;
+          break;
+        }
+      }
+      if (clash) conflicted.push_back(v);
+      if (lose) losers[sv].push_back(v);
+    }
+    if (conflicted.empty()) break;
+    st.round_conflicts.push_back(conflicted.size());
+    if (round >= round_cap) break;  // leftovers go to the inline fallback
+    ++round;
+
+    // Shards with losers repair concurrently. Each request carries the
+    // current colors of every cross-shard neighbor of its losers — the
+    // exact ghost knowledge the worker's full-graph repair needs.
+    std::vector<unsigned> active;
+    for (unsigned s = 0; s < num_shards; ++s) {
+      if (!losers[s].empty()) active.push_back(s);
+    }
+    std::vector<svc::ShardRepairReply> fixes(active.size());
+    fan_out(static_cast<unsigned>(active.size()), [&](unsigned i) {
+      const unsigned s = active[i];
+      svc::ShardRepairRequest rq;
+      rq.graph = job.graph;
+      rq.begin = part.begin(s);
+      rq.end = part.end(s);
+      rq.seed = mix64(job.seed + 0x0b5e55edULL + round);  // round schedule
+      rq.losers = losers[s];
+      std::vector<std::pair<vid_t, color_t>> ghosts;
+      for (vid_t v : losers[s]) {
+        for (vid_t u : g.neighbors(v)) {
+          if (u < rq.begin || u >= rq.end) ghosts.emplace_back(u, colors[u]);
+        }
+      }
+      std::sort(ghosts.begin(), ghosts.end());
+      ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+      rq.ghost_ids.reserve(ghosts.size());
+      rq.ghost_colors.reserve(ghosts.size());
+      for (const auto& [id, c] : ghosts) {
+        rq.ghost_ids.push_back(id);
+        rq.ghost_colors.push_back(c);
+      }
+      fixes[i] = svc::shard_repair_reply_from_json(
+          rpc(*clients[s], shard_repair_request_to_json(rq)));
+    });
+    for (const svc::ShardRepairReply& fix : fixes) {
+      for (std::size_t i = 0; i < fix.ids.size(); ++i) {
+        colors[fix.ids[i]] = fix.colors[i];
+      }
+      st.recolored += fix.recolored;
+    }
+  }
+  st.conflict_rounds = round;
+
+  if (!conflicted.empty()) {
+    // Round cap exhausted with clashes left. The coordinator owns the
+    // full graph, so it can always finish the job locally — rounds stay
+    // bounded AND the result stays valid.
+    if (!opts_.fallback_inline) {
+      throw std::runtime_error(
+          std::to_string(conflicted.size()) +
+          " boundary conflicts remain after " + std::to_string(round_cap) +
+          " rounds");
+    }
+    par::RepairOptions ropts;
+    ropts.seed = mix64(job.seed ^ 0xfa11bac0ULL);
+    const par::RepairRun run =
+        par::repair_subset(g, colors, conflicted, ropts);
+    st.fallback_recolored = run.recolored;
+    GCG_LOG(kInfo) << "shard: inline fallback repaired " << run.recolored
+                   << " vertices after " << round_cap << " rounds";
+  }
+
+  st.num_colors = count_colors(colors);
+  st.wall_ms = ms_since(t0);
+  if (stats_out) *stats_out = std::move(st);
+  return colors;
+}
+
+}  // namespace gcg::shard

@@ -1,0 +1,125 @@
+// The shard coordinator: partitions a graph into contiguous edge-
+// balanced vertex ranges, fans shard_color requests out over a fleet of
+// worker processes, then drives bounded rounds of boundary conflict
+// detection + speculative recoloring (Bogle–Slota style) until the
+// global coloring is conflict-free.
+//
+// Round structure (docs/SHARDING.md has the full walkthrough):
+//   phase 1  every shard colors its interior ghost-blind (deterministic
+//            jpl with a per-shard seed).
+//   round r  the coordinator scans cross-shard edges for color clashes.
+//            For every clashing edge, the endpoint with the lower
+//            (per-round hash, id) priority is the loser; winners keep
+//            their color, so the highest-priority vertex of any clash
+//            cluster never moves and every round makes progress. Losers
+//            go back to their shard's worker (shard_repair) along with
+//            the current colors of their cross-shard neighbors; the
+//            worker recolors them first-fit against full adjacency.
+//   cap      after max_rounds the (rare) leftovers are repaired inline
+//            by the coordinator itself, which owns the full graph — so
+//            the result is always valid and rounds are always bounded.
+//
+// Results are bit-stable for a fixed (graph, shards, seed, round cap):
+// nothing depends on worker count, request timing, or which worker
+// serves which shard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "shard/process.hpp"
+#include "shard/worker.hpp"
+#include "svc/client.hpp"
+
+namespace gcg::shard {
+
+/// Fleet-level configuration: how many workers, where their sockets
+/// live, and the per-job defaults. One fleet serves any number of
+/// color() calls (and shard counts) over its lifetime.
+struct CoordinatorOptions {
+  unsigned workers = 2;        ///< worker processes to spawn (min 1)
+  /// par threads per worker; 0 = hardware_concurrency / workers (min 1),
+  /// so a fleet never oversubscribes the machine by default.
+  unsigned worker_threads = 0;
+  /// Worker binary; "" = default_worker_exec() (shard_worker next to the
+  /// current executable). Ignored with in_process.
+  std::string worker_exec;
+  /// Directory for the fleet's Unix sockets; "" = "/tmp".
+  std::string socket_dir;
+  /// Serve shards from WorkerServer threads inside this process instead
+  /// of forked workers. Same sockets, same protocol, one address space —
+  /// this is what TSan runs use (it cannot follow fork), and it doubles
+  /// as a no-exec fallback.
+  bool in_process = false;
+  unsigned max_rounds = 16;    ///< default conflict-round cap per job
+  /// Repair any post-cap leftovers inline (guarantees a valid coloring).
+  /// Off only in tests that probe the cap behaviour itself.
+  bool fallback_inline = true;
+  double connect_timeout_ms = 10000.0;  ///< worker spawn -> listen budget
+  double request_timeout_ms = 0.0;      ///< per shard-RPC; 0 = no limit
+};
+
+/// Per-job knobs of one sharded coloring.
+struct ShardJob {
+  std::string graph;        ///< registry spec the workers resolve
+  unsigned shards = 4;      ///< clamped to [1, n] by the partitioner
+  std::uint64_t seed = 1;
+  unsigned max_rounds = 0;  ///< 0 = CoordinatorOptions::max_rounds
+  std::string algorithm = "jpl";  ///< par algorithm for shard interiors
+  std::string priority = "random";
+};
+
+struct ShardRunStats {
+  unsigned shards = 0;
+  unsigned workers = 0;
+  int num_colors = 0;
+  unsigned conflict_rounds = 0;     ///< repair fan-outs driven
+  std::uint64_t recolored = 0;      ///< by workers, across all rounds
+  std::uint64_t fallback_recolored = 0;  ///< by the inline post-cap repair
+  vid_t boundary_vertices = 0;
+  double boundary_fraction = 0.0;
+  eid_t cut_arcs = 0;               ///< directed cross-shard arcs
+  /// Conflicted boundary vertices found entering each round (the last
+  /// entry is what the final round resolved).
+  std::vector<std::uint64_t> round_conflicts;
+  double phase1_ms = 0.0;           ///< slowest shard_color round trip
+  double wall_ms = 0.0;
+};
+
+class Coordinator {
+ public:
+  /// Spawns the fleet and waits until every worker answers ping; throws
+  /// (and reaps whatever did spawn) if any worker fails to come up.
+  explicit Coordinator(CoordinatorOptions opts = CoordinatorOptions());
+  ~Coordinator();  ///< shuts the fleet down (shutdown verb, then signals)
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Colors `g` (which must be the graph `job.graph` resolves to) across
+  /// the fleet. Returns a coloring that check::verify_coloring accepts;
+  /// throws on worker/protocol failures. Not thread-safe — callers
+  /// serialize (the svc backend wraps this in a mutex).
+  std::vector<color_t> color(const Csr& g, const ShardJob& job,
+                             ShardRunStats* stats = nullptr);
+
+  unsigned workers() const { return static_cast<unsigned>(fleet_.size()); }
+
+ private:
+  struct WorkerHandle {
+    std::string socket;
+    ChildProcess process;                  // !in_process
+    std::unique_ptr<WorkerServer> local;   // in_process
+  };
+
+  void shutdown_fleet();
+
+  CoordinatorOptions opts_;
+  std::vector<WorkerHandle> fleet_;
+};
+
+}  // namespace gcg::shard

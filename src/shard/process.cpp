@@ -1,0 +1,145 @@
+#include "shard/process.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace gcg::shard {
+
+namespace {
+
+int decode_status(int raw) {
+  if (WIFEXITED(raw)) return WEXITSTATUS(raw);
+  if (WIFSIGNALED(raw)) return -WTERMSIG(raw);
+  return -1;
+}
+
+}  // namespace
+
+ChildProcess ChildProcess::spawn(const std::string& exec,
+                                 const std::vector<std::string>& args) {
+  if (exec.empty()) {
+    throw std::runtime_error("spawn: empty exec path");
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exec.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("spawn: fork(): ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Restore default SIGPIPE (the parent ignores it for socket
+    // writes) so the worker starts from a clean disposition.
+    ::signal(SIGPIPE, SIG_DFL);
+    ::execv(exec.c_str(), argv.data());
+    // exec failed; 127 is the shell convention for "command not found".
+    ::_exit(127);
+  }
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ <= 0 || reaped_) return;
+  // Polite escalation so a coordinator unwinding on error does not leave
+  // orphaned workers (or zombies) behind.
+  terminate();
+  if (!wait_for(1000.0)) {
+    kill_hard();
+    wait();
+  }
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(other.pid_), reaped_(other.reaped_), status_(other.status_) {
+  other.pid_ = -1;
+  other.reaped_ = false;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    this->~ChildProcess();
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    status_ = other.status_;
+    other.pid_ = -1;
+    other.reaped_ = false;
+  }
+  return *this;
+}
+
+bool ChildProcess::running() {
+  if (pid_ <= 0 || reaped_) return false;
+  int raw = 0;
+  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+  if (r == pid_) {
+    reaped_ = true;
+    status_ = decode_status(raw);
+    return false;
+  }
+  return r == 0;
+}
+
+int ChildProcess::wait() {
+  if (pid_ <= 0) return -1;
+  if (reaped_) return status_;
+  int raw = 0;
+  while (::waitpid(pid_, &raw, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  reaped_ = true;
+  status_ = decode_status(raw);
+  return status_;
+}
+
+bool ChildProcess::wait_for(double timeout_ms, int* code) {
+  if (pid_ <= 0) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  while (true) {
+    if (!running()) {
+      if (!reaped_) return false;  // never started / lost
+      if (code) *code = status_;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void ChildProcess::terminate() {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, SIGTERM);
+}
+
+void ChildProcess::kill_hard() {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, SIGKILL);
+}
+
+std::string default_worker_exec() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "shard_worker";
+  buf[n] = '\0';
+  std::string self(buf);
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return "shard_worker";
+  return self.substr(0, slash + 1) + "shard_worker";
+}
+
+}  // namespace gcg::shard

@@ -1,0 +1,64 @@
+// Worker-process lifecycle for the sharded coloring fleet. This is the
+// ONLY translation unit in the tree allowed to call fork()/exec*() —
+// gcg_lint's raw-process rule enforces that — so every spawned child
+// goes through ChildProcess and is reaped exactly once. Children get a
+// fresh default SIGPIPE disposition and their own argv; stdio is
+// inherited (workers log to the coordinator's stderr).
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace gcg::shard {
+
+/// A spawned child, reaped on destruction. Move-only; the destructor
+/// escalates politely (SIGTERM, grace period, SIGKILL) if the child is
+/// still alive, so a throwing coordinator never leaks worker processes.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  /// fork+execv. `exec` must be an absolute or relative path (no PATH
+  /// search); args becomes argv[1..]. Throws std::runtime_error when the
+  /// fork fails or the exec target is obviously unusable; an exec failure
+  /// after fork surfaces as exit code 127 from wait().
+  static ChildProcess spawn(const std::string& exec,
+                            const std::vector<std::string>& args);
+  ~ChildProcess();
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  /// True while the child has not been reaped (non-blocking check).
+  bool running();
+
+  /// Blocks until the child exits; returns its exit code, or -signum if
+  /// it died to a signal. Idempotent: returns the recorded status after
+  /// the first reap.
+  int wait();
+
+  /// Polls for exit up to `timeout_ms`; true (and *code filled like
+  /// wait()) if the child exited within the budget.
+  bool wait_for(double timeout_ms, int* code = nullptr);
+
+  void terminate();  ///< SIGTERM (no-op once reaped)
+  void kill_hard();  ///< SIGKILL (no-op once reaped)
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  int status_ = 0;  ///< wait()-style code once reaped
+};
+
+/// Path of the shard worker binary a coordinator spawns by default: the
+/// file named "shard_worker" next to the current executable (tools and
+/// the worker install side by side). Falls back to plain "shard_worker"
+/// when /proc/self/exe is unreadable.
+std::string default_worker_exec();
+
+}  // namespace gcg::shard

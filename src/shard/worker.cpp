@@ -1,0 +1,170 @@
+#include "shard/worker.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "coloring/priorities.hpp"
+#include "graph/subgraph.hpp"
+#include "par/repair.hpp"
+#include "par/runner.hpp"
+
+namespace gcg::shard {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Worker::Worker() : Worker(Options()) {}
+
+Worker::Worker(Options opts) : opts_(opts), registry_(opts.registry) {}
+
+std::string Worker::state_key(const std::string& graph_spec, vid_t begin,
+                              vid_t end) const {
+  return svc::GraphRegistry::canonical_key(graph_spec) + "#" +
+         std::to_string(begin) + "-" + std::to_string(end);
+}
+
+svc::ShardColorReply Worker::shard_color(const svc::ShardColorRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  svc::ShardColorReply reply;
+
+  bool cache_hit = false;
+  std::shared_ptr<const Csr> graph = registry_.acquire(req.graph, &cache_hit);
+  reply.cache_hit = cache_hit;
+  reply.mapped = graph->is_view();
+  if (req.end > graph->num_vertices() || req.begin > req.end) {
+    throw std::runtime_error("shard_color: range [" +
+                             std::to_string(req.begin) + ", " +
+                             std::to_string(req.end) + ") outside graph");
+  }
+
+  // Ghost-blind interior coloring: the induced range subgraph excludes
+  // out-of-range neighbors entirely, so phase 1 cannot depend on colors
+  // it has no way of knowing yet.
+  const RangeSubgraph sub = extract_subgraph(*graph, req.begin, req.end);
+  reply.num_boundary = sub.num_boundary;
+  reply.cut_arcs = sub.cut_arcs;
+
+  par::ParOptions popts;
+  popts.threads = req.threads != 0 ? req.threads : opts_.threads;
+  popts.priority = priority_mode_from_name(req.priority);
+  popts.seed = shard_seed(req.seed, req.begin);
+  const par::ParAlgorithm algo = par::par_algorithm_from_name(req.algorithm);
+  par::ParRun run = par::run_par_coloring(sub.graph, algo, popts);
+  reply.num_colors = run.num_colors;
+
+  auto state = std::make_shared<ShardState>();
+  state->graph = graph;
+  state->colors.assign(graph->num_vertices(), kUncolored);
+  for (vid_t i = 0; i < sub.graph.num_vertices(); ++i) {
+    state->colors[req.begin + i] = run.colors[i];
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_[state_key(req.graph, req.begin, req.end)] = std::move(state);
+  }
+
+  reply.colors = std::move(run.colors);
+  reply.run_ms = ms_since(t0);
+  return reply;
+}
+
+svc::ShardRepairReply Worker::shard_repair(const svc::ShardRepairRequest& req) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::shared_ptr<ShardState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = states_.find(state_key(req.graph, req.begin, req.end));
+    if (it != states_.end()) state = it->second;
+  }
+  if (!state) {
+    throw std::runtime_error(
+        "shard_repair: no state for this (graph, range) — shard_color it "
+        "first");
+  }
+  const Csr& g = *state->graph;
+
+  for (vid_t v : req.losers) {
+    if (v < req.begin || v >= req.end) {
+      throw std::runtime_error("shard_repair: loser " + std::to_string(v) +
+                               " outside [begin, end)");
+    }
+  }
+  for (std::size_t i = 0; i < req.ghost_ids.size(); ++i) {
+    const vid_t gv = req.ghost_ids[i];
+    if (gv >= g.num_vertices()) {
+      throw std::runtime_error("shard_repair: ghost id out of range");
+    }
+    state->colors[gv] = req.ghost_colors[i];
+  }
+
+  par::RepairOptions ropts;
+  ropts.seed = shard_seed(req.seed, req.begin);
+  ropts.max_rounds = opts_.repair_max_rounds;
+  const par::RepairRun run =
+      par::repair_subset(g, state->colors, req.losers, ropts);
+
+  svc::ShardRepairReply reply;
+  reply.ids = req.losers;
+  reply.colors.reserve(req.losers.size());
+  for (vid_t v : req.losers) reply.colors.push_back(state->colors[v]);
+  reply.rounds = run.rounds;
+  reply.recolored = run.recolored;
+  reply.run_ms = ms_since(t0);
+  return reply;
+}
+
+svc::Json Worker::handle(const svc::Json& req) {
+  using svc::Json;
+  if (!req.is_object()) {
+    return svc::error_reply(svc::kErrProtocol, "request must be a JSON object");
+  }
+  if (auto unsupported = svc::check_protocol_version(req)) return *unsupported;
+  const Json* op = req.find("op");
+  if (!op || !op->is_string()) {
+    return svc::error_reply(svc::kErrProtocol, "missing \"op\" string");
+  }
+  const std::string& verb = op->as_string();
+
+  try {
+    if (verb == "ping") {
+      Json out{svc::JsonObject{}};
+      out["ok"] = Json(true);
+      out["pong"] = Json(true);
+      out["worker"] = Json(true);
+      return out;
+    }
+    if (verb == "shard_color") {
+      return shard_color_reply_to_json(
+          shard_color(svc::shard_color_request_from_json(req)));
+    }
+    if (verb == "shard_repair") {
+      return shard_repair_reply_to_json(
+          shard_repair(svc::shard_repair_request_from_json(req)));
+    }
+  } catch (const std::exception& e) {
+    return svc::error_reply(svc::kErrBadRequest, e.what());
+  }
+  return svc::error_reply(svc::kErrUnknownOp, "unknown op \"" + verb + "\"");
+}
+
+WorkerServer::WorkerServer(std::string socket_path, Worker::Options opts)
+    : worker_(std::make_unique<Worker>(opts)),
+      server_(
+          [&socket_path] {
+            svc::ServerOptions so;
+            so.socket_path = std::move(socket_path);
+            return so;
+          }(),
+          [w = worker_.get()](const svc::Json& req) { return w->handle(req); }) {
+}
+
+}  // namespace gcg::shard

@@ -1,0 +1,109 @@
+// The shard worker: serves shard_color / shard_repair requests against a
+// mapped (or generated) view of the full graph. A worker owns no global
+// decisions — it colors the interior of whatever vertex range it is
+// handed (ghost-blind, so the interior coloring is unconstrained by
+// other shards) and later recolors conflict losers against the ghost
+// colors the coordinator sends. State is keyed per (graph, range), so
+// one worker can serve any number of shards of any number of graphs;
+// requests for different shards never share mutable state.
+//
+// Everything a run produces is a pure function of (graph, range, seed,
+// algorithm): the interior runs jpl by default (deterministic at any
+// thread count) and repairs use par::repair_subset (schedule-free). This
+// is what makes sharded results bit-stable no matter how many worker
+// processes the fleet has or which of them serves which shard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+#include "svc/graph_registry.hpp"
+#include "svc/json.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "util/rng.hpp"
+
+namespace gcg::shard {
+
+/// Seed a shard derives its interior-coloring and repair priorities
+/// from: a deterministic function of (job seed, range start) only, so
+/// the colors a shard produces cannot depend on which worker ran it.
+inline std::uint64_t shard_seed(std::uint64_t seed, vid_t begin) {
+  return mix64(seed ^ (0x9e3779b97f4a7c15ULL + begin));
+}
+
+/// Request-handling core, embeddable in-process (tests, TSan runs) or
+/// behind a WorkerServer socket. Thread-safe: the state map is locked,
+/// coloring runs are not (distinct shards never share state, and the
+/// coordinator serializes requests per shard).
+class Worker {
+ public:
+  struct Options {
+    /// par pool threads per shard_color run when the request does not
+    /// say; 0 = hardware concurrency (fine for a lone worker; a fleet
+    /// coordinator always passes an explicit share).
+    unsigned threads = 0;
+    unsigned repair_max_rounds = 4096;
+    svc::GraphRegistry::Options registry;
+  };
+
+  Worker();  ///< default Options
+  explicit Worker(Options opts);
+
+  /// Dispatches one parsed request: shard_color, shard_repair, ping.
+  /// Never throws — failures come back as svc::error_reply JSON
+  /// (bad_request / unknown_op / unsupported_version).
+  svc::Json handle(const svc::Json& req);
+
+  // Typed entry points (handle() is a thin JSON shim over these).
+  // Throw std::runtime_error on bad ranges/ids or unknown state.
+  svc::ShardColorReply shard_color(const svc::ShardColorRequest& req);
+  svc::ShardRepairReply shard_repair(const svc::ShardRepairRequest& req);
+
+  svc::GraphRegistry& registry() { return registry_; }
+
+ private:
+  /// Per-(graph, range) coloring state. `colors` is full-graph-sized:
+  /// [begin, end) holds this shard's current colors, ghost slots hold
+  /// whatever the last repair round reported, everything else stays
+  /// kUncolored (= unconstrained for repair_subset).
+  struct ShardState {
+    std::shared_ptr<const Csr> graph;
+    std::vector<color_t> colors;
+  };
+
+  std::string state_key(const std::string& graph_spec, vid_t begin,
+                        vid_t end) const;
+
+  Options opts_;
+  svc::GraphRegistry registry_;
+  std::mutex mu_;  // guards states_ (map structure only)
+  std::map<std::string, std::shared_ptr<ShardState>> states_;
+};
+
+/// A Worker behind the standard line-JSON Unix-socket server (handler
+/// mode — no Scheduler). The shard_worker binary and in-process fleets
+/// (TSan-friendly coordinator tests) both use this.
+class WorkerServer {
+ public:
+  explicit WorkerServer(std::string socket_path,
+                        Worker::Options opts = Worker::Options());
+
+  void wait() { server_.wait(); }
+  bool wait_for(double timeout_ms) { return server_.wait_for(timeout_ms); }
+  void request_stop() { server_.request_stop(); }
+  void stop() { server_.stop(); }
+  const std::string& socket_path() const { return server_.socket_path(); }
+  Worker& worker() { return *worker_; }
+
+ private:
+  std::unique_ptr<Worker> worker_;  // stable address for the handler
+  svc::Server server_;
+};
+
+}  // namespace gcg::shard

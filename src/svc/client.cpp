@@ -1,35 +1,77 @@
 #include "svc/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "svc/protocol.hpp"
 
 namespace gcg::svc {
 
-Client::Client(const std::string& socket_path) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_until(Clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+/// Server not there (yet): worth retrying under a connect budget. ENOENT
+/// covers the socket file not existing yet; ECONNREFUSED a bound-but-
+/// not-listening (or just-died) server.
+bool connect_retriable(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+         err == EINTR;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, const Options& opts)
+    : opts_(opts) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
     throw std::runtime_error("client: bad socket path: " + socket_path);
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("client: socket(): ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             opts_.connect_timeout_ms));
+  double backoff_ms = std::max(0.1, opts_.backoff_initial_ms);
+  while (true) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("client: socket(): ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return;
+    }
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("client: connect(" + socket_path +
-                             "): " + std::strerror(err));
+    const double left = ms_until(give_up);
+    if (!connect_retriable(err) || left <= 0.0) {
+      throw std::runtime_error("client: connect(" + socket_path +
+                               "): " + std::strerror(err));
+    }
+    // Capped exponential backoff, never sleeping past the budget.
+    const double nap = std::min(backoff_ms, left);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(nap));
+    backoff_ms = std::min(backoff_ms * 2.0, opts_.backoff_max_ms);
   }
 }
 
@@ -38,13 +80,27 @@ Client::~Client() {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    : opts_(other.opts_), fd_(other.fd_), buf_(std::move(other.buf_)) {
   other.fd_ = -1;
 }
 
 Json Client::request(const Json& req) {
-  std::string line = req.dump();
+  std::string line;
+  if (req.is_object() && !req.has("protocol_version")) {
+    Json stamped = req;
+    stamped["protocol_version"] = Json(kProtocolVersion);
+    line = stamped.dump();
+  } else {
+    line = req.dump();
+  }
   line += '\n';
+
+  const bool timed = opts_.request_timeout_ms > 0.0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             opts_.request_timeout_ms));
+
   std::size_t off = 0;
   while (off < line.size()) {
     // MSG_NOSIGNAL: a server that died mid-request must surface as EPIPE
@@ -68,6 +124,24 @@ Json Client::request(const Json& req) {
       const std::string reply = buf_.substr(0, nl);
       buf_.erase(0, nl + 1);
       return Json::parse(reply);
+    }
+    if (timed) {
+      // Bounded wait for readability; a reply that misses the deadline
+      // leaves this connection mid-protocol, so callers must not reuse
+      // the Client after this throw.
+      const double left = ms_until(deadline);
+      if (left <= 0.0) {
+        throw std::runtime_error("client: request timed out");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int r = ::poll(&pfd, 1,
+                           static_cast<int>(std::min(left + 1.0, 1.0e9)));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("client: poll(): ") +
+                                 std::strerror(errno));
+      }
+      if (r == 0) continue;  // re-check the deadline
     }
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);

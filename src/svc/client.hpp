@@ -13,17 +13,35 @@
 
 namespace gcg::svc {
 
+struct ClientOptions {
+  /// Total budget for connect retries. A fresh server (or a forked
+  /// worker) needs a moment between exec and listen(); retrying under
+  /// this budget with capped exponential backoff absorbs that race.
+  /// 0 = single attempt, fail immediately.
+  double connect_timeout_ms = 0.0;
+  double backoff_initial_ms = 5.0;  ///< first retry delay; doubles per try
+  double backoff_max_ms = 200.0;    ///< backoff cap
+  /// Deadline for each request's reply (send + read). 0 = wait forever.
+  /// On expiry request() throws and the connection is left in an
+  /// undefined protocol state — drop the Client.
+  double request_timeout_ms = 0.0;
+};
+
 class Client {
  public:
-  /// Connects immediately; throws std::runtime_error on failure.
-  explicit Client(const std::string& socket_path);
+  using Options = ClientOptions;
+
+  /// Connects immediately; throws std::runtime_error on failure (after
+  /// exhausting opts.connect_timeout_ms if retries are enabled).
+  explicit Client(const std::string& socket_path, const Options& opts = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
 
-  /// Sends `req` and returns the server's reply. Throws on broken
-  /// connections or malformed replies.
+  /// Sends `req` and returns the server's reply. Stamps the protocol
+  /// version into the request when the caller did not. Throws on broken
+  /// connections, malformed replies, or an expired request timeout.
   Json request(const Json& req);
 
   // --- verb conveniences ---------------------------------------------------
@@ -40,6 +58,7 @@ class Client {
   bool shutdown_server();
 
  private:
+  Options opts_;
   int fd_ = -1;
   std::string buf_;  // partial-line carry between replies
 };

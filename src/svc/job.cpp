@@ -8,6 +8,7 @@ const char* backend_name(Backend b) {
   switch (b) {
     case Backend::kPar: return "par";
     case Backend::kSim: return "sim";
+    case Backend::kShard: return "shard";
   }
   return "?";
 }
@@ -15,7 +16,8 @@ const char* backend_name(Backend b) {
 Backend backend_from_name(const std::string& name) {
   if (name == "par") return Backend::kPar;
   if (name == "sim") return Backend::kSim;
-  throw std::invalid_argument("unknown backend: " + name + " (par|sim)");
+  if (name == "shard") return Backend::kShard;
+  throw std::invalid_argument("unknown backend: " + name + " (par|sim|shard)");
 }
 
 const char* job_status_name(JobStatus s) {

@@ -21,8 +21,9 @@ namespace gcg::svc {
 
 /// Which execution backend colors the graph.
 enum class Backend {
-  kPar,  ///< native multicore (par::run_par_coloring) — the serving path
-  kSim,  ///< simulated GPU (run_coloring) — characterization jobs
+  kPar,    ///< native multicore (par::run_par_coloring) — the serving path
+  kSim,    ///< simulated GPU (run_coloring) — characterization jobs
+  kShard,  ///< multi-process sharded coloring (src/shard/ coordinator)
 };
 
 const char* backend_name(Backend b);
@@ -40,6 +41,8 @@ struct JobSpec {
   std::uint32_t hub_threshold = 0;  ///< par only: hub degree cutoff; 0 = auto
   double deadline_ms = 0.0;     ///< from submit; 0 = no deadline
   bool keep_colors = false;     ///< retain the full color array in the result
+  unsigned shards = 0;          ///< shard only: partition count; 0 = default
+  unsigned shard_rounds = 0;    ///< shard only: conflict-round cap; 0 = default
 };
 
 enum class JobStatus {
@@ -64,6 +67,11 @@ struct JobResult {
   bool mapped = false;        ///< graph served zero-copy off the mmap store
   std::string error;          ///< set for kFailed / kCancelled
   std::vector<color_t> colors;  ///< only when spec.keep_colors
+  // --- shard backend only (shards == 0 otherwise) --------------------------
+  unsigned shards = 0;            ///< shards the graph was partitioned into
+  unsigned conflict_rounds = 0;   ///< boundary conflict rounds driven
+  std::uint64_t recolored = 0;    ///< vertices recolored across all rounds
+  double boundary_fraction = 0.0; ///< boundary vertices / total vertices
 };
 
 /// One job's full lifetime. Status/result transitions happen under `mu`

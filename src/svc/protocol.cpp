@@ -8,14 +8,105 @@ namespace gcg::svc {
 
 namespace {
 
-std::uint64_t require_id(const Json& req) {
-  const Json* id = req.find("id");
-  if (!id || !id->is_number()) {
-    throw std::runtime_error("missing or non-numeric \"id\"");
+std::uint64_t require_u64(const Json& req, const char* key) {
+  const Json* v = req.find(key);
+  if (!v || !v->is_number()) {
+    throw std::runtime_error(std::string("missing or non-numeric \"") + key +
+                             "\"");
   }
-  const std::int64_t v = id->as_int();
-  if (v < 0) throw std::runtime_error("\"id\" must be >= 0");
-  return static_cast<std::uint64_t>(v);
+  const std::int64_t i = v->as_int();
+  if (i < 0) throw std::runtime_error(std::string("\"") + key +
+                                      "\" must be >= 0");
+  return static_cast<std::uint64_t>(i);
+}
+
+/// Array of non-negative integers bounded by `max` -> vector<T>.
+template <typename T>
+std::vector<T> u32_array(const Json& req, const char* key, std::int64_t max) {
+  const Json* v = req.find(key);
+  if (!v || !v->is_array()) {
+    throw std::runtime_error(std::string("missing or non-array \"") + key +
+                             "\"");
+  }
+  std::vector<T> out;
+  out.reserve(v->as_array().size());
+  for (const Json& e : v->as_array()) {
+    if (!e.is_number()) {
+      throw std::runtime_error(std::string("\"") + key +
+                               "\" entries must be numbers");
+    }
+    const std::int64_t i = e.as_int();
+    if (i < 0 || i > max) {
+      throw std::runtime_error(std::string("\"") + key +
+                               "\" entry out of range");
+    }
+    out.push_back(static_cast<T>(i));
+  }
+  return out;
+}
+
+/// Color array; allows kUncolored (-1) through, rejects other negatives.
+std::vector<color_t> color_array(const Json& req, const char* key) {
+  const Json* v = req.find(key);
+  if (!v || !v->is_array()) {
+    throw std::runtime_error(std::string("missing or non-array \"") + key +
+                             "\"");
+  }
+  std::vector<color_t> out;
+  out.reserve(v->as_array().size());
+  for (const Json& e : v->as_array()) {
+    if (!e.is_number()) {
+      throw std::runtime_error(std::string("\"") + key +
+                               "\" entries must be numbers");
+    }
+    const std::int64_t i = e.as_int();
+    if (i < kUncolored || i > 0x7FFFFFFFll) {
+      throw std::runtime_error(std::string("\"") + key +
+                               "\" entry out of range");
+    }
+    out.push_back(static_cast<color_t>(i));
+  }
+  return out;
+}
+
+template <typename T>
+Json int_array_to_json(const std::vector<T>& v) {
+  JsonArray out;
+  out.reserve(v.size());
+  for (const T x : v) out.push_back(Json(static_cast<std::int64_t>(x)));
+  return Json(std::move(out));
+}
+
+std::string require_graph(const Json& req) {
+  const Json* graph = req.find("graph");
+  if (!graph || !graph->is_string() || graph->as_string().empty()) {
+    throw std::runtime_error("requires a non-empty \"graph\" string");
+  }
+  return graph->as_string();
+}
+
+/// begin <= end as vid_t range bounds.
+void require_range(const Json& req, vid_t& begin, vid_t& end) {
+  const std::int64_t b = static_cast<std::int64_t>(require_u64(req, "begin"));
+  const std::int64_t e = static_cast<std::int64_t>(require_u64(req, "end"));
+  if (b > e || e > 0xFFFFFFFFll) {
+    throw std::runtime_error("bad vertex range [begin, end)");
+  }
+  begin = static_cast<vid_t>(b);
+  end = static_cast<vid_t>(e);
+}
+
+std::uint64_t require_id(const Json& req) { return require_u64(req, "id"); }
+
+/// Shard seeds are full 64-bit hash outputs; JSON has no u64, so they
+/// travel as two's-complement int64 and cast back bit-for-bit. Any
+/// integral number (negative included) is therefore valid here.
+std::uint64_t require_seed(const Json& req) {
+  const Json* v = req.find("seed");
+  if (!v || !v->is_number()) {
+    throw std::runtime_error("missing or non-numeric \"seed\"");
+  }
+  return static_cast<std::uint64_t>(v->as_int());
 }
 
 Json result_to_json(const JobResult& r, bool include_colors) {
@@ -29,6 +120,12 @@ Json result_to_json(const JobResult& r, bool include_colors) {
   out["verified"] = Json(r.verified);
   out["cache_hit"] = Json(r.cache_hit);
   out["mapped"] = Json(r.mapped);
+  if (r.shards > 0) {
+    out["shards"] = Json(static_cast<std::int64_t>(r.shards));
+    out["conflict_rounds"] = Json(static_cast<std::int64_t>(r.conflict_rounds));
+    out["recolored"] = Json(static_cast<std::int64_t>(r.recolored));
+    out["boundary_fraction"] = Json(r.boundary_fraction);
+  }
   if (!r.error.empty()) out["error"] = Json(r.error);
   if (include_colors && !r.colors.empty()) {
     JsonArray colors;
@@ -51,6 +148,20 @@ Json error_reply(const std::string& code, const std::string& detail) {
   return out;
 }
 
+std::optional<Json> check_protocol_version(const Json& req) {
+  if (!req.is_object()) return std::nullopt;  // protocol_error elsewhere
+  const Json* v = req.find("protocol_version");
+  if (!v) return std::nullopt;  // pre-versioning peer: version 1 schema
+  const std::int64_t version = v->is_number() ? v->as_int() : -1;
+  if (version == kProtocolVersion) return std::nullopt;
+  Json out = error_reply(
+      kErrUnsupportedVersion,
+      "this server speaks protocol_version " +
+          std::to_string(kProtocolVersion));
+  out["protocol_version"] = Json(kProtocolVersion);
+  return out;
+}
+
 JobSpec job_spec_from_json(const Json& req) {
   JobSpec spec;
   const Json* graph = req.find("graph");
@@ -59,8 +170,14 @@ JobSpec job_spec_from_json(const Json& req) {
   }
   spec.graph = graph->as_string();
   spec.backend = backend_from_name(req.get_string("backend", "par"));
-  spec.algorithm = req.get_string(
-      "algorithm", spec.backend == Backend::kPar ? "steal" : "hybrid+steal");
+  // Per-backend algorithm defaults: shard wants jpl because it is
+  // deterministic — sharded results must be bit-stable across worker
+  // counts (docs/SHARDING.md).
+  const char* default_algorithm =
+      spec.backend == Backend::kPar
+          ? "steal"
+          : (spec.backend == Backend::kShard ? "jpl" : "hybrid+steal");
+  spec.algorithm = req.get_string("algorithm", default_algorithm);
   spec.priority = req.get_string("priority", "random");
   const std::int64_t seed = req.get_int("seed", 1);
   if (seed < 0) throw std::runtime_error("\"seed\" must be >= 0");
@@ -89,6 +206,16 @@ JobSpec job_spec_from_json(const Json& req) {
     throw std::runtime_error("\"deadline_ms\" must be >= 0");
   }
   spec.keep_colors = req.get_bool("keep_colors", false);
+  const std::int64_t shards = req.get_int("shards", 0);
+  if (shards < 0 || shards > 4096) {
+    throw std::runtime_error("\"shards\" must be in [0, 4096]");
+  }
+  spec.shards = static_cast<unsigned>(shards);
+  const std::int64_t rounds = req.get_int("shard_rounds", 0);
+  if (rounds < 0 || rounds > 0xFFFF) {
+    throw std::runtime_error("\"shard_rounds\" must be in [0, 65535]");
+  }
+  spec.shard_rounds = static_cast<unsigned>(rounds);
   return spec;
 }
 
@@ -105,6 +232,122 @@ Json job_spec_to_json(const JobSpec& spec) {
   out["hub_threshold"] = Json(static_cast<std::int64_t>(spec.hub_threshold));
   out["deadline_ms"] = Json(spec.deadline_ms);
   out["keep_colors"] = Json(spec.keep_colors);
+  if (spec.shards != 0) {
+    out["shards"] = Json(static_cast<std::int64_t>(spec.shards));
+  }
+  if (spec.shard_rounds != 0) {
+    out["shard_rounds"] = Json(static_cast<std::int64_t>(spec.shard_rounds));
+  }
+  return out;
+}
+
+// --- shard worker DTO codecs -----------------------------------------------
+
+ShardColorRequest shard_color_request_from_json(const Json& req) {
+  ShardColorRequest r;
+  r.graph = require_graph(req);
+  require_range(req, r.begin, r.end);
+  r.seed = require_seed(req);
+  r.algorithm = req.get_string("algorithm", "jpl");
+  r.priority = req.get_string("priority", "random");
+  const std::int64_t threads = req.get_int("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    throw std::runtime_error("\"threads\" must be in [0, 4096]");
+  }
+  r.threads = static_cast<unsigned>(threads);
+  return r;
+}
+
+Json shard_color_request_to_json(const ShardColorRequest& r) {
+  Json out{JsonObject{}};
+  out["op"] = Json("shard_color");
+  out["graph"] = Json(r.graph);
+  out["begin"] = Json(static_cast<std::int64_t>(r.begin));
+  out["end"] = Json(static_cast<std::int64_t>(r.end));
+  out["seed"] = Json(r.seed);
+  out["algorithm"] = Json(r.algorithm);
+  out["priority"] = Json(r.priority);
+  if (r.threads != 0) {
+    out["threads"] = Json(static_cast<std::int64_t>(r.threads));
+  }
+  return out;
+}
+
+ShardColorReply shard_color_reply_from_json(const Json& reply) {
+  ShardColorReply r;
+  r.colors = color_array(reply, "colors");
+  r.num_colors = static_cast<int>(require_u64(reply, "num_colors"));
+  r.num_boundary = static_cast<vid_t>(require_u64(reply, "num_boundary"));
+  r.cut_arcs = require_u64(reply, "cut_arcs");
+  r.run_ms = reply.get_double("run_ms", 0.0);
+  r.cache_hit = reply.get_bool("cache_hit", false);
+  r.mapped = reply.get_bool("mapped", false);
+  return r;
+}
+
+Json shard_color_reply_to_json(const ShardColorReply& r) {
+  Json out{JsonObject{}};
+  out["ok"] = Json(true);
+  out["colors"] = int_array_to_json(r.colors);
+  out["num_colors"] = Json(r.num_colors);
+  out["num_boundary"] = Json(static_cast<std::int64_t>(r.num_boundary));
+  out["cut_arcs"] = Json(static_cast<std::int64_t>(r.cut_arcs));
+  out["run_ms"] = Json(r.run_ms);
+  out["cache_hit"] = Json(r.cache_hit);
+  out["mapped"] = Json(r.mapped);
+  return out;
+}
+
+ShardRepairRequest shard_repair_request_from_json(const Json& req) {
+  ShardRepairRequest r;
+  r.graph = require_graph(req);
+  require_range(req, r.begin, r.end);
+  r.seed = require_seed(req);
+  r.losers = u32_array<vid_t>(req, "losers", 0xFFFFFFFFll);
+  r.ghost_ids = u32_array<vid_t>(req, "ghost_ids", 0xFFFFFFFFll);
+  r.ghost_colors = color_array(req, "ghost_colors");
+  if (r.ghost_ids.size() != r.ghost_colors.size()) {
+    throw std::runtime_error(
+        "\"ghost_ids\" and \"ghost_colors\" must be the same length");
+  }
+  return r;
+}
+
+Json shard_repair_request_to_json(const ShardRepairRequest& r) {
+  Json out{JsonObject{}};
+  out["op"] = Json("shard_repair");
+  out["graph"] = Json(r.graph);
+  out["begin"] = Json(static_cast<std::int64_t>(r.begin));
+  out["end"] = Json(static_cast<std::int64_t>(r.end));
+  out["seed"] = Json(r.seed);
+  out["losers"] = int_array_to_json(r.losers);
+  out["ghost_ids"] = int_array_to_json(r.ghost_ids);
+  out["ghost_colors"] = int_array_to_json(r.ghost_colors);
+  return out;
+}
+
+ShardRepairReply shard_repair_reply_from_json(const Json& reply) {
+  ShardRepairReply r;
+  r.ids = u32_array<vid_t>(reply, "ids", 0xFFFFFFFFll);
+  r.colors = color_array(reply, "colors");
+  if (r.ids.size() != r.colors.size()) {
+    throw std::runtime_error(
+        "\"ids\" and \"colors\" must be the same length");
+  }
+  r.rounds = static_cast<unsigned>(require_u64(reply, "rounds"));
+  r.recolored = require_u64(reply, "recolored");
+  r.run_ms = reply.get_double("run_ms", 0.0);
+  return r;
+}
+
+Json shard_repair_reply_to_json(const ShardRepairReply& r) {
+  Json out{JsonObject{}};
+  out["ok"] = Json(true);
+  out["ids"] = int_array_to_json(r.ids);
+  out["colors"] = int_array_to_json(r.colors);
+  out["rounds"] = Json(static_cast<std::int64_t>(r.rounds));
+  out["recolored"] = Json(static_cast<std::int64_t>(r.recolored));
+  out["run_ms"] = Json(r.run_ms);
   return out;
 }
 
@@ -162,6 +405,7 @@ Json handle_request(Scheduler& sched, const Json& req) {
   if (!req.is_object()) {
     return error_reply(kErrProtocol, "request must be a JSON object");
   }
+  if (auto unsupported = check_protocol_version(req)) return *unsupported;
   const Json* op = req.find("op");
   if (!op || !op->is_string()) {
     return error_reply(kErrProtocol, "missing \"op\" string");

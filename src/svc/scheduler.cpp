@@ -23,16 +23,20 @@ double ms_since(Clock::time_point t0, Clock::time_point t1) {
 }
 
 /// Validates the spec's enumerated fields; returns an error detail or "".
-std::string validate_spec(const JobSpec& spec) {
+std::string validate_spec(const JobSpec& spec, bool have_shard_backend) {
   try {
     priority_mode_from_name(spec.priority);
-    if (spec.backend == Backend::kPar) {
+    if (spec.backend == Backend::kPar || spec.backend == Backend::kShard) {
+      // Shard interiors run on the par backend inside each worker.
       par::par_algorithm_from_name(spec.algorithm);
     } else {
       algorithm_from_name(spec.algorithm);
     }
   } catch (const std::exception& e) {
     return e.what();
+  }
+  if (spec.backend == Backend::kShard && !have_shard_backend) {
+    return "backend \"shard\" is not configured on this scheduler";
   }
   if (spec.deadline_ms < 0.0) return "deadline_ms must be >= 0";
   return "";
@@ -77,7 +81,8 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
     out.detail = e.what();
   }
   if (out.error.empty()) {
-    const std::string detail = validate_spec(spec);
+    const std::string detail =
+        validate_spec(spec, opts_.shard_backend != nullptr);
     if (!detail.empty()) {
       out.error = "bad_request";
       out.detail = detail;
@@ -299,6 +304,11 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
       result.threads = run.threads;
       cancelled = run.cancelled;
       colors = std::move(run.colors);
+    } else if (job->spec.backend == Backend::kShard) {
+      // Sharded multi-process run via the injected coordinator. No
+      // mid-run cancellation hook (the fleet round-trip is the unit of
+      // progress); the deadline was checked at dispatch.
+      colors = opts_.shard_backend->run(job->spec, *graph, result);
     } else {
       // Characterization job on the simulated device. No mid-run
       // cancellation hook; the deadline was checked at dispatch.

@@ -30,6 +30,22 @@ class ThreadPool;
 
 namespace gcg::svc {
 
+/// Execution seam for the sharded multi-process backend (src/shard/).
+/// svc cannot depend on shard — shard depends on svc for its wire
+/// protocol — so the coordinator is injected through this interface via
+/// SchedulerOptions::shard_backend. Without one installed, backend=shard
+/// submissions are rejected as bad_request.
+class ShardBackendIf {
+ public:
+  virtual ~ShardBackendIf() = default;
+  /// Colors spec.graph (already resolved to `graph`), fills the shard
+  /// fields of `result` (shards, conflict_rounds, recolored,
+  /// boundary_fraction, run_ms, threads, num_colors, iterations) and
+  /// returns the full color array for verification. Throws on failure.
+  virtual std::vector<color_t> run(const JobSpec& spec, const Csr& graph,
+                                   JobResult& result) = 0;
+};
+
 struct SchedulerOptions {
   unsigned dispatchers = 2;     ///< jobs running concurrently
   /// Worker threads per dispatcher pool; 0 splits hardware_concurrency
@@ -44,6 +60,8 @@ struct SchedulerOptions {
   std::size_t latency_window = 4096;
   bool verify = true;                ///< check colorings before reporting
   GraphRegistry::Options registry;
+  /// Sharded-backend coordinator; null = backend=shard jobs rejected.
+  std::shared_ptr<ShardBackendIf> shard_backend;
 };
 
 /// Counters the `stats` verb reports. Latency covers terminal jobs

@@ -73,6 +73,21 @@ class LineReader {
 }  // namespace
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  start();
+  scheduler_ = std::make_unique<Scheduler>(opts_.scheduler);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::Server(ServerOptions opts, Handler handler)
+    : opts_(std::move(opts)), handler_(std::move(handler)) {
+  if (!handler_) {
+    throw std::runtime_error("server: handler must be callable");
+  }
+  start();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::start() {
   if (opts_.socket_path.empty()) {
     throw std::runtime_error("server: socket_path is required");
   }
@@ -105,9 +120,6 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
     throw std::runtime_error(std::string("server: listen(): ") +
                              std::strerror(err));
   }
-
-  scheduler_ = std::make_unique<Scheduler>(opts_.scheduler);
-  acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 Server::~Server() { stop(); }
@@ -152,25 +164,33 @@ void Server::serve_connection(int fd, std::uint64_t conn_id) {
   while (!shutdown_verb && reader.next(line)) {
     if (line.empty()) continue;
 
-    // Intercept the lifecycle verb; everything else is protocol-layer.
-    bool is_shutdown = false;
+    std::string reply;
+    Json req;
+    bool parsed = true;
     try {
-      const Json req = Json::parse(line);
-      is_shutdown = req.is_object() &&
-                    req.get_string("op", "") == "shutdown";
-    } catch (...) {
-      // fall through: handle_request_line produces the protocol_error
+      req = Json::parse(line);
+    } catch (const std::exception& e) {
+      reply = error_reply(kErrProtocol, e.what()).dump();
+      parsed = false;
     }
 
-    std::string reply;
-    if (is_shutdown) {
-      Json out{JsonObject{}};
-      out["ok"] = Json(true);
-      out["stopping"] = Json(true);
-      reply = out.dump();
-      shutdown_verb = true;
-    } else {
-      reply = handle_request_line(*scheduler_, line).dump();
+    if (parsed) {
+      // Intercept the lifecycle verb; everything else is protocol-layer.
+      if (req.is_object() && req.get_string("op", "") == "shutdown") {
+        Json out{JsonObject{}};
+        out["ok"] = Json(true);
+        out["stopping"] = Json(true);
+        reply = out.dump();
+        shutdown_verb = true;
+      } else if (handler_) {
+        try {
+          reply = handler_(req).dump();
+        } catch (const std::exception& e) {
+          reply = error_reply(kErrBadRequest, e.what()).dump();
+        }
+      } else {
+        reply = handle_request(*scheduler_, req).dump();
+      }
     }
     if (!write_line(fd, reply)) break;
   }

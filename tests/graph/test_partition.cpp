@@ -1,0 +1,138 @@
+// Edge-balanced contiguous partitioner tests. The invariant the sharded
+// coloring stack rests on: no shard's (degree + 1)-weight exceeds the
+// ideal share by more than one vertex weight, even on hub-heavy degree
+// distributions, and the split is a pure function of (graph, shards).
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "graph/gen/powerlaw.hpp"
+#include "graph/gen/random.hpp"
+#include "graph/gen/special.hpp"
+
+namespace gcg {
+namespace {
+
+std::uint64_t shard_weight(const Csr& g, const Partition& p, unsigned s) {
+  std::uint64_t w = 0;
+  for (vid_t v = p.begin(s); v < p.end(s); ++v) w += g.degree(v) + 1;
+  return w;
+}
+
+std::uint64_t total_weight(const Csr& g) {
+  return static_cast<std::uint64_t>(g.num_arcs()) + g.num_vertices();
+}
+
+void expect_well_formed(const Csr& g, const Partition& p) {
+  ASSERT_GE(p.num_shards(), 1u);
+  EXPECT_EQ(p.bounds.front(), 0u);
+  EXPECT_EQ(p.bounds.back(), g.num_vertices());
+  for (std::size_t i = 1; i < p.bounds.size(); ++i) {
+    EXPECT_LE(p.bounds[i - 1], p.bounds[i]);
+  }
+}
+
+TEST(PartitionEdgeBalanced, BoundsWellFormed) {
+  const Csr g = make_erdos_renyi_gnm(1000, 5000, 3);
+  for (unsigned shards = 1; shards <= 9; ++shards) {
+    const Partition p = partition_edge_balanced(g, shards);
+    expect_well_formed(g, p);
+    EXPECT_EQ(p.num_shards(), shards);
+  }
+}
+
+// The load-balance invariant, on both a uniform and a hub-heavy degree
+// distribution: weight(shard) <= total/shards + (max_degree + 1).
+TEST(PartitionEdgeBalanced, EdgeBalanceInvariant) {
+  const Csr graphs[] = {
+      make_erdos_renyi_gnm(2000, 12000, 7),
+      make_rmat(10, 8, {}, 3),           // skewed: hubs dominate the weight
+      make_barabasi_albert(1500, 4, 9),
+  };
+  for (const Csr& g : graphs) {
+    const std::uint64_t total = total_weight(g);
+    const std::uint64_t slack = g.max_degree() + 1;
+    for (unsigned shards : {2u, 3u, 4u, 8u, 16u}) {
+      const Partition p = partition_edge_balanced(g, shards);
+      expect_well_formed(g, p);
+      for (unsigned s = 0; s < p.num_shards(); ++s) {
+        EXPECT_LE(shard_weight(g, p, s),
+                  total / shards + slack)
+            << "shard " << s << " of " << shards;
+      }
+    }
+  }
+}
+
+TEST(PartitionEdgeBalanced, ClampsShardCount) {
+  const Csr g = make_path(5);
+  EXPECT_EQ(partition_edge_balanced(g, 0).num_shards(), 1u);
+  const Partition p = partition_edge_balanced(g, 64);
+  expect_well_formed(g, p);
+  EXPECT_LE(p.num_shards(), 5u);
+}
+
+TEST(PartitionEdgeBalanced, ShardOfMatchesBounds) {
+  const Csr g = make_rmat(8, 8, {}, 5);
+  const Partition p = partition_edge_balanced(g, 6);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const unsigned s = p.shard_of(v);
+    ASSERT_LT(s, p.num_shards());
+    EXPECT_LE(p.begin(s), v);
+    EXPECT_LT(v, p.end(s));
+  }
+}
+
+TEST(PartitionEdgeBalanced, Deterministic) {
+  const Csr g = make_rmat(9, 8, {}, 13);
+  const Partition a = partition_edge_balanced(g, 7);
+  const Partition b = partition_edge_balanced(g, 7);
+  EXPECT_EQ(a.bounds, b.bounds);
+}
+
+// A star's hub carries ~half the total weight: the edge-balanced split
+// must isolate it in a narrow shard instead of handing one shard a
+// quarter of the vertices hub included.
+TEST(PartitionEdgeBalanced, HubGetsANarrowShard) {
+  const Csr g = make_star(4095);
+  const Partition p = partition_edge_balanced(g, 4);
+  expect_well_formed(g, p);
+  EXPECT_LT(p.size(p.shard_of(0)), g.num_vertices() / 8);
+}
+
+TEST(AnalyzePartition, SingleShardHasNoCut) {
+  const Csr g = make_erdos_renyi_gnm(300, 1500, 1);
+  const Partition p = partition_edge_balanced(g, 1);
+  const PartitionReport r = analyze_partition(g, p);
+  EXPECT_EQ(r.cut_arcs, 0u);
+  EXPECT_EQ(r.boundary_vertices, 0u);
+  EXPECT_DOUBLE_EQ(r.boundary_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.weight_imbalance, 1.0);
+}
+
+TEST(AnalyzePartition, CutMatchesBruteForce) {
+  const Csr g = make_erdos_renyi_gnm(400, 2400, 11);
+  const Partition p = partition_edge_balanced(g, 3);
+  eid_t cut = 0;
+  vid_t boundary = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    bool touches_out = false;
+    for (const vid_t u : g.neighbors(v)) {
+      if (p.shard_of(u) != p.shard_of(v)) {
+        ++cut;
+        touches_out = true;
+      }
+    }
+    if (touches_out) ++boundary;
+  }
+  const PartitionReport r = analyze_partition(g, p);
+  EXPECT_EQ(r.cut_arcs, cut);
+  EXPECT_EQ(r.boundary_vertices, boundary);
+  EXPECT_DOUBLE_EQ(r.boundary_fraction,
+                   static_cast<double>(boundary) / g.num_vertices());
+}
+
+}  // namespace
+}  // namespace gcg

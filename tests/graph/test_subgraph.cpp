@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "graph/builder.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/special.hpp"
+#include "graph/partition.hpp"
 
 namespace gcg {
 namespace {
@@ -81,6 +85,117 @@ TEST(LargestComponent, ConnectedGraphIsIdentity) {
   const Subgraph s = largest_component(g);
   EXPECT_EQ(s.graph.num_vertices(), 8u);
   for (vid_t v = 0; v < 8; ++v) EXPECT_EQ(s.to_old[v], v);
+}
+
+// --- RangeSubgraph (sharding extraction) -----------------------------------
+
+// Brute-force reference check of one extracted range against the parent
+// graph: local adjacency (order preserved, ids shifted by begin), ghost
+// set, boundary flags, and cut count must all agree.
+void expect_range_matches(const Csr& g, const RangeSubgraph& s) {
+  ASSERT_EQ(s.graph.num_vertices(), s.end - s.begin);
+  std::set<vid_t> ghost_ref;
+  eid_t cut = 0;
+  vid_t boundary = 0;
+  for (vid_t v = s.begin; v < s.end; ++v) {
+    std::vector<vid_t> local_ref;
+    bool touches_out = false;
+    for (const vid_t u : g.neighbors(v)) {
+      if (u >= s.begin && u < s.end) {
+        local_ref.push_back(u - s.begin);
+      } else {
+        ghost_ref.insert(u);
+        ++cut;
+        touches_out = true;
+      }
+    }
+    const auto local = s.graph.neighbors(v - s.begin);
+    ASSERT_TRUE(std::equal(local.begin(), local.end(), local_ref.begin(),
+                           local_ref.end()))
+        << "adjacency mismatch at old vertex " << v;
+    EXPECT_EQ(s.is_boundary[v - s.begin] != 0, touches_out);
+    if (touches_out) ++boundary;
+  }
+  EXPECT_EQ(s.cut_arcs, cut);
+  EXPECT_EQ(s.num_boundary, boundary);
+  ASSERT_EQ(s.ghosts.size(), ghost_ref.size());
+  EXPECT_TRUE(std::equal(s.ghosts.begin(), s.ghosts.end(),
+                         ghost_ref.begin()));  // ascending + deduplicated
+}
+
+TEST(RangeSubgraph, CycleRangeBasics) {
+  const Csr g = make_cycle(8);
+  const RangeSubgraph s = extract_subgraph(g, 2, 5);
+  EXPECT_EQ(s.graph.num_vertices(), 3u);
+  EXPECT_EQ(s.graph.num_edges(), 2u);  // 2-3 and 3-4, locally 0-1 and 1-2
+  EXPECT_EQ(s.ghosts, (std::vector<vid_t>{1, 5}));
+  EXPECT_EQ(s.num_boundary, 2u);  // 2 and 4; the middle vertex is interior
+  EXPECT_EQ(s.is_boundary[1], 0u);
+  EXPECT_EQ(s.cut_arcs, 2u);
+  expect_range_matches(g, s);
+}
+
+TEST(RangeSubgraph, EmptyAndFullRanges) {
+  const Csr g = make_cycle(6);
+  const RangeSubgraph none = extract_subgraph(g, 3, 3);
+  EXPECT_EQ(none.graph.num_vertices(), 0u);
+  EXPECT_EQ(none.cut_arcs, 0u);
+  EXPECT_TRUE(none.ghosts.empty());
+  const RangeSubgraph all = extract_subgraph(g, 0, 6);
+  EXPECT_EQ(all.graph.num_vertices(), 6u);
+  EXPECT_EQ(all.graph.num_edges(), 6u);
+  EXPECT_EQ(all.num_boundary, 0u);
+  EXPECT_TRUE(all.ghosts.empty());
+  expect_range_matches(g, all);
+}
+
+TEST(RangeSubgraph, HubInsideRangeSeesAllLeavesAsGhosts) {
+  const Csr g = make_star(6);  // hub 0, leaves 1..6
+  const RangeSubgraph hub = extract_subgraph(g, 0, 1);
+  EXPECT_EQ(hub.graph.num_vertices(), 1u);
+  EXPECT_EQ(hub.graph.num_edges(), 0u);  // ghosts are NOT local edges
+  EXPECT_EQ(hub.ghosts.size(), 6u);
+  EXPECT_EQ(hub.cut_arcs, 6u);
+  EXPECT_EQ(hub.num_boundary, 1u);
+  const RangeSubgraph leaves = extract_subgraph(g, 1, 4);
+  EXPECT_EQ(leaves.graph.num_edges(), 0u);
+  EXPECT_EQ(leaves.ghosts, (std::vector<vid_t>{0}));
+  EXPECT_EQ(leaves.num_boundary, 3u);  // every leaf touches the outside hub
+  expect_range_matches(g, leaves);
+}
+
+// The sharding acceptance case: an rmat graph's hubs have neighbors in
+// every shard of an edge-balanced cut, so the boundary/ghost mapping
+// must stay exact under a severely asymmetric degree distribution.
+TEST(RangeSubgraph, RmatHubsSplitAcrossEdgeBalancedCut) {
+  const Csr g = make_rmat(9, 16, {}, 11);
+  const Partition p = partition_edge_balanced(g, 4);
+  ASSERT_EQ(p.num_shards(), 4u);
+
+  eid_t total_cut = 0;
+  for (unsigned s = 0; s < p.num_shards(); ++s) {
+    const RangeSubgraph sub = extract_subgraph(g, p.begin(s), p.end(s));
+    expect_range_matches(g, sub);
+    total_cut += sub.cut_arcs;
+  }
+  // Per-shard cuts must add up to the partition-level cut.
+  EXPECT_EQ(total_cut, analyze_partition(g, p).cut_arcs);
+
+  // The top hub's adjacency spans the cut: it must be flagged boundary
+  // in its own shard, with its out-of-range neighbors all in the ghosts.
+  vid_t hub = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  }
+  ASSERT_GT(g.degree(hub), 64u) << "rmat generator lost its skew";
+  const unsigned hs = p.shard_of(hub);
+  const RangeSubgraph sub = extract_subgraph(g, p.begin(hs), p.end(hs));
+  EXPECT_EQ(sub.is_boundary[hub - sub.begin], 1u);
+  for (const vid_t u : g.neighbors(hub)) {
+    if (u < sub.begin || u >= sub.end) {
+      EXPECT_TRUE(std::binary_search(sub.ghosts.begin(), sub.ghosts.end(), u));
+    }
+  }
 }
 
 }  // namespace

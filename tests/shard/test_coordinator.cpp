@@ -1,0 +1,158 @@
+// shard::Coordinator over an in-process fleet (WorkerServer threads on
+// real Unix sockets — same wire protocol as forked workers, one address
+// space). Covers the sharded-coloring acceptance criteria: validity,
+// bit-stability across worker counts, bounded conflict rounds, stats.
+#include "shard/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/coloring.hpp"
+#include "svc/graph_registry.hpp"
+
+namespace gcg::shard {
+namespace {
+
+constexpr const char* kGraph = "gen:kron-like?scale=0.1&seed=2";
+constexpr const char* kDense = "gen:er-like?scale=0.1&seed=2";
+
+CoordinatorOptions in_process(unsigned workers) {
+  CoordinatorOptions opts;
+  opts.workers = workers;
+  opts.worker_threads = 2;
+  opts.in_process = true;
+  return opts;
+}
+
+ShardJob job_for(const char* graph, unsigned shards) {
+  ShardJob job;
+  job.graph = graph;
+  job.shards = shards;
+  job.seed = 5;
+  return job;
+}
+
+TEST(ShardCoordinator, FourShardsTwoWorkersValidColoring) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+
+  Coordinator coord(in_process(2));
+  ASSERT_EQ(coord.workers(), 2u);
+  ShardRunStats st;
+  const std::vector<color_t> colors = coord.color(*g, job_for(kGraph, 4), &st);
+
+  ASSERT_EQ(colors.size(), g->num_vertices());
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_EQ(st.shards, 4u);
+  EXPECT_EQ(st.workers, 2u);
+  EXPECT_GT(st.num_colors, 0);
+  EXPECT_GT(st.boundary_vertices, 0u);
+  EXPECT_GT(st.cut_arcs, 0u);
+  EXPECT_GT(st.boundary_fraction, 0.0);
+  EXPECT_LE(st.boundary_fraction, 1.0);
+  EXPECT_LE(st.conflict_rounds, 16u);  // the configured default cap
+  EXPECT_EQ(st.round_conflicts.size(), st.conflict_rounds);
+  EXPECT_GT(st.wall_ms, 0.0);
+}
+
+TEST(ShardCoordinator, BitStableAcrossWorkerCounts) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+
+  std::vector<std::vector<color_t>> runs;
+  for (const unsigned workers : {1u, 2u, 3u}) {
+    Coordinator coord(in_process(workers));
+    runs.push_back(coord.color(*g, job_for(kGraph, 4)));
+    EXPECT_FALSE(check::verify_coloring(*g, runs.back()).has_value());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ShardCoordinator, RepeatRunsOnOneFleetAreIdentical) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+
+  Coordinator coord(in_process(2));
+  const auto first = coord.color(*g, job_for(kGraph, 6));
+  const auto second = coord.color(*g, job_for(kGraph, 6));
+  EXPECT_EQ(first, second);
+
+  // A different seed changes the round schedule; still valid.
+  ShardJob other = job_for(kGraph, 6);
+  other.seed = 77;
+  const auto third = coord.color(*g, other);
+  EXPECT_FALSE(check::verify_coloring(*g, third).has_value());
+}
+
+TEST(ShardCoordinator, SingleShardNeedsNoConflictRounds) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+
+  Coordinator coord(in_process(1));
+  ShardRunStats st;
+  const auto colors = coord.color(*g, job_for(kGraph, 1), &st);
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_EQ(st.shards, 1u);
+  EXPECT_EQ(st.conflict_rounds, 0u);
+  EXPECT_EQ(st.cut_arcs, 0u);
+  EXPECT_EQ(st.recolored, 0u);
+}
+
+TEST(ShardCoordinator, ShardCountClampsToVertexCount) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+
+  Coordinator coord(in_process(2));
+  ShardRunStats st;
+  const auto colors = coord.color(*g, job_for(kGraph, 100000), &st);
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_LE(st.shards, g->num_vertices());
+}
+
+TEST(ShardCoordinator, TightRoundCapStaysValidViaInlineFallback) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kDense);
+
+  CoordinatorOptions opts = in_process(2);
+  opts.max_rounds = 1;
+  Coordinator coord(opts);
+  ShardRunStats st;
+  const auto colors = coord.color(*g, job_for(kDense, 8), &st);
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_LE(st.conflict_rounds, 1u);
+  // A dense uniform graph cut 8 ways cannot settle in one round: the
+  // guaranteed-valid path must have kicked in.
+  EXPECT_GT(st.fallback_recolored, 0u);
+}
+
+TEST(ShardCoordinator, FallbackOffSurfacesTheCapAsAnError) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kDense);
+
+  CoordinatorOptions opts = in_process(2);
+  opts.max_rounds = 1;
+  opts.fallback_inline = false;
+  Coordinator coord(opts);
+  EXPECT_THROW(coord.color(*g, job_for(kDense, 8)), std::runtime_error);
+}
+
+TEST(ShardCoordinator, JobRoundCapOverridesFleetDefault) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kDense);
+
+  CoordinatorOptions opts = in_process(2);
+  opts.max_rounds = 1;
+  Coordinator coord(opts);
+  ShardJob job = job_for(kDense, 8);
+  job.max_rounds = 16;  // lifts the fleet's tight default for this job
+  ShardRunStats st;
+  const auto colors = coord.color(*g, job, &st);
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_GT(st.conflict_rounds, 1u);
+  EXPECT_EQ(st.fallback_recolored, 0u);
+}
+
+}  // namespace
+}  // namespace gcg::shard

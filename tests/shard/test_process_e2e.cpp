@@ -1,0 +1,74 @@
+// Real multi-process acceptance test: the coordinator forks actual
+// shard_worker binaries (path injected by CMake as GCG_SHARD_WORKER_BIN)
+// and the result must match the in-process fleet bit for bit — worker
+// processes are an implementation detail, never part of the answer.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <vector>
+
+#include "check/coloring.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/process.hpp"
+#include "svc/graph_registry.hpp"
+
+namespace gcg::shard {
+namespace {
+
+constexpr const char* kGraph = "gen:kron-like?scale=0.08&seed=4";
+
+TEST(ShardProcessE2E, ForkedFleetMatchesInProcessFleet) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+
+  ShardJob job;
+  job.graph = kGraph;
+  job.shards = 4;
+  job.seed = 11;
+
+  CoordinatorOptions forked;
+  forked.workers = 2;
+  forked.worker_threads = 2;
+  forked.worker_exec = GCG_SHARD_WORKER_BIN;
+  Coordinator across_processes(forked);
+  ShardRunStats st;
+  const std::vector<color_t> colors = across_processes.color(*g, job, &st);
+
+  ASSERT_EQ(colors.size(), g->num_vertices());
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_EQ(st.workers, 2u);
+
+  CoordinatorOptions local_fleet;
+  local_fleet.workers = 2;
+  local_fleet.worker_threads = 2;
+  local_fleet.in_process = true;
+  Coordinator in_process(local_fleet);
+  EXPECT_EQ(colors, in_process.color(*g, job));
+}
+
+TEST(ShardProcessE2E, SpawnFailureIsAnErrorNotAHang) {
+  CoordinatorOptions opts;
+  opts.workers = 1;
+  opts.worker_exec = "/nonexistent/shard_worker";
+  opts.connect_timeout_ms = 1500.0;
+  EXPECT_THROW(Coordinator{opts}, std::runtime_error);
+}
+
+TEST(ShardProcessE2E, ChildProcessLifecycle) {
+  ChildProcess p = ChildProcess::spawn("/bin/sleep", {"30"});
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.running());
+  p.terminate();
+  const int status = p.wait();
+  EXPECT_FALSE(p.running());
+  EXPECT_EQ(status, -SIGTERM);
+  EXPECT_EQ(p.wait(), status);  // idempotent after the reap
+}
+
+TEST(ShardProcessE2E, ExecFailureReportsExit127) {
+  ChildProcess p = ChildProcess::spawn("/nonexistent/binary", {});
+  EXPECT_EQ(p.wait(), 127);
+}
+
+}  // namespace
+}  // namespace gcg::shard

@@ -1,0 +1,103 @@
+// backend=shard through the service stack: a Scheduler with an injected
+// shard backend (in-process fleet) runs sharded jobs end to end, fills
+// the shard stats into JobResult, and rejects shard jobs cleanly when no
+// backend is configured.
+#include <gtest/gtest.h>
+
+#include "check/coloring.hpp"
+#include "shard/backend.hpp"
+#include "svc/graph_registry.hpp"
+#include "svc/scheduler.hpp"
+
+namespace gcg::shard {
+namespace {
+
+constexpr const char* kGraph = "gen:kron-like?scale=0.08&seed=6";
+
+svc::SchedulerOptions with_backend() {
+  svc::SchedulerOptions opts;
+  opts.dispatchers = 1;
+  BackendOptions bopts;
+  bopts.workers = 2;
+  bopts.worker_threads = 2;
+  bopts.in_process = true;
+  opts.shard_backend = make_shard_backend(bopts);
+  return opts;
+}
+
+TEST(ServiceShard, ShardJobRunsEndToEnd) {
+  svc::Scheduler sched(with_backend());
+
+  svc::JobSpec spec;
+  spec.graph = kGraph;
+  spec.backend = svc::Backend::kShard;
+  spec.shards = 4;
+  spec.seed = 3;
+  spec.keep_colors = true;
+  const auto submit = sched.submit(spec);
+  ASSERT_TRUE(submit.accepted) << submit.detail;
+
+  const auto snap = sched.wait(submit.id);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(snap->status, svc::JobStatus::kDone) << snap->result.error;
+
+  // Per-shard stats merged into the job result.
+  EXPECT_EQ(snap->result.shards, 4u);
+  EXPECT_GT(snap->result.num_colors, 0);
+  EXPECT_GT(snap->result.boundary_fraction, 0.0);
+  EXPECT_TRUE(snap->result.verified);
+
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+  ASSERT_EQ(snap->result.colors.size(), g->num_vertices());
+  EXPECT_FALSE(check::verify_coloring(*g, snap->result.colors).has_value());
+  sched.shutdown();
+}
+
+TEST(ServiceShard, DefaultShardCountAppliesWhenSpecSaysZero) {
+  svc::Scheduler sched(with_backend());
+  svc::JobSpec spec;
+  spec.graph = kGraph;
+  spec.backend = svc::Backend::kShard;  // spec.shards stays 0
+  const auto submit = sched.submit(spec);
+  ASSERT_TRUE(submit.accepted);
+  const auto snap = sched.wait(submit.id);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(snap->status, svc::JobStatus::kDone) << snap->result.error;
+  EXPECT_EQ(snap->result.shards, 4u);  // BackendOptions::default_shards
+  sched.shutdown();
+}
+
+TEST(ServiceShard, ShardResultIsStableAcrossRuns) {
+  svc::Scheduler sched(with_backend());
+  auto run_once = [&] {
+    svc::JobSpec spec;
+    spec.graph = kGraph;
+    spec.backend = svc::Backend::kShard;
+    spec.shards = 4;
+    spec.seed = 9;
+    spec.keep_colors = true;
+    const auto submit = sched.submit(spec);
+    EXPECT_TRUE(submit.accepted);
+    const auto snap = sched.wait(submit.id);
+    EXPECT_EQ(snap->status, svc::JobStatus::kDone);
+    return snap->result.colors;
+  };
+  EXPECT_EQ(run_once(), run_once());
+  sched.shutdown();
+}
+
+TEST(ServiceShard, UnconfiguredBackendRejectsAtSubmit) {
+  svc::Scheduler sched;  // no shard backend injected
+  svc::JobSpec spec;
+  spec.graph = kGraph;
+  spec.backend = svc::Backend::kShard;
+  const auto submit = sched.submit(spec);
+  EXPECT_FALSE(submit.accepted);
+  EXPECT_EQ(submit.error, "bad_request");
+  EXPECT_FALSE(submit.detail.empty());
+  sched.shutdown();
+}
+
+}  // namespace
+}  // namespace gcg::shard

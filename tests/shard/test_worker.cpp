@@ -1,0 +1,180 @@
+// shard::Worker — the per-process request core, driven through its
+// typed entry points and its JSON shim (exactly what a WorkerServer
+// socket delivers).
+#include "shard/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/coloring.hpp"
+#include "graph/subgraph.hpp"
+#include "svc/graph_registry.hpp"
+#include "svc/protocol.hpp"
+
+namespace gcg::shard {
+namespace {
+
+constexpr const char* kGraph = "gen:kron-like?scale=0.05&seed=3";
+
+svc::ShardColorRequest color_request(vid_t begin, vid_t end) {
+  svc::ShardColorRequest req;
+  req.graph = kGraph;
+  req.begin = begin;
+  req.end = end;
+  req.seed = 9;
+  req.threads = 2;
+  return req;
+}
+
+TEST(ShardWorker, InteriorColoringIsValidAndGhostBlind) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+  const vid_t half = g->num_vertices() / 2;
+
+  Worker w;
+  const svc::ShardColorReply reply = w.shard_color(color_request(0, half));
+  ASSERT_EQ(reply.colors.size(), half);
+  EXPECT_GT(reply.num_colors, 0);
+
+  // Valid on the induced range: no two in-range neighbors share a color.
+  const RangeSubgraph sub = extract_subgraph(*g, 0, half);
+  EXPECT_FALSE(check::verify_coloring(sub.graph, reply.colors).has_value());
+  EXPECT_EQ(reply.num_boundary, sub.num_boundary);
+  EXPECT_EQ(reply.cut_arcs, sub.cut_arcs);
+}
+
+TEST(ShardWorker, ColorsAreAFunctionOfRangeAndSeedOnly) {
+  // Two workers (fresh registries, fresh state) must produce identical
+  // shard colors — this is the bit-stability the fleet relies on when
+  // shards land on different processes across runs.
+  Worker a, b;
+  const svc::ShardColorReply ra = a.shard_color(color_request(16, 400));
+  const svc::ShardColorReply rb = b.shard_color(color_request(16, 400));
+  EXPECT_EQ(ra.colors, rb.colors);
+
+  // Different seed: same shape, almost surely different colors.
+  svc::ShardColorRequest other = color_request(16, 400);
+  other.seed = 10;
+  const svc::ShardColorReply rc = a.shard_color(other);
+  EXPECT_EQ(rc.colors.size(), ra.colors.size());
+}
+
+TEST(ShardWorker, RejectsRangeOutsideGraph) {
+  Worker w;
+  svc::GraphRegistry local;
+  const vid_t n = local.acquire(kGraph)->num_vertices();
+  EXPECT_THROW(w.shard_color(color_request(0, n + 1)), std::runtime_error);
+}
+
+TEST(ShardWorker, RepairRequiresPriorShardColor) {
+  Worker w;
+  svc::ShardRepairRequest req;
+  req.graph = kGraph;
+  req.begin = 0;
+  req.end = 64;
+  req.seed = 1;
+  req.losers = {3};
+  EXPECT_THROW(w.shard_repair(req), std::runtime_error);
+}
+
+TEST(ShardWorker, RepairRecolorsLosersAgainstGhosts) {
+  svc::GraphRegistry local;
+  const auto g = local.acquire(kGraph);
+  const vid_t half = g->num_vertices() / 2;
+
+  Worker w;
+  const svc::ShardColorReply colored = w.shard_color(color_request(0, half));
+
+  // Pick a boundary vertex and claim every cross-range neighbor wears
+  // its color: the worker must move it off that color.
+  const RangeSubgraph sub = extract_subgraph(*g, 0, half);
+  vid_t loser = half;
+  for (vid_t v = 0; v < half; ++v) {
+    if (sub.is_boundary[v]) {
+      loser = v;
+      break;
+    }
+  }
+  ASSERT_LT(loser, half) << "graph/cut too small: no boundary vertex";
+
+  svc::ShardRepairRequest req;
+  req.graph = kGraph;
+  req.begin = 0;
+  req.end = half;
+  req.seed = 5;
+  req.losers = {loser};
+  const color_t clash = colored.colors[loser];
+  for (const vid_t u : g->neighbors(loser)) {
+    if (u >= half) {
+      req.ghost_ids.push_back(u);
+      req.ghost_colors.push_back(clash);
+    }
+  }
+  ASSERT_FALSE(req.ghost_ids.empty());
+
+  const svc::ShardRepairReply fixed = w.shard_repair(req);
+  ASSERT_EQ(fixed.ids, req.losers);
+  ASSERT_EQ(fixed.colors.size(), 1u);
+  EXPECT_NE(fixed.colors[0], clash);
+  // And the new color cannot clash with any in-range neighbor either.
+  for (const vid_t u : g->neighbors(loser)) {
+    if (u < half && u != loser) {
+      EXPECT_NE(fixed.colors[0], colored.colors[u]);
+    }
+  }
+  EXPECT_GE(fixed.recolored, 1u);
+}
+
+TEST(ShardWorker, RepairRejectsLosersOutsideRange) {
+  Worker w;
+  w.shard_color(color_request(0, 128));
+  svc::ShardRepairRequest req;
+  req.graph = kGraph;
+  req.begin = 0;
+  req.end = 128;
+  req.seed = 1;
+  req.losers = {128};  // first vertex past the range
+  EXPECT_THROW(w.shard_repair(req), std::runtime_error);
+}
+
+// --- JSON shim -------------------------------------------------------------
+
+TEST(ShardWorker, HandleSpeaksTheLineProtocol) {
+  Worker w;
+
+  svc::Json ping{svc::JsonObject{}};
+  ping["op"] = svc::Json("ping");
+  EXPECT_TRUE(w.handle(ping).get_bool("pong", false));
+
+  svc::Json unknown{svc::JsonObject{}};
+  unknown["op"] = svc::Json("frobnicate");
+  EXPECT_EQ(w.handle(unknown).get_string("error", ""), svc::kErrUnknownOp);
+
+  // Typed errors surface as bad_request, not a dead worker.
+  svc::Json bad{svc::JsonObject{}};
+  bad["op"] = svc::Json("shard_color");
+  bad["graph"] = svc::Json(kGraph);
+  bad["begin"] = svc::Json(std::int64_t{10});
+  bad["end"] = svc::Json(std::int64_t{5});  // begin > end
+  bad["seed"] = svc::Json(std::int64_t{1});
+  EXPECT_EQ(w.handle(bad).get_string("error", ""), svc::kErrBadRequest);
+
+  // Version negotiation applies to worker RPCs like any other.
+  svc::Json future{svc::JsonObject{}};
+  future["op"] = svc::Json("ping");
+  future["protocol_version"] = svc::Json(std::int64_t{99});
+  EXPECT_EQ(w.handle(future).get_string("error", ""),
+            svc::kErrUnsupportedVersion);
+
+  // Full round trip: request DTO -> JSON -> handle -> JSON -> reply DTO.
+  const svc::Json wire =
+      svc::shard_color_request_to_json(color_request(0, 200));
+  const svc::Json reply = w.handle(wire);
+  const svc::ShardColorReply dto = svc::shard_color_reply_from_json(reply);
+  EXPECT_EQ(dto.colors.size(), 200u);
+}
+
+}  // namespace
+}  // namespace gcg::shard

@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -267,6 +268,98 @@ TEST(ServerE2E, ShutdownVerbStopsServer) {
   server.stop();
   // Socket is unlinked: a fresh connect attempt fails.
   EXPECT_THROW(Client{server.socket_path()}, std::runtime_error);
+}
+
+TEST(ServerE2E, ProtocolVersionNegotiation) {
+  Server server(small_server(unique_socket_path("ver")));
+  Client client(server.socket_path());
+
+  // The Client stamps protocol_version into requests that lack it; the
+  // server accepts its own version (and, for compatibility, requests
+  // from pre-versioning peers that omit the field entirely).
+  Json ping{JsonObject{}};
+  ping["op"] = Json("ping");
+  EXPECT_TRUE(client.request(ping).get_bool("ok", false));
+
+  // A future version is rejected with a stable code naming the version
+  // this server speaks — that is what lets an old server and a new
+  // client negotiate instead of mis-parsing each other.
+  Json future{JsonObject{}};
+  future["op"] = Json("ping");
+  future["protocol_version"] = Json(std::int64_t{99});
+  const Json reply = client.request(future);
+  EXPECT_FALSE(reply.get_bool("ok", true));
+  EXPECT_EQ(reply.get_string("error", ""), kErrUnsupportedVersion);
+  EXPECT_EQ(reply.get_int("protocol_version", 0), kProtocolVersion);
+
+  // The connection survives the rejection.
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(ServerE2E, ClientConnectRetryRidesOutLateServerStart) {
+  const std::string path = unique_socket_path("late");
+  std::thread late_start([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    Server server(small_server(path));
+    server.wait_for(10000.0);  // until the client's shutdown verb
+    server.stop();
+  });
+
+  ClientOptions copts;
+  copts.connect_timeout_ms = 5000.0;
+  copts.backoff_initial_ms = 5.0;
+  Client client(path, copts);  // no socket yet: must retry, not throw
+  EXPECT_TRUE(client.ping());
+  EXPECT_TRUE(client.shutdown_server());
+  late_start.join();
+}
+
+TEST(ServerE2E, ClientConnectTimeoutEventuallyThrows) {
+  ClientOptions copts;
+  copts.connect_timeout_ms = 150.0;
+  copts.backoff_initial_ms = 10.0;
+  EXPECT_THROW(Client(unique_socket_path("never"), copts),
+               std::runtime_error);
+}
+
+TEST(ServerE2E, RequestTimeoutAgainstSlowHandler) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("slow");
+  Server server(opts, [](const Json&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    Json out{JsonObject{}};
+    out["ok"] = Json(true);
+    return out;
+  });
+
+  ClientOptions copts;
+  copts.request_timeout_ms = 100.0;
+  Client client(server.socket_path(), copts);
+  Json ping{JsonObject{}};
+  ping["op"] = Json("ping");
+  EXPECT_THROW(client.request(ping), std::runtime_error);
+  server.stop();
+}
+
+TEST(ServerE2E, HandlerModeServesCustomReplies) {
+  ServerOptions opts;
+  opts.socket_path = unique_socket_path("hand");
+  Server server(opts, [](const Json& req) {
+    Json out{JsonObject{}};
+    out["ok"] = Json(true);
+    out["echo"] = Json(req.get_string("op", ""));
+    return out;
+  });
+
+  Client client(server.socket_path());
+  Json req{JsonObject{}};
+  req["op"] = Json("anything");
+  EXPECT_EQ(client.request(req).get_string("echo", ""), "anything");
+  // The shutdown verb is intercepted before the handler in both modes.
+  EXPECT_TRUE(client.shutdown_server());
+  EXPECT_TRUE(server.wait_for(5000.0));
+  server.stop();
 }
 
 TEST(ServerE2E, StopUnblocksIdleConnections) {

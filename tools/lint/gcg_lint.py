@@ -7,6 +7,10 @@ Rules (see docs/CORRECTNESS.md for the rationale):
                   src/store/ — page-level lifetime must go through
                   store::Mapping so fallback, hints, and unmap stay in
                   one audited place.
+  raw-process     no direct fork/vfork/exec*/posix_spawn calls outside
+                  src/shard/process.* — child processes must go through
+                  shard::ChildProcess so every child is reaped exactly
+                  once and signal dispositions stay consistent.
   order-comment   every `memory_order_*` site must carry an `// order:`
                   justification — on the same line, or in an `// order:`
                   comment above it with no blank line in between (one
@@ -71,8 +75,9 @@ ORDER_RULE = "order-comment"
 CYCLE_RULE = "include-cycle"
 SEAM_RULE = "sync-seam"
 MMAP_RULE = "raw-mmap"
+PROC_RULE = "raw-process"
 ALL_RULES = sorted(list(TOKEN_RULES) +
-                   [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE])
+                   [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE, PROC_RULE])
 
 # sync-seam: matches std::atomic, std::atomic_flag, std::atomic_thread_fence
 # but NOT std::atomic_ref / std::atomic_signal_fence (outside the seam) —
@@ -91,6 +96,17 @@ MMAP_SCOPE_OK = re.compile(r"(^|/)src/store/")
 MMAP_MESSAGE = ("raw mmap/munmap/madvise/mincore outside src/store/ — go "
                 "through store::Mapping so lifetime, fallback, and paging "
                 "hints stay in one place")
+
+# raw-process: shard::ChildProcess owns every fork/exec. Call-shaped
+# matches, with an optional global-scope `::` (the `(?<![\w.:])` guard
+# still rejects `std::system`-style qualified names and members).
+PROC_TOKEN = re.compile(
+    r"(?<![\w.:])(?:::\s*)?"
+    r"(?:fork|vfork|execl|execle|execlp|execv|execve|execvp|execvpe|"
+    r"posix_spawnp?)\s*\(")
+PROC_SCOPE_OK = re.compile(r"(^|/)src/shard/process\.")
+PROC_MESSAGE = ("raw fork/exec outside src/shard/process.* — spawn through "
+                "shard::ChildProcess so children are reaped exactly once")
 
 ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
@@ -226,6 +242,7 @@ def lint_file(path, raw_text):
 
     in_seam_scope = bool(SEAM_SCOPE.search(path.replace(os.sep, "/")))
     in_store_scope = bool(MMAP_SCOPE_OK.search(path.replace(os.sep, "/")))
+    in_process_scope = bool(PROC_SCOPE_OK.search(path.replace(os.sep, "/")))
 
     for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
         # Deleted special members (`= delete`) are not delete expressions.
@@ -239,6 +256,9 @@ def lint_file(path, raw_text):
         if (not in_store_scope and MMAP_RULE not in here
                 and MMAP_TOKEN.search(code)):
             findings.append(Finding(path, idx, MMAP_RULE, MMAP_MESSAGE))
+        if (not in_process_scope and PROC_RULE not in here
+                and PROC_TOKEN.search(code)):
+            findings.append(Finding(path, idx, PROC_RULE, PROC_MESSAGE))
         if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
             if not order_covered(raw_lines, idx):
                 findings.append(Finding(
@@ -468,6 +488,44 @@ SELF_TEST_CASES = [
      "#include <sys/mman.h>\n"
      "void f(void* p, long n) { munmap(p, n); }"
      "  // lint: allow(raw-mmap) unmapping a region a C library handed us\n",
+     set()),
+    # raw-process: everywhere EXCEPT src/shard/process.* — the case name
+    # is the path the scope check sees.
+    ("src/svc/raw_fork",
+     "#include <unistd.h>\nint f() { return fork(); }\n",
+     {"raw-process"}),
+    ("src/par/raw_global_scope_fork",
+     "#include <unistd.h>\nint f() { return ::fork(); }\n",
+     {"raw-process"}),
+    ("src/graph/raw_execv",
+     "#include <unistd.h>\n"
+     "void f(char** argv) { ::execv(argv[0], argv); }\n",
+     {"raw-process"}),
+    ("src/util/raw_posix_spawn",
+     "#include <spawn.h>\n"
+     "int f(pid_t* p, char** a, char** e) "
+     "{ return posix_spawn(p, a[0], nullptr, nullptr, a, e); }\n",
+     {"raw-process"}),
+    ("src/shard/process",  # lint_file sees "src/shard/process.cpp"
+     "#include <unistd.h>\n"
+     "int f(char** argv) { if (::fork() == 0) ::execv(argv[0], argv); "
+     "return 0; }\n",
+     set()),
+    ("src/shard/worker_fork_not_exempt",
+     "#include <unistd.h>\nint f() { return fork(); }\n",
+     {"raw-process"}),
+    ("src/util/process_named_fn_ok",
+     "int my_fork();\nint f() { return my_fork(); }\n",
+     set()),
+    ("src/util/process_member_ok",
+     # A declaration `int fork();` is call-shaped and would fire, so the
+     # type lives elsewhere; this checks the member/qualified-call guards.
+     "int f(Proc& p) { return p.fork() + Proc::fork(); }\n",
+     set()),
+    ("src/util/process_suppressed_ok",
+     "#include <unistd.h>\n"
+     "int f() { return fork(); }"
+     "  // lint: allow(raw-process) daemonizing before the fleet exists\n",
      set()),
 ]
 
