@@ -1,26 +1,36 @@
-// Degree-aware scheduling on the native backend: schedule (vertex-count
-// vs edge-balanced chunks) crossed with the hub-cooperation path, on a
-// power-law graph (RMAT) against a uniform-degree control (Erdős–Rényi
-// G(n,m) with matched vertex/edge counts). Reports wall time, per-worker
-// busy-time skew (max/mean and CV), hub phase visits, and the wall-clock
-// ratio against the vertex-chunked hub-off baseline (win_vs_vertex > 1
-// means the degree-aware configuration is faster).
+// Raw-speed sweep on the native backend: preprocessing order (natural vs
+// degree-sorted/RCM relabeling) x schedule (vertex-count vs edge-balanced
+// chunks, hub cooperation on/off) x SIMD level (scalar vs runtime-detected
+// AVX2 first-fit), on a power-law graph (RMAT) against a uniform-degree
+// control (Erdős–Rényi G(n,m) with matched vertex/edge counts). Reports
+// coloring wall time, reorder overhead, per-worker busy-time skew
+// (max/mean and CV), and the wall-clock ratio against the
+// natural-order/scalar/vertex-chunked/hub-off baseline (win_vs_base > 1
+// means the configuration colors faster).
 //
 //   bench_par_imbalance [--scale S] [--seed N] [--threads N] [--repeats 3]
+//                       [--orders natural,degree-desc,rcm]
+//                       [--out BENCH_par.json]
 //
-// The uniform control is the null experiment: with no skew to fix, every
-// configuration should tie (win ~ 1.0), while on RMAT the edge-balanced +
-// hub rows should cut the skew and the wall time at >= 4 threads.
+// Emits a machine-readable JSON document (BENCH_par.json) so CI can diff
+// runs, plus the usual ASCII table. The uniform control is the null
+// experiment for the scheduling axis: with no skew to fix, every schedule
+// should tie, while on RMAT the edge-balanced + hub rows should cut the
+// skew. The order and simd axes can win on both graphs (locality and scan
+// throughput do not need skew).
 #include <cmath>
-#include <map>
+#include <fstream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "check/check.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/random.hpp"
+#include "graph/reorder.hpp"
 #include "par/pool.hpp"
 #include "par/runner.hpp"
 #include "util/expect.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -32,18 +42,37 @@ struct Config {
 
 constexpr std::uint32_t kHubOff = 0xFFFFFFFFu;
 
+std::vector<gcg::Order> parse_orders(const std::string& csv) {
+  std::vector<gcg::Order> out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(gcg::order_from_name(tok));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace gcg;
   using namespace gcg::bench;
-  const BenchEnv env =
-      parse_env(argc, argv, "par_imbalance", {"threads", "repeats"});
+  const BenchEnv env = parse_env(argc, argv, "par_imbalance",
+                                 {"threads", "repeats", "orders", "out"});
   const Cli cli(argc, argv);
   const unsigned threads = static_cast<unsigned>(
       cli.get_int("threads",
                   static_cast<std::int64_t>(par::ThreadPool::default_threads())));
   const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const std::vector<Order> orders =
+      parse_orders(cli.get("orders", "natural,degree-desc,rcm"));
+  const std::string out_path = cli.get("out", "BENCH_par.json");
+
+  // SIMD sweep: always scalar, plus the detected level when it is better.
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detect_level() != simd::Level::kScalar) {
+    levels.push_back(simd::detect_level());
+  }
 
   // Power-law graph and a uniform-degree control of matched size.
   const double s = env.suite.scale;
@@ -65,14 +94,17 @@ int main(int argc, char** argv) {
   };
 
   std::cout << "# threads: " << threads << ", repeats: " << repeats
-            << ", rmat: 2^" << lg << " vertices, "
-            << rmat.num_arcs() / 2 << " edges\n";
+            << ", rmat: 2^" << lg << " vertices, " << rmat.num_arcs() / 2
+            << " edges, simd: " << simd::level_name(simd::detect_level())
+            << '\n';
 
-  Table table({"graph", "algorithm", "schedule", "hub", "threads", "wall_ms",
-               "busy_max_over_mean", "busy_cv", "hub_coop", "colors",
-               "win_vs_vertex"});
-  table.title("Degree-aware scheduling vs the vertex-chunked baseline");
+  Table table({"graph", "algorithm", "order", "simd", "schedule", "hub",
+               "wall_ms", "reorder_ms", "busy_max_over_mean", "busy_cv",
+               "colors", "win_vs_base"});
+  table.title("order x schedule x simd vs the natural/scalar/vertex baseline");
 
+  std::ostringstream records;
+  bool first = true;
   par::ThreadPool pool(threads);
   for (const auto& g : graphs) {
     // Generator bugs must not masquerade as scheduling wins.
@@ -84,36 +116,77 @@ int main(int argc, char** argv) {
     for (par::ParAlgorithm algo :
          {par::ParAlgorithm::kSpeculative, par::ParAlgorithm::kJpl}) {
       double base_ms = 0.0;
-      for (const Config& cfg : configs) {
-        par::ParOptions opts;
-        opts.seed = env.seed;
-        opts.schedule = cfg.schedule;
-        opts.hub_degree_threshold = cfg.hub_threshold;
+      for (const simd::Level level : levels) {
+        simd::force_level_for_testing(level);
+        for (const Order order : orders) {
+          for (const Config& cfg : configs) {
+            par::ParOptions opts;
+            opts.seed = env.seed;
+            opts.order = order;
+            opts.schedule = cfg.schedule;
+            opts.hub_degree_threshold = cfg.hub_threshold;
 
-        par::ParRun run;
-        double best = 0.0;
-        for (int r = 0; r < repeats; ++r) {
-          WallTimer timer;
-          par::ParRun attempt = par::run_par_coloring(pool, g.graph, algo, opts);
-          const double ms = timer.elapsed_ms();
-          if (r == 0 || ms < best) {
-            best = ms;
-            run = std::move(attempt);
+            par::ParRun run;
+            for (int r = 0; r < repeats; ++r) {
+              par::ParRun attempt =
+                  par::run_par_coloring(pool, g.graph, algo, opts);
+              if (r == 0 || attempt.wall_ms < run.wall_ms) {
+                run = std::move(attempt);
+              }
+            }
+            GCG_EXPECT(check::is_valid_coloring(g.graph, run.colors));
+            const bool is_base = level == levels.front() &&
+                                 order == Order::kNatural &&
+                                 &cfg == &configs[0];
+            if (is_base) base_ms = run.wall_ms;
+
+            table.add_row({g.name, par_algorithm_name(algo),
+                           order_name(order), simd::level_name(level),
+                           par::schedule_name(cfg.schedule), cfg.hub_name,
+                           run.wall_ms, run.reorder_ms,
+                           run.imbalance.cu_max_over_mean,
+                           run.imbalance.cu_cv,
+                           static_cast<std::int64_t>(run.num_colors),
+                           run.wall_ms > 0.0 ? base_ms / run.wall_ms : 1.0});
+
+            if (!first) records << ",\n";
+            first = false;
+            records << "    {\"graph\": \"" << g.name
+                    << "\", \"algorithm\": \"" << par_algorithm_name(algo)
+                    << "\", \"order\": \"" << order_name(order)
+                    << "\", \"simd\": \"" << simd::level_name(level)
+                    << "\",\n     \"schedule\": \""
+                    << par::schedule_name(cfg.schedule) << "\", \"hub\": \""
+                    << cfg.hub_name << "\", \"threads\": " << threads
+                    << ",\n     \"wall_ms\": " << run.wall_ms
+                    << ", \"reorder_ms\": " << run.reorder_ms
+                    << ", \"busy_max_over_mean\": "
+                    << run.imbalance.cu_max_over_mean
+                    << ", \"busy_cv\": " << run.imbalance.cu_cv
+                    << ",\n     \"colors\": " << run.num_colors
+                    << ", \"win_vs_base\": "
+                    << (run.wall_ms > 0.0 ? base_ms / run.wall_ms : 1.0)
+                    << "}";
           }
         }
-        GCG_EXPECT(check::is_valid_coloring(g.graph, run.colors));
-        if (&cfg == &configs[0]) base_ms = best;
-
-        table.add_row({g.name, par_algorithm_name(algo),
-                       par::schedule_name(cfg.schedule), cfg.hub_name,
-                       static_cast<std::int64_t>(threads), best,
-                       run.imbalance.cu_max_over_mean, run.imbalance.cu_cv,
-                       static_cast<std::int64_t>(run.hub_vertices),
-                       static_cast<std::int64_t>(run.num_colors),
-                       best > 0.0 ? base_ms / best : 1.0});
       }
+      simd::clear_level_override_for_testing();
     }
   }
   table.print(std::cout);
+
+  std::ostringstream doc;
+  doc << "{\n  \"experiment\": \"par_imbalance\",\n  \"scale\": " << s
+      << ",\n  \"seed\": " << env.seed << ",\n  \"threads\": " << threads
+      << ",\n  \"repeats\": " << repeats << ",\n  \"simd_detected\": \""
+      << simd::level_name(simd::detect_level())
+      << "\",\n  \"records\": [\n" << records.str() << "\n  ]\n}\n";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc.str();
+    std::cerr << "wrote " << out_path << '\n';
+  } else {
+    std::cout << doc.str();
+  }
   return 0;
 }

@@ -29,7 +29,8 @@ int usage() {
       << "usage: color_client <verb> [args] [--socket PATH]\n"
          "  submit <graph-spec> [--backend par|sim|shard] [--algorithm NAME]\n"
          "         [--priority random|degree-biased|natural] [--seed N]\n"
-         "         [--threads N] [--deadline-ms MS] [--keep-colors]\n"
+         "         [--threads N] [--order NAME] [--deadline-ms MS]\n"
+         "         [--keep-colors]\n"
          "         [--shards N] [--shard-rounds N] (backend shard)\n"
          "         [--wait] [--count N] [--concurrency C]\n"
          "  status <id> | result <id> | cancel <id>\n"
@@ -49,6 +50,7 @@ gcg::svc::JobSpec spec_from_cli(const gcg::Cli& cli,
   spec.priority = cli.get("priority", "random");
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   spec.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  spec.order = cli.get("order", "");  // par only; service validates the name
   spec.deadline_ms = cli.get_double("deadline-ms", 0.0);
   spec.keep_colors = cli.get_bool("keep-colors");
   spec.shards = static_cast<unsigned>(cli.get_int("shards", 0));

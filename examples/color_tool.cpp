@@ -94,6 +94,9 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
       cli.get("schedule", par::schedule_name(opts.schedule)));
   opts.hub_degree_threshold = static_cast<std::uint32_t>(
       cli.get_int("hub-threshold", opts.hub_degree_threshold));
+  // The runner owns the reorder pipeline (color relabeled, unmap back),
+  // so run.colors below are already in this graph's vertex ids.
+  opts.order = order_from_name(cli.get("order", "natural"));
 
   const par::ParRun run = par::run_par_coloring(g, algo, opts);
   if (const auto violation = check::verify_coloring(g, run.colors)) {
@@ -106,7 +109,12 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
             << "algorithm:   " << par_algorithm_name(algo) << '\n'
             << "colors:      " << run.num_colors << '\n'
             << "iterations:  " << run.iterations << '\n'
-            << "wall time:   " << run.wall_ms << " ms\n"
+            << "wall time:   " << run.wall_ms << " ms\n";
+  if (run.order != Order::kNatural) {
+    std::cout << "order:       " << order_name(run.order) << " ("
+              << run.reorder_ms << " ms reorder)\n";
+  }
+  std::cout
             << "imbalance:   " << run.imbalance.cu_max_over_mean
             << " max/mean worker busy\n"
             << "parallelism: " << q.mean_parallelism
@@ -125,10 +133,14 @@ int run_par(const gcg::Cli& cli, const gcg::Csr& g) {
 // vertex ranges independently, then the coordinator drives bounded
 // rounds of boundary-conflict repair. The workers re-resolve `spec`
 // through their own graph registries, so it must name the same graph we
-// loaded here (a path or a gen: spec — NOT a reordered variant, which
-// is why --order is rejected for this backend in main()).
-int run_shard(const gcg::Cli& cli, const gcg::Csr& g,
-              const std::string& spec) {
+// loaded here. For gen: specs main() supports --order by rewriting the
+// spec with an order= parameter — every worker then resolves the
+// identical reordered graph — and passes `unmap` (perm[old] = new) so
+// the merged colors are reported in the caller's original vertex ids;
+// file-backed graphs still reject --order (workers cannot reproduce the
+// relabeling from a path alone).
+int run_shard(const gcg::Cli& cli, const gcg::Csr& g, const std::string& spec,
+              const std::vector<gcg::vid_t>& unmap) {
   using namespace gcg;
   shard::CoordinatorOptions copts;
   copts.workers = static_cast<unsigned>(cli.get_int("workers", 2));
@@ -144,10 +156,18 @@ int run_shard(const gcg::Cli& cli, const gcg::Csr& g,
   job.algorithm = cli.get("algorithm", "jpl");
 
   shard::ShardRunStats st;
-  const std::vector<color_t> colors = coord.color(g, job, &st);
+  std::vector<color_t> colors = coord.color(g, job, &st);
   if (const auto violation = check::verify_coloring(g, colors)) {
     std::cerr << "INVALID COLORING: " << violation->to_string() << '\n';
     return kExitInvalidColoring;
+  }
+  if (!unmap.empty()) {
+    // Back to the pre-reorder vertex ids (validity is label-invariant).
+    std::vector<color_t> original(colors.size());
+    for (vid_t v = 0; v < static_cast<vid_t>(colors.size()); ++v) {
+      original[v] = colors[unmap[v]];
+    }
+    colors = std::move(original);
   }
 
   const QualityReport q = analyze_quality(g, colors);
@@ -224,13 +244,36 @@ int main(int argc, char** argv) {
     }
     const std::string backend = cli.get("backend", "sim");
     const Order order = order_from_name(cli.get("order", "natural"));
+    std::string shard_spec = spec;
+    std::vector<vid_t> shard_unmap;  // perm[old] = new when shard reorders
     if (order != Order::kNatural) {
-      if (backend == "shard") {
-        std::cerr << "error: --order is not supported with --backend shard "
-                     "(workers load the unmodified graph)\n";
-        return 2;
+      if (backend == "par") {
+        // Threaded through ParOptions in run_par: the runner colors the
+        // relabeled graph and unmaps, so g stays as loaded here.
+      } else if (backend == "shard") {
+        // Safe only when every worker can reproduce the exact reordered
+        // graph from the spec string: gen: specs grow an order= parameter
+        // (the registry relabels deterministically after generating);
+        // file paths and the seed-dependent random order stay rejected.
+        if (spec.rfind("gen:", 0) != 0) {
+          std::cerr << "error: --order with --backend shard requires a gen: "
+                       "spec (workers cannot reproduce a reordered file "
+                       "graph)\n";
+          return 2;
+        }
+        if (order == Order::kRandom) {
+          std::cerr << "error: --order random is not supported with "
+                       "--backend shard (the shuffle depends on the "
+                       "generator seed embedded in the spec)\n";
+          return 2;
+        }
+        shard_unmap = make_order(g, order);
+        g = apply_order(g, shard_unmap);
+        shard_spec += shard_spec.find('?') == std::string::npos ? "?" : "&";
+        shard_spec += std::string("order=") + order_name(order);
+      } else {
+        g = reorder(g, order);
       }
-      g = reorder(g, order);
     }
 
     if (cli.get_bool("stats")) {
@@ -240,7 +283,7 @@ int main(int argc, char** argv) {
 
     if (backend == "sim") return run_sim(cli, g);
     if (backend == "par") return run_par(cli, g);
-    if (backend == "shard") return run_shard(cli, g, spec);
+    if (backend == "shard") return run_shard(cli, g, shard_spec, shard_unmap);
     std::cerr << "error: unknown backend '" << backend
               << "' (sim|par|shard)\n";
     return 2;

@@ -12,11 +12,12 @@
 // identical to the per-worker path's.
 #pragma once
 
-#include <atomic>  // std::atomic_ref (deliberately outside the sync:: seam)
+#include <atomic>  // std::memory_order (order args keep their std:: spelling)
 #include <span>
 #include <vector>
 
 #include "par/detail/driver.hpp"
+#include "util/simd.hpp"
 #include "util/sync.hpp"
 
 namespace gcg::par::detail {
@@ -36,48 +37,58 @@ SchedulePlan make_plan(const Csr& g, const ParOptions& opts, unsigned workers);
 /// Neighbours per slice when the team cooperates on one hub's adjacency.
 inline constexpr std::uint32_t kHubSliceGrain = 2048;
 
-/// Shared forbidden-color mask for cooperative hub first-fit; sized once
-/// for the largest possible hub.
+/// Per-worker forbidden-color masks for cooperative hub first-fit; one
+/// stripe per worker, sized once for the largest possible hub. Private
+/// stripes mean the slice loop marks colors with plain stores — no
+/// per-neighbour atomic RMW traffic on a shared cache line — and the
+/// stripes are OR-reduced after the barrier.
 struct HubScratch {
-  explicit HubScratch(vid_t max_degree)
-      : mask((static_cast<std::size_t>(max_degree) + 1 + 63) / 64, 0) {}
+  HubScratch(vid_t max_degree, unsigned workers)
+      : nwords((static_cast<std::size_t>(max_degree) + 1 + 63) / 64),
+        mask(nwords * workers, 0) {}
+
+  std::uint64_t* worker_mask(unsigned w) { return mask.data() + w * nwords; }
+
+  std::size_t nwords;  ///< words per worker stripe
   std::vector<std::uint64_t> mask;
 };
 
 /// All workers cooperatively compute the first-fit color of one hub: each
-/// scans slices of v's adjacency and ORs forbidden colors into the shared
-/// bitset (fetch_or is commutative, so the mask — and the returned color —
-/// is independent of the slicing), then the caller finds the first zero
-/// bit. Must be called outside any parallel region.
+/// scans slices of v's adjacency and ORs forbidden colors into its own
+/// mask stripe; the caller OR-reduces the stripes (commutative, so the
+/// merged mask — and the returned color — is independent of the slicing)
+/// and finds the first zero bit, both through the simd:: seam. Must be
+/// called outside any parallel region.
 inline color_t coop_first_fit(DriverState& st, HubScratch& hs, vid_t v) {
   const vid_t deg = st.g.degree(v);
   const std::size_t limit = static_cast<std::size_t>(deg) + 1;
   const std::size_t nw = (limit + 63) / 64;
-  std::fill_n(hs.mask.begin(), nw, std::uint64_t{0});
+  const unsigned workers = st.pool.size();
+  for (unsigned w = 0; w < workers; ++w) {
+    simd::clear_words(hs.worker_mask(w), nw);
+  }
   const vid_t* nbrs = st.g.col_indices().data() + st.g.offset(v);
   st.pool.parallel_for(
       deg, kHubSliceGrain,
       [&](std::uint32_t b, std::uint32_t e, unsigned w) {
         BusyTimer timer(st.run.workers[w]);
+        std::uint64_t* mine = hs.worker_mask(w);
         for (std::uint32_t i = b; i < e; ++i) {
           const auto c =
               static_cast<std::uint32_t>(load_color(st.colors[nbrs[i]]));
-          if (c < limit) {
-            // order: relaxed — fetch_or is commutative and the pool
-            // barrier below publishes the full mask before it is scanned.
-            std::atomic_ref<std::uint64_t>(hs.mask[c >> 6])
-                .fetch_or(std::uint64_t{1} << (c & 63),
-                          std::memory_order_relaxed);
-          }
+          if (c < limit) mine[c >> 6] |= std::uint64_t{1} << (c & 63);
         }
       });
-  // The pool barrier orders the relaxed ORs before these plain reads.
-  for (std::size_t k = 0;; ++k) {
-    if (hs.mask[k] != ~std::uint64_t{0}) {
-      return static_cast<color_t>(
-          k * 64 + static_cast<std::size_t>(std::countr_one(hs.mask[k])));
-    }
+  // The pool barrier publishes every stripe before these plain reads.
+  std::uint64_t* merged = hs.worker_mask(0);
+  for (unsigned w = 1; w < workers; ++w) {
+    simd::or_words(merged, hs.worker_mask(w), nw);
   }
+  // A zero bit below `limit` always exists (deg neighbours, deg+1 slots).
+  const std::size_t k = simd::first_not_full_word(merged, nw);
+  GCG_ASSERT(k < nw);
+  return static_cast<color_t>(
+      k * 64 + static_cast<std::size_t>(std::countr_one(merged[k])));
 }
 
 /// True if any neighbour of the hub satisfies pred; workers scan slices
@@ -132,7 +143,10 @@ class FrontierExec {
     wsize_ = n - static_cast<std::uint32_t>(hubs_.size());
     dense_ = wsize_ >= plan_.dense_min;
     if (dense_) {
-      stamps_.assign(n, round_);
+      // First-touched in worker slices: the stamp bitmap is the densest
+      // per-run array after colors and is scanned by the same contiguous
+      // vertex ranges the schedulers hand out.
+      stamps_ = FirstTouchArray<std::uint32_t>(st_.pool, n, round_);
       for (vid_t v : hubs_) stamps_[v] = 0;  // hubs never take the flat path
     } else {
       worklist_.reserve(wsize_);
@@ -300,7 +314,7 @@ class FrontierExec {
   SchedulePlan plan_;
   std::vector<vid_t> worklist_, next_;    ///< sparse mode (normals only)
   std::vector<std::uint64_t> prefix_;     ///< sparse degree prefix (size+1)
-  std::vector<std::uint32_t> stamps_;     ///< dense mode: active-iff ==round_
+  FirstTouchArray<std::uint32_t> stamps_;  ///< dense mode: active-iff ==round_
   std::vector<vid_t> hubs_, next_hubs_;   ///< active hubs, ascending
   std::uint32_t wsize_ = 0;               ///< active normal vertices
   std::uint32_t round_ = 1;               ///< stamp epoch

@@ -12,6 +12,7 @@
 #include "coloring/common.hpp"
 #include "coloring/priorities.hpp"
 #include "graph/csr.hpp"
+#include "graph/reorder.hpp"
 #include "metrics/imbalance.hpp"
 #include "sched/steal_queues.hpp"  // VictimPolicy, StealStats
 
@@ -52,6 +53,18 @@ struct ParOptions {
   PriorityMode priority = PriorityMode::kRandom;
   std::uint64_t seed = 1;
   unsigned max_iterations = 1u << 20;  ///< safety cap
+
+  /// Preprocessing vertex reordering (graph/reorder.hpp): the run colors
+  /// a relabeled copy of the graph and transparently unmaps the colors
+  /// back to the caller's vertex ids, so ParRun::colors[v] always refers
+  /// to the input graph's v. Degree-sorted and bandwidth-reducing orders
+  /// tighten the frontier's memory locality and group similar degrees
+  /// into the same chunks (the paper's layout lever); the permutation
+  /// cost is reported separately in ParRun::reorder_ms so the tradeoff
+  /// stays visible. kRandom uses `seed`. Note the *coloring* generally
+  /// changes with the order (greedy first-fit is order-dependent) but
+  /// stays deterministic for a fixed (order, seed, algorithm).
+  Order order = Order::kNatural;
 
   // --- scheduling of the vertex-parallel phases (speculative / jpl) ---
   /// Frontier partitioning policy. kEdgeBalanced keeps the chunk *count*
@@ -102,7 +115,12 @@ struct ParRun {
   /// True if opts.should_cancel stopped the run before completion; the
   /// coloring is then partial (uncolored slots hold kUncolored).
   bool cancelled = false;
-  double wall_ms = 0.0;          ///< steady_clock time for the whole run
+  double wall_ms = 0.0;          ///< steady_clock time for the coloring
+                                 ///< itself (excludes reorder_ms)
+  /// Preprocessing order applied (kNatural = none) and what the
+  /// permutation + relabeling + unmap cost on top of wall_ms.
+  Order order = Order::kNatural;
+  double reorder_ms = 0.0;
   /// Hub-vertex passes run cooperatively (whole team on one adjacency
   /// list); 0 when the hub path was disabled or never triggered.
   std::uint64_t hub_vertices = 0;

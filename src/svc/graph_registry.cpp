@@ -9,6 +9,7 @@
 
 #include "graph/gen/suite.hpp"
 #include "graph/io/io.hpp"
+#include "graph/reorder.hpp"
 
 namespace gcg::svc {
 
@@ -24,9 +25,15 @@ struct GenSpec {
   std::string name;
   double scale = 1.0;
   std::uint64_t seed = 1;
+  /// Deterministic relabeling applied after generation (kRandom uses
+  /// `seed`). Part of the spec — and so of the canonical cache key —
+  /// which is what lets every shard worker resolve the *identical*
+  /// reordered graph from the spec string alone.
+  Order order = Order::kNatural;
 };
 
-/// Parses "gen:<name>[?scale=S][&seed=N]" (params in any order).
+/// Parses "gen:<name>[?scale=S][&seed=N][&order=O]" (params in any
+/// order).
 GenSpec parse_gen_spec(const std::string& spec) {
   GenSpec out;
   std::string rest = spec.substr(std::string(kGenPrefix).size());
@@ -62,10 +69,17 @@ GenSpec parse_gen_spec(const std::string& spec) {
       if (ec != std::errc() || p != e) {
         throw std::invalid_argument("registry: bad seed \"" + val + "\"");
       }
+    } else if (key == "order") {
+      try {
+        out.order = order_from_name(val);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("registry: bad order \"" + val +
+                                    "\" in \"" + spec + "\"");
+      }
     } else {
       throw std::invalid_argument("registry: unknown parameter \"" + key +
                                   "\" in \"" + spec +
-                                  "\" (supported: scale, seed)");
+                                  "\" (supported: scale, seed, order)");
     }
     pos = amp + 1;
   }
@@ -112,8 +126,13 @@ std::string GraphRegistry::canonical_key(const std::string& spec) {
   }
   if (is_gen_spec(spec)) {
     const GenSpec g = parse_gen_spec(spec);
-    return std::string(kGenPrefix) + g.name + "?scale=" +
-           format_scale(g.scale) + "&seed=" + std::to_string(g.seed);
+    std::string key = std::string(kGenPrefix) + g.name + "?scale=" +
+                      format_scale(g.scale) + "&seed=" + std::to_string(g.seed);
+    // kNatural is omitted so pre-order specs keep their exact old keys.
+    if (g.order != Order::kNatural) {
+      key += std::string("&order=") + order_name(g.order);
+    }
+    return key;
   }
   // Absolutize first: weakly_canonical leaves a relative path untouched
   // when no prefix of it exists, which would make "x.mtx" and "./x.mtx"
@@ -166,8 +185,11 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
       SuiteOptions sopts;
       sopts.scale = g.scale;
       sopts.seed = g.seed;
-      graph = std::make_shared<const Csr>(
-          make_suite_graph(g.name, sopts).graph);
+      Csr generated = make_suite_graph(g.name, sopts).graph;
+      if (g.order != Order::kNatural) {
+        generated = reorder(generated, g.order, g.seed);
+      }
+      graph = std::make_shared<const Csr>(std::move(generated));
     } else if (opts_.mmap_store && has_gbin_extension(key) &&
                store::is_gbin_v2_file(key)) {
       // Zero-copy path: the cached shared_ptr aliases the MappedGraph's

@@ -39,6 +39,12 @@ struct JobSpec {
   std::uint32_t grain = 0;      ///< par only: chunk grain; 0 = backend default
   std::string schedule;         ///< par only: "vertex"|"edge"; "" = default
   std::uint32_t hub_threshold = 0;  ///< par only: hub degree cutoff; 0 = auto
+  /// par only: preprocessing vertex order ("degree-desc", "rcm", ...;
+  /// graph/reorder.hpp names); "" = natural. Colors come back in the
+  /// graph's original vertex ids regardless. For kShard use a gen: spec
+  /// with an order= parameter instead (the workers must resolve the
+  /// reordered graph themselves).
+  std::string order;
   double deadline_ms = 0.0;     ///< from submit; 0 = no deadline
   bool keep_colors = false;     ///< retain the full color array in the result
   unsigned shards = 0;          ///< shard only: partition count; 0 = default

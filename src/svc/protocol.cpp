@@ -201,6 +201,21 @@ JobSpec job_spec_from_json(const Json& req) {
     throw std::runtime_error("\"hub_threshold\" must be in [0, 4294967295]");
   }
   spec.hub_threshold = static_cast<std::uint32_t>(hub);
+  spec.order = req.get_string("order", "");
+  if (!spec.order.empty()) {
+    try {
+      order_from_name(spec.order);
+    } catch (const std::exception&) {
+      throw std::runtime_error(
+          "\"order\" must be one of natural, random, degree-desc, "
+          "degree-asc, bfs, rcm");
+    }
+    if (spec.backend != Backend::kPar) {
+      throw std::runtime_error(
+          "\"order\" requires backend par — for shard, put an order= "
+          "parameter in a gen: graph spec instead");
+    }
+  }
   spec.deadline_ms = req.get_double("deadline_ms", 0.0);
   if (spec.deadline_ms < 0.0) {
     throw std::runtime_error("\"deadline_ms\" must be >= 0");
@@ -230,6 +245,7 @@ Json job_spec_to_json(const JobSpec& spec) {
   out["grain"] = Json(static_cast<std::int64_t>(spec.grain));
   if (!spec.schedule.empty()) out["schedule"] = Json(spec.schedule);
   out["hub_threshold"] = Json(static_cast<std::int64_t>(spec.hub_threshold));
+  if (!spec.order.empty()) out["order"] = Json(spec.order);
   out["deadline_ms"] = Json(spec.deadline_ms);
   out["keep_colors"] = Json(spec.keep_colors);
   if (spec.shards != 0) {

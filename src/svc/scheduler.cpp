@@ -282,6 +282,11 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
       if (!job->spec.schedule.empty()) {
         popts.schedule = par::schedule_from_name(job->spec.schedule);
       }
+      if (!job->spec.order.empty()) {
+        // Validated at the protocol boundary; the runner reorders, colors
+        // the relabeled graph, and unmaps back to the caller's vertex ids.
+        popts.order = order_from_name(job->spec.order);
+      }
       popts.hub_degree_threshold = job->spec.hub_threshold;
       JobRecord* rec = job.get();
       popts.should_cancel = [rec, has_deadline, deadline] {

@@ -1,0 +1,181 @@
+#include "util/numa.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#if defined(GCG_HAVE_LIBNUMA)
+#include <numa.h>
+#endif
+
+namespace gcg::numa {
+
+namespace {
+
+/// All CPU ids the process could use, as a single-node fallback set.
+std::vector<int> all_cpus() {
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) hc = 1;
+  std::vector<int> cpus(hc);
+  for (unsigned i = 0; i < hc; ++i) cpus[i] = static_cast<int>(i);
+  return cpus;
+}
+
+Topology single_node_fallback() {
+  Topology topo;
+  topo.node_cpus.push_back(all_cpus());
+  topo.real = false;
+  return topo;
+}
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids; false on garbage.
+bool parse_cpulist(const std::string& text, std::vector<int>& out) {
+  const char* p = text.data();
+  const char* end = p + text.size();
+  while (p < end && (*p == '\n' || *p == ' ')) ++p;
+  while (p < end) {
+    int lo = 0;
+    auto r = std::from_chars(p, end, lo);
+    if (r.ec != std::errc{}) return false;
+    p = r.ptr;
+    int hi = lo;
+    if (p < end && *p == '-') {
+      r = std::from_chars(p + 1, end, hi);
+      if (r.ec != std::errc{} || hi < lo) return false;
+      p = r.ptr;
+    }
+    for (int c = lo; c <= hi; ++c) out.push_back(c);
+    if (p < end && *p == ',') {
+      ++p;
+      continue;
+    }
+    while (p < end && (*p == '\n' || *p == ' ')) ++p;
+    break;
+  }
+  return !out.empty();
+}
+
+/// Sysfs scan: /sys/devices/system/node/node<k>/cpulist for k = 0, 1, ...
+/// Node ids are assumed dense from 0 (true on Linux for online nodes that
+/// matter here); the scan stops at the first missing node directory.
+bool detect_from_sysfs(Topology& topo) {
+  for (int node = 0;; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in.is_open()) break;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::vector<int> cpus;
+    if (!parse_cpulist(text, cpus)) return false;
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+  return !topo.node_cpus.empty();
+}
+
+#if defined(GCG_HAVE_LIBNUMA)
+bool detect_from_libnuma(Topology& topo) {
+  if (numa_available() < 0) return false;
+  const int max_node = numa_max_node();
+  struct bitmask* mask = numa_allocate_cpumask();
+  if (mask == nullptr) return false;
+  for (int node = 0; node <= max_node; ++node) {
+    if (numa_node_to_cpus(node, mask) != 0) continue;
+    std::vector<int> cpus;
+    for (unsigned c = 0; c < mask->size; ++c) {
+      if (numa_bitmask_isbitset(mask, c)) cpus.push_back(static_cast<int>(c));
+    }
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+  numa_free_cpumask(mask);
+  return !topo.node_cpus.empty();
+}
+#endif
+
+}  // namespace
+
+Topology detect_topology() {
+  if (const char* fake = std::getenv("GCG_NUMA_FAKE_NODES")) {
+    int k = 0;
+    const auto r = std::from_chars(fake, fake + std::string(fake).size(), k);
+    if (r.ec == std::errc{} && k >= 1 && k <= 1024) {
+      Topology topo;
+      for (int i = 0; i < k; ++i) topo.node_cpus.push_back(all_cpus());
+      topo.real = false;  // fabricated nodes share CPUs: never pin
+      return topo;
+    }
+  }
+  Topology topo;
+#if defined(GCG_HAVE_LIBNUMA)
+  if (detect_from_libnuma(topo)) {
+    topo.real = topo.node_cpus.size() > 1;
+    return topo;
+  }
+  topo.node_cpus.clear();
+#endif
+  if (detect_from_sysfs(topo)) {
+    topo.real = topo.node_cpus.size() > 1;
+    return topo;
+  }
+  return single_node_fallback();
+}
+
+std::vector<unsigned> assign_worker_nodes(unsigned workers,
+                                          const Topology& topo) {
+  std::vector<unsigned> nodes(workers, 0);
+  const std::size_t n = topo.num_nodes();
+  if (workers == 0 || n <= 1) return nodes;
+
+  std::size_t total_cpus = 0;
+  for (const auto& cpus : topo.node_cpus) total_cpus += cpus.size();
+  if (total_cpus == 0) return nodes;
+
+  // Largest-remainder apportionment of `workers` over the nodes, weighted
+  // by CPU count, then contiguous worker-id blocks in node order.
+  std::vector<unsigned> quota(n, 0);
+  unsigned assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    quota[i] = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(workers) * topo.node_cpus[i].size()) /
+        total_cpus);
+    assigned += quota[i];
+  }
+  for (std::size_t i = 0; assigned < workers; i = (i + 1) % n) {
+    ++quota[i];
+    ++assigned;
+  }
+  unsigned w = 0;
+  for (std::size_t i = 0; i < n && w < workers; ++i) {
+    for (unsigned k = 0; k < quota[i] && w < workers; ++k) {
+      nodes[w++] = static_cast<unsigned>(i);
+    }
+  }
+  return nodes;
+}
+
+bool pin_current_thread_to_node(const Topology& topo, unsigned node) {
+  if (!topo.real || node >= topo.num_nodes()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int cpu : topo.node_cpus[node]) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace gcg::numa

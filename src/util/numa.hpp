@@ -1,0 +1,46 @@
+// Minimal NUMA topology discovery for the NUMA-aware ThreadPool. Reads
+// the Linux sysfs node tree (or libnuma when the build found it — see
+// GCG_HAVE_LIBNUMA in src/util/CMakeLists.txt); on single-node machines,
+// non-Linux hosts, or any parse failure it degrades to one node holding
+// every CPU, which makes every consumer behave exactly as before this
+// seam existed.
+//
+// Test override: GCG_NUMA_FAKE_NODES=<k> in the environment fabricates a
+// k-node topology in which every node owns the full CPU set and
+// `real == false`. That exercises the multi-node worker assignment and
+// node-local stealing logic on machines (like CI) with one physical node,
+// without ever pinning a thread to a CPU it should not run on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gcg::numa {
+
+struct Topology {
+  /// CPU ids per node, node-indexed; never empty (fallback = 1 node).
+  std::vector<std::vector<int>> node_cpus;
+  /// True only for a genuine multi-node machine topology — the only case
+  /// in which pinning threads to node CPU sets is meaningful.
+  bool real = false;
+
+  std::size_t num_nodes() const { return node_cpus.size(); }
+};
+
+/// Discovers the topology: GCG_NUMA_FAKE_NODES override first, then
+/// libnuma (if built in), then sysfs, then the single-node fallback.
+/// Not cached — callers (pool construction, stats) are rare.
+Topology detect_topology();
+
+/// Node of each of `workers` workers under `topo`: contiguous blocks,
+/// sized proportionally to each node's CPU count (largest-remainder), so
+/// workers that share a node get adjacent worker ids — which keeps the
+/// contiguous vertex ranges they color adjacent in memory too.
+std::vector<unsigned> assign_worker_nodes(unsigned workers,
+                                          const Topology& topo);
+
+/// Restricts the calling thread to `node`'s CPUs. Returns false (and
+/// does nothing) unless `topo.real` and the syscall succeeds.
+bool pin_current_thread_to_node(const Topology& topo, unsigned node);
+
+}  // namespace gcg::numa

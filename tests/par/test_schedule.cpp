@@ -216,6 +216,42 @@ TEST(FirstFitScratchTest, StampFallbackCoversDegreesAboveTheBitsetCap) {
   EXPECT_EQ(scratch.first_fit(g, colors, 0), naive_first_fit(g, colors, 0));
 }
 
+TEST(FirstFitScratchTest, StampFallbackStartWordHintStaysExact) {
+  // Regression for the quadratic rescan above the bitset cap: repeated
+  // fallback calls on a hub restart their scan at the hinted word — but
+  // the hint is only an accelerator, never allowed to change the answer,
+  // including when previously-forbidden low colors are freed again.
+  const Csr g = make_star(5000);
+  ASSERT_GT(g.max_degree() + 1, par::detail::FirstFitScratch::kBitsetColorCap);
+  par::detail::FirstFitScratch scratch(g.max_degree());
+  std::vector<color_t> colors(g.num_vertices(), kUncolored);
+  for (vid_t leaf = 1; leaf <= 4500; ++leaf) {
+    colors[leaf] = static_cast<color_t>(leaf - 1);  // leaves use 0..4499
+  }
+
+  std::uint32_t hint = 0;
+  EXPECT_EQ(scratch.first_fit(g, colors, 0, &hint), 4500);
+  EXPECT_EQ(hint, 4500u / 64u);  // answer word, proven saturated below
+
+  // Steady state: the hinted rescan must reproduce the exact answer.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(scratch.first_fit(g, colors, 0, &hint),
+              naive_first_fit(g, colors, 0))
+        << repeat;
+  }
+
+  // Free a low color: the words below the hint are no longer saturated,
+  // so the hint must be ignored (not trusted) and the freed color found.
+  colors[101] = kUncolored;  // color 100 is now available again
+  EXPECT_EQ(scratch.first_fit(g, colors, 0, &hint), 100);
+  EXPECT_EQ(scratch.first_fit(g, colors, 0, &hint),
+            naive_first_fit(g, colors, 0));
+
+  // Re-taking the color restores the original answer.
+  colors[101] = 100;
+  EXPECT_EQ(scratch.first_fit(g, colors, 0, &hint), 4500);
+}
+
 // --- FrontierAppender wraparound guard ---------------------------------------
 
 #if GTEST_HAS_DEATH_TEST && !defined(__SANITIZE_THREAD__)

@@ -33,6 +33,21 @@ ShardJob job_for(const char* graph, unsigned shards) {
   return job;
 }
 
+TEST(ShardCoordinator, GenSpecWithOrderParamColorsTheReorderedGraph) {
+  // An order= parameter inside the gen spec travels with the spec string,
+  // so every worker regenerates and relabels the identical graph — this
+  // is the sanctioned way to reorder a sharded run.
+  constexpr const char* kOrdered = "gen:kron-like?scale=0.1&seed=2&order=rcm";
+  svc::GraphRegistry registry;
+  const auto g = registry.acquire(kOrdered);
+  Coordinator coord(in_process(2));
+  ShardRunStats st;
+  const std::vector<color_t> colors = coord.color(*g, job_for(kOrdered, 4), &st);
+  ASSERT_EQ(colors.size(), g->num_vertices());
+  EXPECT_FALSE(check::verify_coloring(*g, colors).has_value());
+  EXPECT_EQ(st.shards, 4u);
+}
+
 TEST(ShardCoordinator, FourShardsTwoWorkersValidColoring) {
   svc::GraphRegistry local;
   const auto g = local.acquire(kGraph);

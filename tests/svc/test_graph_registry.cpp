@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -9,6 +10,7 @@
 
 #include "graph/gen/special.hpp"
 #include "graph/io/io.hpp"
+#include "graph/reorder.hpp"
 
 namespace gcg::svc {
 namespace {
@@ -24,6 +26,42 @@ TEST(RegistryKey, GenSpecCanonicalizes) {
   // Same graph, differently written spec -> same key.
   EXPECT_EQ(GraphRegistry::canonical_key("gen:er-like?scale=0.5"),
             GraphRegistry::canonical_key("gen:er-like?seed=1&scale=0.500"));
+}
+
+TEST(RegistryKey, OrderParamCanonicalizes) {
+  // Explicit natural order collapses onto the pre-order spelling, so all
+  // keys that existed before the order parameter stay byte-identical.
+  EXPECT_EQ(GraphRegistry::canonical_key("gen:rmat-like?order=natural"),
+            "gen:rmat-like?scale=1&seed=1");
+  EXPECT_EQ(GraphRegistry::canonical_key("gen:rmat-like?order=degree-desc"),
+            "gen:rmat-like?scale=1&seed=1&order=degree-desc");
+  // Parameter order in the spec does not matter; the key is canonical.
+  EXPECT_EQ(
+      GraphRegistry::canonical_key("gen:er-like?order=rcm&seed=3&scale=0.50"),
+      GraphRegistry::canonical_key("gen:er-like?scale=0.5&order=rcm&seed=3"));
+  EXPECT_THROW(GraphRegistry::canonical_key("gen:er-like?order=bogus"),
+               std::invalid_argument);
+}
+
+TEST(Registry, OrderSpecYieldsTheReorderedGraph) {
+  GraphRegistry reg;
+  const auto base = reg.acquire("gen:ecology-like?scale=0.02&seed=1");
+  const auto ordered =
+      reg.acquire("gen:ecology-like?scale=0.02&seed=1&order=degree-desc");
+  ASSERT_NE(base.get(), ordered.get());  // distinct cache entries
+  ASSERT_EQ(base->num_vertices(), ordered->num_vertices());
+  ASSERT_EQ(base->num_arcs(), ordered->num_arcs());
+
+  // The registry must apply exactly reorder(generated, order, gen seed):
+  // that determinism is what lets every shard worker resolve the same
+  // relabeled graph from the spec string alone.
+  const Csr expected = reorder(*base, Order::kDegreeDescending, 1);
+  for (vid_t v = 0; v < ordered->num_vertices(); ++v) {
+    const auto got = ordered->neighbors(v);
+    const auto want = expected.neighbors(v);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+        << "vertex " << v;
+  }
 }
 
 TEST(RegistryKey, MalformedGenSpecsThrow) {

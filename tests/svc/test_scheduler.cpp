@@ -93,6 +93,52 @@ TEST(Scheduler, SchedulingKnobsReachTheParBackend) {
   }
 }
 
+TEST(Scheduler, OrderKnobReachesTheParBackend) {
+  Scheduler sched(small_opts());
+  // Every order must complete, verify on the ORIGINAL vertex ids (the
+  // runner unmaps), and return a full-size assignment.
+  for (const char* order : {"", "degree-desc", "rcm", "random"}) {
+    JobSpec spec = par_job(kTinySkewed, "jpl");
+    spec.order = order;
+    spec.keep_colors = true;
+    const auto sub = sched.submit(std::move(spec));
+    ASSERT_TRUE(sub.accepted) << order;
+    const auto snap = sched.wait(sub.id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->status, JobStatus::kDone)
+        << order << ": " << snap->result.error;
+    EXPECT_TRUE(snap->result.verified) << order;
+    EXPECT_FALSE(snap->result.colors.empty()) << order;
+  }
+}
+
+TEST(Scheduler, ProtocolValidatesOrderKnob) {
+  Scheduler sched(small_opts());
+  // Unknown order names are rejected at parse time.
+  const Json bad = handle_request_line(
+      sched, std::string("{\"op\":\"submit\",\"graph\":\"") + kTiny +
+                 "\",\"order\":\"bogus\"}");
+  EXPECT_FALSE(bad.get_bool("ok", true));
+  EXPECT_EQ(bad.get_string("error", ""), kErrBadRequest);
+
+  // The reorder pipeline is par-only: shard workers cannot reproduce a
+  // job-level order (they resolve graphs from the spec string), and the
+  // sim backend has no pipeline at all.
+  for (const char* backend : {"shard", "sim"}) {
+    const Json rejected = handle_request_line(
+        sched, std::string("{\"op\":\"submit\",\"graph\":\"") + kTiny +
+                   "\",\"backend\":\"" + backend + "\",\"order\":\"rcm\"}");
+    EXPECT_FALSE(rejected.get_bool("ok", true)) << backend;
+    EXPECT_EQ(rejected.get_string("error", ""), kErrBadRequest) << backend;
+  }
+
+  const Json good = handle_request_line(
+      sched, std::string("{\"op\":\"submit\",\"graph\":\"") + kTiny +
+                 "\",\"order\":\"degree-desc\",\"wait\":true}");
+  EXPECT_TRUE(good.get_bool("ok", false)) << good.dump();
+  EXPECT_EQ(good.get_string("status", ""), "done");
+}
+
 TEST(Scheduler, ProtocolValidatesSchedulingKnobs) {
   Scheduler sched(small_opts());
   // An unknown schedule name must be rejected at parse time, before the

@@ -1,0 +1,98 @@
+// NUMA topology detection and worker->node apportionment. Real multi-node
+// hardware is not assumed anywhere: the GCG_NUMA_FAKE_NODES override
+// fabricates a k-node topology (marked not-real, so nothing ever pins),
+// which is how single-node CI exercises the multi-node code paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/numa.hpp"
+
+namespace gcg {
+namespace {
+
+class FakeNodesGuard {
+ public:
+  explicit FakeNodesGuard(const char* value) {
+    setenv("GCG_NUMA_FAKE_NODES", value, 1);
+  }
+  ~FakeNodesGuard() { unsetenv("GCG_NUMA_FAKE_NODES"); }
+};
+
+TEST(NumaTopologyTest, DetectionAlwaysYieldsAUsableTopology) {
+  const numa::Topology topo = numa::detect_topology();
+  ASSERT_GE(topo.num_nodes(), 1u);
+  for (const auto& cpus : topo.node_cpus) {
+    EXPECT_FALSE(cpus.empty());
+  }
+  if (topo.num_nodes() == 1) {
+    EXPECT_FALSE(topo.real);  // single node: NUMA placement is meaningless
+  }
+}
+
+TEST(NumaTopologyTest, FakeNodesOverrideFabricatesNodesWithoutRealness) {
+  FakeNodesGuard guard("4");
+  const numa::Topology topo = numa::detect_topology();
+  EXPECT_EQ(topo.num_nodes(), 4u);
+  EXPECT_FALSE(topo.real);  // fabricated topology must never pin threads
+  for (const auto& cpus : topo.node_cpus) {
+    EXPECT_FALSE(cpus.empty());
+  }
+  // Pinning degrades to a no-op on a not-real topology.
+  EXPECT_FALSE(numa::pin_current_thread_to_node(topo, 0));
+}
+
+TEST(NumaTopologyTest, BogusFakeNodeValuesFallBackToRealDetection) {
+  const std::size_t baseline = numa::detect_topology().num_nodes();
+  for (const char* bogus : {"0", "-3", "garbage", "", "100000"}) {
+    FakeNodesGuard guard(bogus);
+    EXPECT_EQ(numa::detect_topology().num_nodes(), baseline) << bogus;
+  }
+}
+
+TEST(NumaAssignTest, SingleNodeMapsEveryWorkerToNodeZero) {
+  numa::Topology topo;
+  topo.node_cpus = {{0, 1, 2, 3}};
+  const std::vector<unsigned> nodes = numa::assign_worker_nodes(7, topo);
+  ASSERT_EQ(nodes.size(), 7u);
+  for (unsigned n : nodes) EXPECT_EQ(n, 0u);
+}
+
+TEST(NumaAssignTest, WorkersSplitProportionallyToNodeCpuCounts) {
+  numa::Topology topo;
+  topo.node_cpus = {{0, 1, 2, 3}, {4, 5}};  // 2:1 CPU ratio
+  topo.real = true;
+  const std::vector<unsigned> nodes = numa::assign_worker_nodes(6, topo);
+  ASSERT_EQ(nodes.size(), 6u);
+  EXPECT_EQ(std::count(nodes.begin(), nodes.end(), 0u), 4);
+  EXPECT_EQ(std::count(nodes.begin(), nodes.end(), 1u), 2);
+  // Contiguous blocks: node ids never decrease along the worker ranks,
+  // mirroring the contiguous vertex slices the schedulers hand out.
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+}
+
+TEST(NumaAssignTest, EveryWorkerGetsANodeEvenWhenWorkersAreScarce) {
+  numa::Topology topo;
+  topo.node_cpus = {{0}, {1}, {2}, {3}};
+  topo.real = true;
+  for (unsigned workers : {1u, 2u, 3u, 5u, 9u}) {
+    const std::vector<unsigned> nodes = numa::assign_worker_nodes(workers, topo);
+    ASSERT_EQ(nodes.size(), workers);
+    for (unsigned n : nodes) EXPECT_LT(n, topo.num_nodes());
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end())) << workers;
+  }
+  // With workers >= nodes, no node may be starved while another hoards.
+  const std::vector<unsigned> nodes = numa::assign_worker_nodes(8, topo);
+  for (unsigned node = 0; node < 4; ++node) {
+    EXPECT_EQ(std::count(nodes.begin(), nodes.end(), node), 2) << node;
+  }
+}
+
+TEST(NumaAssignTest, ZeroWorkersYieldsEmptyAssignment) {
+  EXPECT_TRUE(numa::assign_worker_nodes(0, numa::detect_topology()).empty());
+}
+
+}  // namespace
+}  // namespace gcg

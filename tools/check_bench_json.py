@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""check_bench_json: validate the machine-readable bench documents.
+
+The bench binaries (bench_par_imbalance, bench_par_scaling, bench_shard)
+emit hand-rolled JSON; this checker is the CI tripwire that the documents
+stay parseable and keep the columns downstream diffing relies on.
+
+Usage:
+  check_bench_json.py FILE [FILE...]
+
+Exit 0 iff every file parses, names a known experiment, and every record
+carries that experiment's required keys with sane types/values.
+"""
+
+import json
+import sys
+
+# experiment -> (required top-level keys, required per-record keys)
+SCHEMAS = {
+    "par_imbalance": (
+        {"scale", "seed", "threads", "repeats", "simd_detected", "records"},
+        {"graph", "algorithm", "order", "simd", "schedule", "hub", "threads",
+         "wall_ms", "reorder_ms", "busy_max_over_mean", "busy_cv", "colors",
+         "win_vs_base"},
+    ),
+    "par_scaling": (
+        {"scale", "seed", "repeats", "priority", "records"},
+        {"graph", "algorithm", "threads", "wall_ms", "speedup",
+         "busy_max_over_mean", "steal_hits", "colors", "seq_colors"},
+    ),
+    "shard": (
+        {"scale", "seed", "workers", "max_rounds", "records"},
+        {"graph", "shards", "workers", "boundary_fraction", "cut_arcs",
+         "conflict_rounds", "recolored", "colors", "par_colors", "wall_ms"},
+    ),
+}
+
+NUMERIC_NONNEG = {"wall_ms", "reorder_ms", "busy_max_over_mean", "busy_cv",
+                  "speedup", "win_vs_base", "boundary_fraction"}
+INT_POSITIVE = {"colors", "seq_colors", "par_colors", "threads", "shards"}
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    exp = doc.get("experiment")
+    if exp not in SCHEMAS:
+        return [f"{path}: unknown experiment {exp!r} "
+                f"(known: {', '.join(sorted(SCHEMAS))})"]
+    top_keys, rec_keys = SCHEMAS[exp]
+
+    missing = top_keys - doc.keys()
+    if missing:
+        errors.append(f"{path}: missing top-level keys: "
+                      f"{', '.join(sorted(missing))}")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        errors.append(f"{path}: \"records\" must be a non-empty array")
+        return errors
+
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            errors.append(f"{path}: records[{i}] is not an object")
+            continue
+        missing = rec_keys - rec.keys()
+        if missing:
+            errors.append(f"{path}: records[{i}] missing keys: "
+                          f"{', '.join(sorted(missing))}")
+        for key in rec_keys & rec.keys():
+            val = rec[key]
+            if key in NUMERIC_NONNEG:
+                if not isinstance(val, (int, float)) or val < 0:
+                    errors.append(f"{path}: records[{i}].{key} must be a "
+                                  f"non-negative number, got {val!r}")
+            elif key in INT_POSITIVE:
+                if not isinstance(val, int) or val < 1:
+                    errors.append(f"{path}: records[{i}].{key} must be a "
+                                  f"positive integer, got {val!r}")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in sys.argv[1:]:
+        errs = check_file(path)
+        all_errors.extend(errs)
+        if not errs:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["records"])
+            print(f"{path}: ok ({n} records)")
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,12 @@ Rules (see docs/CORRECTNESS.md for the rationale):
                   src/shard/process.* — child processes must go through
                   shard::ChildProcess so every child is reaped exactly
                   once and signal dispositions stay consistent.
+  raw-simd        no <immintrin.h>-family includes or _mm*/__m* vector
+                  intrinsics outside src/util/simd.* — SIMD must go
+                  through gcg::simd so runtime dispatch, the scalar
+                  fallback, and the GCG_FORCE_SCALAR escape hatch stay
+                  in one audited place (and every call site stays
+                  bit-identical to the scalar path by construction).
   order-comment   every `memory_order_*` site must carry an `// order:`
                   justification — on the same line, or in an `// order:`
                   comment above it with no blank line in between (one
@@ -76,8 +82,10 @@ CYCLE_RULE = "include-cycle"
 SEAM_RULE = "sync-seam"
 MMAP_RULE = "raw-mmap"
 PROC_RULE = "raw-process"
+SIMD_RULE = "raw-simd"
 ALL_RULES = sorted(list(TOKEN_RULES) +
-                   [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE, PROC_RULE])
+                   [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE, PROC_RULE,
+                    SIMD_RULE])
 
 # sync-seam: matches std::atomic, std::atomic_flag, std::atomic_thread_fence
 # but NOT std::atomic_ref / std::atomic_signal_fence (outside the seam) —
@@ -107,6 +115,19 @@ PROC_TOKEN = re.compile(
 PROC_SCOPE_OK = re.compile(r"(^|/)src/shard/process\.")
 PROC_MESSAGE = ("raw fork/exec outside src/shard/process.* — spawn through "
                 "shard::ChildProcess so children are reaped exactly once")
+
+# raw-simd: gcg::simd owns every vector intrinsic. Matches the intrinsic
+# headers (<immintrin.h> and friends, <arm_neon.h>), call-shaped _mm*/
+# _mm256*/_mm512* intrinsics, and the __m128/__m256/__m512 vector types.
+# The (?<![\w.:]) guard keeps identifiers like `my_mm256_add` quiet.
+SIMD_TOKEN = re.compile(
+    r"#\s*include\s*<(?:[a-z0-9_]*intrin|arm_neon|arm_sve)\.h>"
+    r"|(?<![\w.:])_mm(?:256|512)?_\w+\s*\("
+    r"|(?<!\w)__m(?:64|128|256|512)[a-z]*\b")
+SIMD_SCOPE_OK = re.compile(r"(^|/)src/util/simd\.")
+SIMD_MESSAGE = ("raw SIMD intrinsics outside src/util/simd.* — go through "
+                "gcg::simd so runtime dispatch, the scalar fallback, and "
+                "GCG_FORCE_SCALAR stay in one audited place")
 
 ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
@@ -243,6 +264,7 @@ def lint_file(path, raw_text):
     in_seam_scope = bool(SEAM_SCOPE.search(path.replace(os.sep, "/")))
     in_store_scope = bool(MMAP_SCOPE_OK.search(path.replace(os.sep, "/")))
     in_process_scope = bool(PROC_SCOPE_OK.search(path.replace(os.sep, "/")))
+    in_simd_scope = bool(SIMD_SCOPE_OK.search(path.replace(os.sep, "/")))
 
     for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
         # Deleted special members (`= delete`) are not delete expressions.
@@ -259,6 +281,9 @@ def lint_file(path, raw_text):
         if (not in_process_scope and PROC_RULE not in here
                 and PROC_TOKEN.search(code)):
             findings.append(Finding(path, idx, PROC_RULE, PROC_MESSAGE))
+        if (not in_simd_scope and SIMD_RULE not in here
+                and SIMD_TOKEN.search(code)):
+            findings.append(Finding(path, idx, SIMD_RULE, SIMD_MESSAGE))
         if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
             if not order_covered(raw_lines, idx):
                 findings.append(Finding(
@@ -526,6 +551,39 @@ SELF_TEST_CASES = [
      "#include <unistd.h>\n"
      "int f() { return fork(); }"
      "  // lint: allow(raw-process) daemonizing before the fleet exists\n",
+     set()),
+    # raw-simd: everywhere EXCEPT src/util/simd.* — the case name is the
+    # path the scope check sees.
+    ("src/par/raw_simd_include",
+     "#include <immintrin.h>\nint x;\n",
+     {"raw-simd"}),
+    ("src/graph/raw_simd_intrinsic",
+     "void f(const long long* p) "
+     "{ auto v = _mm256_loadu_si256((const __m256i*)p); (void)v; }\n",
+     {"raw-simd"}),
+    ("src/svc/raw_simd_sse",
+     "void f() { _mm_pause(); }\n",
+     {"raw-simd"}),
+    ("src/util/simd",  # lint_file sees "src/util/simd.cpp"
+     "#include <immintrin.h>\n"
+     "long f(const long long* p) "
+     "{ return _mm256_movemask_pd(_mm256_castsi256_pd("
+     "_mm256_loadu_si256((const __m256i*)p))); }\n",
+     set()),
+    ("src/util/simd_helpers_not_exempt",  # "simd_helpers.cpp" != "simd.*"
+     "#include <immintrin.h>\nint x;\n",
+     {"raw-simd"}),
+    ("src/graph/simd_named_fn_ok",
+     "int x_mm256_add_epi64(int);\n"
+     "int f() { return x_mm256_add_epi64(1); }\n",
+     set()),
+    ("src/par/simd_in_comment_ok",
+     "// _mm256_or_si256 and __m256i are discussed here only\n"
+     "int x;\n",
+     set()),
+    ("src/par/simd_suppressed_ok",
+     "void f() { _mm_pause(); }"
+     "  // lint: allow(raw-simd) spin-wait hint predates the seam\n",
      set()),
 ]
 
