@@ -1,0 +1,91 @@
+# Negative-compile harness for the clang Thread Safety Analysis suite
+# (tests/tsa/). One file, two personalities:
+#
+#  * Included as a module (from tests/tsa/CMakeLists.txt) it defines
+#    gcg_find_tsa_compiler() and gcg_add_negative_compile_test(), which
+#    register ctest entries labeled `tsa`.
+#  * Invoked in script mode (cmake -P, which is how those tests run) it
+#    compiles one source with -fsyntax-only and judges the outcome.
+#
+# A FAIL-expected test passes only when the compile fails AND the
+# diagnostics mention Wthread-safety — an unrelated syntax error must not
+# masquerade as the analysis catching the seeded violation. A
+# PASS-expected test (the positive control) must compile cleanly.
+
+# ---------------------------------------------------------------- script mode
+if(CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
+  foreach(var GCG_NC_COMPILER GCG_NC_SOURCE GCG_NC_INCLUDE GCG_NC_EXPECT)
+    if(NOT DEFINED ${var})
+      message(FATAL_ERROR "negative-compile: ${var} not set")
+    endif()
+  endforeach()
+
+  execute_process(
+    COMMAND "${GCG_NC_COMPILER}" -std=c++20 -fsyntax-only
+            "-I${GCG_NC_INCLUDE}"
+            -Wthread-safety -Wthread-safety-beta
+            -Werror=thread-safety -Werror=thread-safety-beta
+            "${GCG_NC_SOURCE}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+  if(GCG_NC_EXPECT STREQUAL "PASS")
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "expected clean compile but got rc=${rc}:\n${err}")
+    endif()
+  elseif(GCG_NC_EXPECT STREQUAL "FAIL")
+    if(rc EQUAL 0)
+      message(FATAL_ERROR
+        "expected a thread-safety error but the file compiled cleanly")
+    endif()
+    # Clang tags its TSA diagnostics "[-Wthread-safety-...]" (or
+    # "[-Werror,-Wthread-safety-...]" once promoted); requiring the
+    # flag-then-closing-bracket shape keeps a non-clang "unrecognized
+    # command-line option '-Wthread-safety'" error from counting as a
+    # caught violation.
+    if(NOT err MATCHES "-Wthread-safety[-a-z]*\\]")
+      message(FATAL_ERROR
+        "compile failed, but not from thread-safety analysis:\n${err}")
+    endif()
+  else()
+    message(FATAL_ERROR "GCG_NC_EXPECT must be PASS or FAIL, got "
+                        "'${GCG_NC_EXPECT}'")
+  endif()
+  return()
+endif()
+
+# ---------------------------------------------------------------- module mode
+
+# Captured at include time; CMAKE_CURRENT_LIST_FILE inside a function
+# would name the caller's list file (and the 3.17+
+# CMAKE_CURRENT_FUNCTION_LIST_FILE would bump our minimum).
+set(GCG_NEGATIVE_COMPILE_SCRIPT "${CMAKE_CURRENT_LIST_FILE}")
+
+# Finds a clang able to run the analysis: the configured compiler when it
+# already is clang, otherwise the newest clang++ on PATH. Sets ${out_var}
+# to the compiler path, or to NOTFOUND when the suite must be skipped.
+function(gcg_find_tsa_compiler out_var)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    set(${out_var} "${CMAKE_CXX_COMPILER}" PARENT_SCOPE)
+    return()
+  endif()
+  find_program(GCG_TSA_CLANG
+    NAMES clang++-19 clang++-18 clang++-17 clang++-16 clang++
+    DOC "clang++ used for the thread-safety negative-compile suite")
+  set(${out_var} "${GCG_TSA_CLANG}" PARENT_SCOPE)
+endfunction()
+
+# Registers one negative-compile ctest. `expect` is PASS (must compile)
+# or FAIL (must die with a -Wthread-safety diagnostic).
+function(gcg_add_negative_compile_test compiler name source expect)
+  add_test(NAME tsa_${name}
+    COMMAND "${CMAKE_COMMAND}"
+            "-DGCG_NC_COMPILER=${compiler}"
+            "-DGCG_NC_SOURCE=${source}"
+            "-DGCG_NC_INCLUDE=${CMAKE_SOURCE_DIR}/src"
+            "-DGCG_NC_EXPECT=${expect}"
+            -P "${GCG_NEGATIVE_COMPILE_SCRIPT}")
+  set_tests_properties(tsa_${name} PROPERTIES LABELS "tsa")
+endfunction()

@@ -1,7 +1,6 @@
 #include "par/pool.hpp"
 
 #include <algorithm>
-#include <mutex>  // std::lock_guard/std::unique_lock over sync::mutex
 
 #include "util/expect.hpp"
 #include "util/stress.hpp"
@@ -25,7 +24,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<sync::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -38,16 +37,22 @@ void ThreadPool::helper_loop(unsigned worker) {
   // machines (pin_current_thread_to_node refuses unless topo_.real).
   numa::pin_current_thread_to_node(topo_, worker_nodes_[worker]);
   std::uint64_t seen = 0;
-  std::unique_lock<sync::mutex> lock(mu_);
   while (true) {
-    start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-    if (shutdown_) return;
-    seen = generation_;
-    const auto* job = job_;
-    lock.unlock();
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      sync::LockGuard lock(mu_);
+      while (!shutdown_ && generation_ == seen) start_cv_.wait(mu_);
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    // The job runs outside the lock; run() keeps `body` alive until every
+    // helper has decremented outstanding_, so the pointer stays valid.
     (*job)(worker);
-    lock.lock();
-    if (--outstanding_ == 0) done_cv_.notify_one();
+    {
+      sync::LockGuard lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
   }
 }
 
@@ -57,7 +62,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
     return;
   }
   {
-    std::lock_guard<sync::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     GCG_ASSERT(outstanding_ == 0);  // reentrant run() would deadlock
     job_ = &body;
     outstanding_ = static_cast<unsigned>(helpers_.size());
@@ -65,8 +70,8 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
   }
   start_cv_.notify_all();
   body(0);
-  std::unique_lock<sync::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  sync::LockGuard lock(mu_);
+  while (outstanding_ != 0) done_cv_.wait(mu_);
   job_ = nullptr;
 }
 

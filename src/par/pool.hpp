@@ -82,13 +82,13 @@ class ThreadPool {
   numa::Topology topo_;
   std::vector<unsigned> worker_nodes_;
   std::vector<std::thread> helpers_;
-  sync::mutex mu_;
-  sync::condition_variable start_cv_;
-  sync::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned outstanding_ = 0;
-  bool shutdown_ = false;
+  sync::Mutex mu_;
+  sync::CondVar start_cv_;
+  sync::CondVar done_cv_;
+  const std::function<void(unsigned)>* job_ GCG_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ GCG_GUARDED_BY(mu_) = 0;
+  unsigned outstanding_ GCG_GUARDED_BY(mu_) = 0;
+  bool shutdown_ GCG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gcg::par

@@ -1,6 +1,12 @@
 // Per-worker Chase–Lev deques plus victim selection — the native-thread
 // analogue of the simulated sched::StealQueues, sharing its VictimPolicy
 // and StealStats vocabulary so sim and par runs report comparable numbers.
+//
+// Thread safety: entirely lock-free — coordination is sync::atomic
+// top/bottom indices inside the Chase–Lev deques, so there is no mutex
+// here and nothing for clang TSA capabilities to annotate. The ordering
+// arguments live next to each memory_order at the call sites
+// (par/deque.hpp) per the order-comment lint rule.
 #pragma once
 
 #include <cstdint>

@@ -1,8 +1,7 @@
 #include "shard/backend.hpp"
 
-#include <mutex>
-
 #include "shard/coordinator.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::shard {
 
@@ -14,7 +13,7 @@ class ShardBackend final : public svc::ShardBackendIf {
 
   std::vector<color_t> run(const svc::JobSpec& spec, const Csr& g,
                            svc::JobResult& result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     if (!coordinator_) {
       CoordinatorOptions copts;
       copts.workers = opts_.workers;
@@ -50,8 +49,8 @@ class ShardBackend final : public svc::ShardBackendIf {
 
  private:
   BackendOptions opts_;
-  std::mutex mu_;  // one sharded run owns the whole fleet at a time
-  std::unique_ptr<Coordinator> coordinator_;
+  sync::Mutex mu_;  // one sharded run owns the whole fleet at a time
+  std::unique_ptr<Coordinator> coordinator_ GCG_GUARDED_BY(mu_);
 };
 
 }  // namespace

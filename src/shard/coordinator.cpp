@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "par/repair.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::shard {
 
@@ -29,9 +29,10 @@ double ms_since(Clock::time_point t0) {
 /// Unique-per-fleet socket name component. Two coordinators in one
 /// process (in-process tests) must not collide on paths.
 unsigned next_fleet_id() {
-  static std::mutex mu;
-  static unsigned counter = 0;
-  std::lock_guard<std::mutex> lock(mu);
+  static sync::Mutex mu;
+  static unsigned counter = 0;  // guarded by mu (function-local: TSA
+                                // cannot attach GUARDED_BY to statics)
+  sync::LockGuard lock(mu);
   return counter++;
 }
 
@@ -45,7 +46,7 @@ void fan_out(unsigned count, const std::function<void(unsigned)>& fn) {
     fn(0);
     return;
   }
-  std::mutex mu;
+  sync::Mutex mu;  // guards next and errors (locals: no GUARDED_BY)
   unsigned next = 0;
   std::vector<std::string> errors;
   const unsigned team_size = std::min(count, 16u);
@@ -56,14 +57,14 @@ void fan_out(unsigned count, const std::function<void(unsigned)>& fn) {
       while (true) {
         unsigned i;
         {
-          std::lock_guard<std::mutex> lock(mu);
+          sync::LockGuard lock(mu);
           if (next >= count) return;
           i = next++;
         }
         try {
           fn(i);
         } catch (const std::exception& e) {
-          std::lock_guard<std::mutex> lock(mu);
+          sync::LockGuard lock(mu);
           errors.emplace_back(e.what());
         }
       }

@@ -67,7 +67,7 @@ svc::ShardColorReply Worker::shard_color(const svc::ShardColorRequest& req) {
     state->colors[req.begin + i] = run.colors[i];
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     states_[state_key(req.graph, req.begin, req.end)] = std::move(state);
   }
 
@@ -81,7 +81,7 @@ svc::ShardRepairReply Worker::shard_repair(const svc::ShardRepairRequest& req) {
 
   std::shared_ptr<ShardState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     const auto it = states_.find(state_key(req.graph, req.begin, req.end));
     if (it != states_.end()) state = it->second;
   }

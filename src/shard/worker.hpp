@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "coloring/common.hpp"
@@ -27,6 +26,7 @@
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::shard {
 
@@ -82,8 +82,11 @@ class Worker {
 
   Options opts_;
   svc::GraphRegistry registry_;
-  std::mutex mu_;  // guards states_ (map structure only)
-  std::map<std::string, std::shared_ptr<ShardState>> states_;
+  sync::Mutex mu_;
+  /// Map structure only: the pointed-to ShardStates are accessed outside
+  /// the lock (the coordinator serializes requests per shard).
+  std::map<std::string, std::shared_ptr<ShardState>> states_
+      GCG_GUARDED_BY(mu_);
 };
 
 /// A Worker behind the standard line-JSON Unix-socket server (handler

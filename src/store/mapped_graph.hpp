@@ -8,6 +8,12 @@
 // When mmap itself fails (exotic filesystem, sandbox) the open falls
 // back to an ordinary heap read of the same file, so callers always get
 // a working graph; is_mapped() reports which path was taken.
+//
+// Thread safety: like store::Mapping, a MappedGraph is immutable after
+// open() returns — the view, header, and backing bytes never change, so
+// concurrent readers need no lock and this layer deliberately has no
+// sync::Mutex or capability annotations. Lifetime, not locking, is the
+// contract: hold the shared_ptr while reading the view.
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,12 @@
 // in one shared handle is what makes Csr views safe: every view holds a
 // shared_ptr to the Mapping (possibly through a MappedGraph), so the
 // bytes outlive the last reader no matter what the cache evicts.
+//
+// Thread safety: a Mapping is immutable after construction — the pages
+// are PROT_READ and no member mutates state after the constructor
+// returns (residency() only reads kernel state). Any number of threads
+// may share one Mapping through shared_ptr without locking; that is why
+// this layer carries no sync::Mutex and no capability annotations.
 #pragma once
 
 #include <cstddef>

@@ -10,7 +10,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <deque>
-#include <mutex>  // std::lock_guard/std::unique_lock over sync::mutex
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -46,7 +45,7 @@ class BasicBatchQueue {
   /// Non-blocking; false means the queue is full (backpressure) or closed.
   bool try_push(JobT job) {
     {
-      std::lock_guard<sync::mutex> lock(mu_);
+      sync::LockGuard lock(mu_);
       if (closed_ || q_.size() >= capacity_) return false;
       q_.push_back(std::move(job));
     }
@@ -58,8 +57,8 @@ class BasicBatchQueue {
   /// key matches the front's. Blocks while empty; returns an empty vector
   /// once closed and drained.
   std::vector<JobT> pop_batch(std::size_t batch_limit) {
-    std::unique_lock<sync::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    sync::LockGuard lock(mu_);
+    while (!closed_ && q_.empty()) cv_.wait(mu_);
     std::vector<JobT> batch;
     if (q_.empty()) return batch;  // closed and drained
 
@@ -82,7 +81,7 @@ class BasicBatchQueue {
   /// Removes a queued job by id (for cancellation before dispatch).
   /// Returns the job if it was still queued, JobT{} otherwise.
   JobT remove(const id_type& id) {
-    std::lock_guard<sync::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     const auto it = std::find_if(q_.begin(), q_.end(), [&](const JobT& j) {
       return Traits::id(j) == id;
     });
@@ -95,7 +94,7 @@ class BasicBatchQueue {
   /// Pops the oldest queued job without blocking; JobT{} when empty.
   /// Used by non-draining shutdown to retire the backlog.
   JobT remove_front() {
-    std::lock_guard<sync::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     if (q_.empty()) return JobT{};
     JobT job = std::move(q_.front());
     q_.pop_front();
@@ -105,19 +104,19 @@ class BasicBatchQueue {
   /// No further pushes; blocked pop_batch calls drain then return empty.
   void close() {
     {
-      std::lock_guard<sync::mutex> lock(mu_);
+      sync::LockGuard lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<sync::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<sync::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     return q_.size();
   }
 
@@ -125,10 +124,10 @@ class BasicBatchQueue {
 
  private:
   const std::size_t capacity_;
-  mutable sync::mutex mu_;
-  sync::condition_variable cv_;
-  std::deque<JobT> q_;
-  bool closed_ = false;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  std::deque<JobT> q_ GCG_GUARDED_BY(mu_);
+  bool closed_ GCG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gcg::svc::detail

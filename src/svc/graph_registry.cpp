@@ -153,7 +153,7 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
   std::promise<std::shared_ptr<const Csr>> promise;
   bool loader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;  // resident or in-flight: either way the load is shared
@@ -205,7 +205,7 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
     }
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::LockGuard lock(mu_);
       ++stats_.load_errors;
       auto it = entries_.find(key);
       if (it != entries_.end()) {
@@ -219,7 +219,7 @@ std::shared_ptr<const Csr> GraphRegistry::acquire(const std::string& spec,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {  // may have been clear()ed meanwhile
       it->second.bytes = mapped ? charge : graph_bytes(*graph);
@@ -268,7 +268,7 @@ void GraphRegistry::evict_to_capacity() {
 }
 
 GraphRegistry::Stats GraphRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::LockGuard lock(mu_);
   Stats s = stats_;
   s.entries = 0;
   s.bytes = 0;
@@ -288,7 +288,7 @@ GraphRegistry::Stats GraphRegistry::stats() const {
 }
 
 void GraphRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::LockGuard lock(mu_);
   // Drop only resolved entries; in-flight loads keep their slot so their
   // waiters still resolve.
   for (auto it = entries_.begin(); it != entries_.end();) {

@@ -24,11 +24,11 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "graph/csr.hpp"
 #include "store/mapped_graph.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::svc {
 
@@ -98,14 +98,14 @@ class GraphRegistry {
     Lru::iterator lru_it;
   };
 
-  void touch(Entry& e);            // requires mu_
-  void evict_to_capacity();        // requires mu_
+  void touch(Entry& e) GCG_REQUIRES(mu_);
+  void evict_to_capacity() GCG_REQUIRES(mu_);
 
   const Options opts_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  Lru lru_;
-  Stats stats_;
+  mutable sync::Mutex mu_;
+  std::map<std::string, Entry> entries_ GCG_GUARDED_BY(mu_);
+  Lru lru_ GCG_GUARDED_BY(mu_);
+  Stats stats_ GCG_GUARDED_BY(mu_);
 };
 
 }  // namespace gcg::svc

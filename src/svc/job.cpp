@@ -35,7 +35,7 @@ JobSnapshot snapshot(const JobRecord& rec) {
   JobSnapshot s;
   s.id = rec.id;
   s.spec = rec.spec;
-  std::lock_guard<std::mutex> lock(rec.mu);
+  sync::LockGuard lock(rec.mu);
   s.status = rec.status;
   s.result = rec.result;
   return s;

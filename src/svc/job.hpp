@@ -7,10 +7,8 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -95,12 +93,12 @@ struct JobRecord {
   const std::chrono::steady_clock::time_point submitted;
   sync::atomic<bool> cancel{false};
 
-  mutable std::mutex mu;
-  mutable std::condition_variable cv;
-  JobStatus status = JobStatus::kQueued;  // guarded by mu
-  JobResult result;                       // guarded by mu
+  mutable sync::Mutex mu;
+  mutable sync::CondVar cv;
+  JobStatus status GCG_GUARDED_BY(mu) = JobStatus::kQueued;
+  JobResult result GCG_GUARDED_BY(mu);
 
-  bool terminal_locked() const {
+  bool terminal_locked() const GCG_REQUIRES(mu) {
     return status == JobStatus::kDone || status == JobStatus::kFailed ||
            status == JobStatus::kCancelled;
   }

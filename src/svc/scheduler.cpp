@@ -89,14 +89,14 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
     }
   }
   if (!out.error.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     ++counters_.rejected;
     return out;
   }
 
   JobPtr job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sync::LockGuard lock(jobs_mu_);
     if (!accepting_) {
       out.error = "shutting_down";
       out.detail = "scheduler is shutting down";
@@ -110,27 +110,27 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
     }
   }
   if (!job) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     ++counters_.rejected;
     return out;
   }
 
   if (!queue_.try_push(job)) {
     {
-      std::lock_guard<std::mutex> lock(jobs_mu_);
+      sync::LockGuard lock(jobs_mu_);
       jobs_.erase(job->id);  // never queued; drop the record again
     }
     // Backpressure: the distinct error code clients key off to back off.
     out.error = "queue_full";
     out.detail = "job queue at capacity (" +
                  std::to_string(queue_.capacity()) + ")";
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     ++counters_.rejected;
     return out;
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     ++counters_.submitted;
   }
   out.accepted = true;
@@ -141,7 +141,7 @@ Scheduler::Submit Scheduler::submit(JobSpec spec) {
 std::optional<JobSnapshot> Scheduler::status(std::uint64_t id) const {
   JobPtr job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sync::LockGuard lock(jobs_mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return std::nullopt;
     job = it->second;
@@ -153,18 +153,22 @@ std::optional<JobSnapshot> Scheduler::wait(std::uint64_t id,
                                            double timeout_ms) {
   JobPtr job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sync::LockGuard lock(jobs_mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return std::nullopt;
     job = it->second;
   }
-  std::unique_lock<std::mutex> lock(job->mu);
+  sync::LockGuard lock(job->mu);
   if (timeout_ms > 0.0) {
-    job->cv.wait_for(lock, std::chrono::duration<double, std::milli>(
-                               timeout_ms),
-                     [&] { return job->terminal_locked(); });
+    // Deadline-based so a spurious wakeup cannot stretch the timeout.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               timeout_ms));
+    while (!job->terminal_locked() && job->cv.wait_until(job->mu, deadline)) {
+    }
   } else {
-    job->cv.wait(lock, [&] { return job->terminal_locked(); });
+    while (!job->terminal_locked()) job->cv.wait(job->mu);
   }
   JobSnapshot s;
   s.id = job->id;
@@ -177,13 +181,13 @@ std::optional<JobSnapshot> Scheduler::wait(std::uint64_t id,
 bool Scheduler::cancel(std::uint64_t id) {
   JobPtr job;
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sync::LockGuard lock(jobs_mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     job = it->second;
   }
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    sync::LockGuard lock(job->mu);
     if (job->terminal_locked()) return false;
   }
   // order: relaxed — standalone flag; the worker only polls it and no
@@ -200,7 +204,7 @@ bool Scheduler::cancel(std::uint64_t id) {
 void Scheduler::run_batch(par::ThreadPool& pool,
                           const std::vector<JobPtr>& batch) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     ++counters_.batches;
     if (batch.size() > 1) counters_.batched_jobs += batch.size();
   }
@@ -249,7 +253,7 @@ void Scheduler::run_one(par::ThreadPool& pool, const JobPtr& job,
   }
 
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    sync::LockGuard lock(job->mu);
     job->status = JobStatus::kRunning;
   }
   job->cv.notify_all();
@@ -366,7 +370,7 @@ void Scheduler::finish(const JobPtr& job, JobStatus status, JobResult result) {
   // Counters first: anyone whom the cv below wakes must already see this
   // job reflected in stats().
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     switch (status) {
       case JobStatus::kDone: ++counters_.completed; break;
       case JobStatus::kFailed: ++counters_.failed; break;
@@ -376,14 +380,14 @@ void Scheduler::finish(const JobPtr& job, JobStatus status, JobResult result) {
     latency_ms_.add(result.latency_ms);
   }
   {
-    std::lock_guard<std::mutex> lock(job->mu);
+    sync::LockGuard lock(job->mu);
     job->status = status;
     job->result = std::move(result);
   }
   job->cv.notify_all();
 
   // Bound the record table: retire the oldest terminal records.
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  sync::LockGuard lock(jobs_mu_);
   terminal_order_.push_back(job->id);
   while (terminal_order_.size() > opts_.retain_jobs) {
     jobs_.erase(terminal_order_.front());
@@ -401,7 +405,7 @@ void Scheduler::fail_terminal(const JobPtr& job, JobStatus status,
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::LockGuard lock(stats_mu_);
     s = counters_;
     s.latency_samples = latency_ms_.count();
     if (s.latency_samples > 0) {
@@ -415,7 +419,7 @@ SchedulerStats Scheduler::stats() const {
   s.queue_depth = queue_.size();
   s.queue_capacity = queue_.capacity();
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sync::LockGuard lock(jobs_mu_);
     s.jobs_tracked = jobs_.size();
   }
   s.registry = registry_.stats();
@@ -424,12 +428,12 @@ SchedulerStats Scheduler::stats() const {
 
 void Scheduler::shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    sync::LockGuard lock(shutdown_mu_);
     if (shut_down_) return;
     shut_down_ = true;
   }
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    sync::LockGuard lock(jobs_mu_);
     accepting_ = false;
   }
   if (!drain) {

@@ -13,7 +13,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -23,6 +22,7 @@
 #include "svc/job.hpp"
 #include "svc/job_queue.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::par {
 class ThreadPool;
@@ -142,18 +142,21 @@ class Scheduler {
   JobQueue queue_;
   std::vector<std::thread> dispatchers_;
 
-  mutable std::mutex jobs_mu_;
-  std::map<std::uint64_t, JobPtr> jobs_;
-  std::deque<std::uint64_t> terminal_order_;  // eviction order for records
-  std::uint64_t next_id_ = 1;
-  bool accepting_ = true;
+  mutable sync::Mutex jobs_mu_;
+  std::map<std::uint64_t, JobPtr> jobs_ GCG_GUARDED_BY(jobs_mu_);
+  /// Eviction order for terminal records.
+  std::deque<std::uint64_t> terminal_order_ GCG_GUARDED_BY(jobs_mu_);
+  std::uint64_t next_id_ GCG_GUARDED_BY(jobs_mu_) = 1;
+  bool accepting_ GCG_GUARDED_BY(jobs_mu_) = true;
 
-  mutable std::mutex stats_mu_;
-  SchedulerStats counters_;      // counter fields only; gauges filled on read
-  WindowedStats latency_ms_;     // bounded: percentiles over a window
+  mutable sync::Mutex stats_mu_;
+  /// Counter fields only; gauges filled on read.
+  SchedulerStats counters_ GCG_GUARDED_BY(stats_mu_);
+  /// Bounded: percentiles over a window.
+  WindowedStats latency_ms_ GCG_GUARDED_BY(stats_mu_);
 
-  std::mutex shutdown_mu_;
-  bool shut_down_ = false;
+  sync::Mutex shutdown_mu_;
+  bool shut_down_ GCG_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace gcg::svc

@@ -6,16 +6,49 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "svc/protocol.hpp"
+#include "util/expect.hpp"
 #include "util/log.hpp"
 
 namespace gcg::svc {
 
 namespace {
+
+#if !defined(NDEBUG)
+// Runtime check of the documented mu_ -> done_mu_ lock order (server.hpp).
+// Clang TSA proves the order statically via GCG_ACQUIRED_AFTER, but only
+// on clang builds; this thread-local rank stack catches an inversion on
+// any debug build, under TSan, and in the model-check lanes. Each lock
+// site declares its rank right after acquiring; acquiring a rank not
+// strictly above the one already held aborts.
+thread_local int t_held_rank = 0;
+
+class LockRank {
+ public:
+  explicit LockRank(int rank) : prev_(t_held_rank) {
+    GCG_DCHECK(prev_ < rank);  // lock-order inversion (see server.hpp)
+    t_held_rank = rank;
+  }
+  ~LockRank() { t_held_rank = prev_; }
+  LockRank(const LockRank&) = delete;
+  LockRank& operator=(const LockRank&) = delete;
+
+ private:
+  int prev_;
+};
+
+#define GCG_SVC_LOCK_RANK(var, rank) const LockRank var(rank)
+#else
+#define GCG_SVC_LOCK_RANK(var, rank) ((void)0)
+#endif
+
+[[maybe_unused]] constexpr int kRankAcceptor = 1;  // mu_
+[[maybe_unused]] constexpr int kRankDoneList = 2;  // done_mu_ (nests inside mu_)
 
 /// Writes all of `data` + '\n'; false on a broken connection.
 /// MSG_NOSIGNAL: a client that disconnects before its reply arrives must
@@ -128,7 +161,8 @@ void Server::accept_loop() {
   while (true) {
     reap_finished();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::LockGuard lock(mu_);
+      GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
       if (stop_requested_) return;
     }
     pollfd pfd{listen_fd_, POLLIN, 0};
@@ -143,7 +177,8 @@ void Server::accept_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // listener closed
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
+    GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
     if (stop_requested_) {
       ::close(fd);
       return;
@@ -197,7 +232,10 @@ void Server::serve_connection(int fd, std::uint64_t conn_id) {
 
   ::close(fd);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // The one place both locks are held: mu_ first, done_mu_ nested —
+    // the documented order (server.hpp).
+    sync::LockGuard lock(mu_);
+    GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
     open_fds_.erase(conn_id);
     // Park our own thread handle on the done-list for the acceptor (or
     // stop()) to join — a long-running server must not accumulate one
@@ -205,6 +243,8 @@ void Server::serve_connection(int fd, std::uint64_t conn_id) {
     // have claimed the handle, in which case it joins us directly.
     const auto it = connections_.find(conn_id);
     if (it != connections_.end()) {
+      sync::LockGuard done_lock(done_mu_);
+      GCG_SVC_LOCK_RANK(done_rank, kRankDoneList);
       finished_.push_back(std::move(it->second));
       connections_.erase(it);
     }
@@ -215,10 +255,12 @@ void Server::serve_connection(int fd, std::uint64_t conn_id) {
 void Server::reap_finished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(done_mu_);
+    GCG_SVC_LOCK_RANK(rank, kRankDoneList);
     done.swap(finished_);
   }
-  // Joins happen outside the lock: the threads' own exit path locks mu_.
+  // Joins happen outside the lock: the threads' own exit path locks
+  // mu_ and done_mu_.
   for (std::thread& t : done) {
     if (t.joinable()) t.join();
   }
@@ -226,22 +268,28 @@ void Server::reap_finished() {
 
 void Server::request_stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
+    GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
     stop_requested_ = true;
   }
   stop_cv_.notify_all();
 }
 
 void Server::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  stop_cv_.wait(lock, [&] { return stop_requested_; });
+  sync::LockGuard lock(mu_);
+  GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
+  while (!stop_requested_) stop_cv_.wait(mu_);
 }
 
 bool Server::wait_for(double timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  stop_cv_.wait_for(lock,
-                    std::chrono::duration<double, std::milli>(timeout_ms),
-                    [&] { return stop_requested_; });
+  using Clock = std::chrono::steady_clock;
+  // Deadline-based so a spurious wakeup cannot stretch the timeout.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  sync::LockGuard lock(mu_);
+  GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
+  while (!stop_requested_ && stop_cv_.wait_until(mu_, deadline)) {}
   return stop_requested_;
 }
 
@@ -264,7 +312,8 @@ void Server::stop() {
   while (true) {
     std::thread victim;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::LockGuard lock(mu_);
+      GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
       if (connections_.empty()) break;
       const auto it = connections_.begin();
       const auto fd_it = open_fds_.find(it->first);
@@ -279,7 +328,8 @@ void Server::stop() {
   reap_finished();  // threads that exited on their own since the last reap
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::LockGuard lock(mu_);
+    GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -289,7 +339,8 @@ void Server::stop() {
 }
 
 std::uint64_t Server::connections_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::LockGuard lock(mu_);
+  GCG_SVC_LOCK_RANK(rank, kRankAcceptor);
   return connections_served_;
 }
 

@@ -5,19 +5,17 @@
 // joins connection threads, drains the scheduler, and unlinks the socket.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "svc/json.hpp"
 #include "svc/scheduler.hpp"
+#include "util/sync.hpp"
 
 namespace gcg::svc {
 
@@ -83,15 +81,29 @@ class Server {
   int listen_fd_ = -1;
 
   std::thread acceptor_;
-  mutable std::mutex mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
-  bool stopped_ = false;
-  std::map<std::uint64_t, std::thread> connections_;  // still serving
-  std::vector<std::thread> finished_;  // exited; acceptor/stop joins them
-  std::uint64_t next_conn_id_ = 1;
-  std::uint64_t connections_served_ = 0;
-  std::map<std::uint64_t, int> open_fds_;  // shutdown()'d to unblock reads
+
+  // Lock ordering: mu_ (acceptor/connection state) is always acquired
+  // BEFORE done_mu_ (the finished-thread parking list). The only path
+  // holding both is a connection thread's exit, which moves its own
+  // handle from connections_ (under mu_) onto finished_ (under
+  // done_mu_). reap_finished() takes done_mu_ alone, so the acceptor can
+  // drain exited threads without contending with connection setup. The
+  // order is declared to clang TSA via GCG_ACQUIRED_AFTER and asserted
+  // at runtime in debug builds (GCG_SVC_LOCK_RANK in server.cpp).
+  mutable sync::Mutex mu_;
+  sync::CondVar stop_cv_;
+  bool stop_requested_ GCG_GUARDED_BY(mu_) = false;
+  bool stopped_ GCG_GUARDED_BY(mu_) = false;
+  /// Still serving.
+  std::map<std::uint64_t, std::thread> connections_ GCG_GUARDED_BY(mu_);
+  std::uint64_t next_conn_id_ GCG_GUARDED_BY(mu_) = 1;
+  std::uint64_t connections_served_ GCG_GUARDED_BY(mu_) = 0;
+  /// shutdown()'d to unblock reads.
+  std::map<std::uint64_t, int> open_fds_ GCG_GUARDED_BY(mu_);
+
+  mutable sync::Mutex done_mu_ GCG_ACQUIRED_AFTER(mu_);
+  /// Exited; acceptor/stop joins them.
+  std::vector<std::thread> finished_ GCG_GUARDED_BY(done_mu_);
 };
 
 }  // namespace gcg::svc

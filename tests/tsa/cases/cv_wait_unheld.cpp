@@ -1,0 +1,22 @@
+// Seeded violation: CondVar::wait(mu) without holding mu — undefined
+// behaviour at runtime, a GCG_REQUIRES violation at compile time.
+// Expected diagnostic: "calling function 'wait' requires holding mutex".
+#include "util/sync.hpp"
+
+namespace {
+
+class Waiter {
+ public:
+  void wait_ready() {
+    while (!ready_) cv_.wait(mu_);  // mu_ never locked (and ready_ unguarded)
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  gcg::sync::CondVar cv_;
+  bool ready_ GCG_GUARDED_BY(mu_) = false;
+};
+
+void use() { Waiter{}.wait_ready(); }
+
+}  // namespace

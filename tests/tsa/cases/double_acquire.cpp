@@ -1,0 +1,23 @@
+// Seeded violation: acquiring a mutex already held (self-deadlock with a
+// non-recursive mutex). Expected diagnostic: "acquiring mutex 'mu_' that
+// is already held".
+#include "util/sync.hpp"
+
+namespace {
+
+class Doubler {
+ public:
+  void poke() {
+    gcg::sync::LockGuard outer(mu_);
+    gcg::sync::LockGuard inner(mu_);  // deadlock: mu_ already held
+    ++value_;
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Doubler{}.poke(); }
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Seeded violation: calling a GCG_EXCLUDES(mu_) function while holding
+// mu_ — the callee locks mu_ itself, so this self-deadlocks. Expected
+// diagnostic: "cannot call function 'add' while mutex 'mu_' is held".
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int n) GCG_EXCLUDES(mu_) {
+    gcg::sync::LockGuard lock(mu_);
+    value_ += n;
+  }
+
+  void add_twice(int n) {
+    gcg::sync::LockGuard lock(mu_);
+    add(n);  // deadlock: add() locks mu_ again
+    add(n);
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Counter{}.add_twice(2); }
+
+}  // namespace

@@ -1,0 +1,23 @@
+// Seeded violation: lock held on one branch only, then an unconditional
+// guarded access — the classic conditional-locking bug. Expected
+// diagnostic: "mutex 'mu_' is not held on every path through here".
+#include "util/sync.hpp"
+
+namespace {
+
+class Conditional {
+ public:
+  void poke(bool locked) {
+    if (locked) mu_.lock();
+    ++value_;  // unlocked on the !locked path
+    if (locked) mu_.unlock();
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Conditional{}.poke(true); }
+
+}  // namespace

@@ -1,0 +1,22 @@
+// Seeded violation: manual lock() with no unlock() on the way out.
+// Expected diagnostic: "mutex 'mu_' is still held at the end of function".
+#include "util/sync.hpp"
+
+namespace {
+
+class Leaker {
+ public:
+  void poke() {
+    mu_.lock();
+    ++value_;
+    // missing mu_.unlock()
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Leaker{}.poke(); }
+
+}  // namespace

@@ -1,0 +1,19 @@
+// Seeded violation: unlocking a mutex this thread does not hold.
+// Expected diagnostic: "releasing mutex 'mu_' that was not held".
+#include "util/sync.hpp"
+
+namespace {
+
+class Releaser {
+ public:
+  void poke() {
+    mu_.unlock();  // never locked
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+};
+
+void use() { Releaser{}.poke(); }
+
+}  // namespace

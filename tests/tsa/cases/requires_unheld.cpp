@@ -1,0 +1,23 @@
+// Seeded violation: calling a GCG_REQUIRES(mu_) function without holding
+// mu_. Expected diagnostic: "calling function 'trim_locked' requires
+// holding mutex 'mu_'".
+#include "util/sync.hpp"
+
+namespace {
+
+class Table {
+ public:
+  void maintenance() {
+    trim_locked();  // missing LockGuard
+  }
+
+ private:
+  void trim_locked() GCG_REQUIRES(mu_) { ++trimmed_; }
+
+  gcg::sync::Mutex mu_;
+  int trimmed_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Table{}.maintenance(); }
+
+}  // namespace

@@ -1,0 +1,25 @@
+// Seeded violation: manually unlocking a mutex a LockGuard still owns —
+// the guard's destructor will release it a second time. Expected
+// diagnostic: "releasing mutex 'mu_' that was not held" (at the manual
+// unlock the scoped capability already accounted for the hold once the
+// analysis replays the paths).
+#include "util/sync.hpp"
+
+namespace {
+
+class DoubleRelease {
+ public:
+  void poke() {
+    gcg::sync::LockGuard lock(mu_);
+    ++value_;
+    mu_.unlock();  // guard's destructor unlocks again
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { DoubleRelease{}.poke(); }
+
+}  // namespace

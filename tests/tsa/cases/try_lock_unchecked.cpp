@@ -1,0 +1,24 @@
+// Seeded violation: ignoring try_lock's result and touching guarded
+// state anyway — GCG_TRY_ACQUIRE(true) grants the capability only on the
+// success branch, and there is no branch here. Expected diagnostic:
+// "writing variable 'value_' requires holding mutex 'mu_'".
+#include "util/sync.hpp"
+
+namespace {
+
+class Optimist {
+ public:
+  void poke() {
+    (void)mu_.try_lock();  // result unchecked: capability not established
+    ++value_;
+    mu_.unlock();
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Optimist{}.poke(); }
+
+}  // namespace

@@ -1,0 +1,20 @@
+// Seeded violation: reading a GCG_GUARDED_BY field with no lock held.
+// Expected diagnostic: "reading variable 'value_' requires holding mutex".
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int peek() const {  // missing LockGuard / GCG_REQUIRES
+    return value_;
+  }
+
+ private:
+  mutable gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+int use() { return Counter{}.peek(); }
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Seeded violation: writing a GCG_GUARDED_BY field with no lock held.
+// Expected diagnostic: "writing variable 'value_' requires holding mutex
+// exclusively".
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void set(int v) {  // missing LockGuard / GCG_REQUIRES
+    value_ = v;
+  }
+
+ private:
+  gcg::sync::Mutex mu_;
+  int value_ GCG_GUARDED_BY(mu_) = 0;
+};
+
+void use() { Counter{}.set(1); }
+
+}  // namespace

@@ -1,0 +1,22 @@
+// Seeded violation: holding mutex A while touching a field guarded by
+// mutex B. Expected diagnostic: "requires holding mutex 'b_mu_'".
+#include "util/sync.hpp"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void bump() {
+    gcg::sync::LockGuard lock(a_mu_);  // wrong lock for b_value_
+    ++b_value_;
+  }
+
+ private:
+  gcg::sync::Mutex a_mu_;
+  gcg::sync::Mutex b_mu_;
+  int b_value_ GCG_GUARDED_BY(b_mu_) = 0;
+};
+
+void use() { TwoLocks{}.bump(); }
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Positive control for the thread-safety negative-compile suite: a class
+// using every annotation the concurrent core relies on, written
+// correctly. Compiled two ways:
+//
+//  * as ctest `tsa_positive_control` (PASS-expected) under clang with
+//    -Werror=thread-safety* — if this file ever warns, the suite's
+//    FAIL-expected cases prove nothing;
+//  * as the gcg_tsa_positive object library in the regular build, which
+//    keeps it in compile_commands.json so the clang-tidy lane analyzes
+//    the wrapper headers through a real user.
+//
+// The seeded-violation cases in cases/ are each one mutation away from
+// the patterns here.
+#include <cstdint>
+#include <deque>
+
+#include "util/sync.hpp"
+
+namespace gcg::tsa_test {
+
+class BoundedCounter {
+ public:
+  // LockGuard: scoped capability covers every guarded access in scope.
+  void add(std::uint64_t n) GCG_EXCLUDES(mu_) {
+    sync::LockGuard lock(mu_);
+    value_ += n;
+    history_.push_back(value_);
+    trim_locked();
+    cv_.notify_all();
+  }
+
+  // Explicit while-loop waits (CondVar has no predicate overloads; see
+  // util/sync.hpp): the guarded read stays under the held capability.
+  std::uint64_t wait_at_least(std::uint64_t threshold) GCG_EXCLUDES(mu_) {
+    sync::LockGuard lock(mu_);
+    while (value_ < threshold) cv_.wait(mu_);
+    return value_;
+  }
+
+  // Manual lock()/unlock() protocol, balanced on every path.
+  bool try_add(std::uint64_t n) GCG_EXCLUDES(mu_) {
+    if (!mu_.try_lock()) return false;
+    value_ += n;
+    mu_.unlock();
+    return true;
+  }
+
+  std::uint64_t value() const GCG_EXCLUDES(mu_) {
+    sync::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  // REQUIRES: callable only with mu_ held; callers above prove it.
+  void trim_locked() GCG_REQUIRES(mu_) {
+    while (history_.size() > kMaxHistory) history_.pop_front();
+  }
+
+  static constexpr std::size_t kMaxHistory = 16;
+
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  std::uint64_t value_ GCG_GUARDED_BY(mu_) = 0;
+  std::deque<std::uint64_t> history_ GCG_GUARDED_BY(mu_);
+};
+
+// The harness compiles with -fsyntax-only, but the object-library build
+// needs a referenced symbol so the TU is not empty.
+std::uint64_t exercise_bounded_counter() {
+  BoundedCounter c;
+  c.add(3);
+  (void)c.try_add(4);
+  return c.wait_at_least(3) + c.value();
+}
+
+}  // namespace gcg::tsa_test

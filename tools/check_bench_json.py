@@ -41,17 +41,27 @@ INT_POSITIVE = {"colors", "seq_colors", "par_colors", "threads", "shards"}
 
 
 def check_file(path):
+    """Returns (errors, record_count); record_count is 0 unless clean."""
     errors = []
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return [f"{path}: unreadable or invalid JSON: {e}"]
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"], 0
+    except json.JSONDecodeError as e:
+        return [f"{path}: invalid JSON ({e}) — an empty or truncated "
+                "file usually means the bench was interrupted mid-write; "
+                "re-run it"], 0
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level JSON must be an object, got "
+                f"{type(doc).__name__} — a truncated or hand-edited "
+                "file? re-run the bench"], 0
 
     exp = doc.get("experiment")
     if exp not in SCHEMAS:
         return [f"{path}: unknown experiment {exp!r} "
-                f"(known: {', '.join(sorted(SCHEMAS))})"]
+                f"(known: {', '.join(sorted(SCHEMAS))})"], 0
     top_keys, rec_keys = SCHEMAS[exp]
 
     missing = top_keys - doc.keys()
@@ -61,7 +71,7 @@ def check_file(path):
     records = doc.get("records")
     if not isinstance(records, list) or not records:
         errors.append(f"{path}: \"records\" must be a non-empty array")
-        return errors
+        return errors, 0
 
     for i, rec in enumerate(records):
         if not isinstance(rec, dict):
@@ -81,7 +91,7 @@ def check_file(path):
                 if not isinstance(val, int) or val < 1:
                     errors.append(f"{path}: records[{i}].{key} must be a "
                                   f"positive integer, got {val!r}")
-    return errors
+    return errors, len(records)
 
 
 def main():
@@ -90,11 +100,11 @@ def main():
         return 2
     all_errors = []
     for path in sys.argv[1:]:
-        errs = check_file(path)
+        # Single parse: re-reading here would reopen the crash window on
+        # a file that changed (or vanished) between the two reads.
+        errs, n = check_file(path)
         all_errors.extend(errs)
         if not errs:
-            with open(path, encoding="utf-8") as f:
-                n = len(json.load(f)["records"])
             print(f"{path}: ok ({n} records)")
     for e in all_errors:
         print(e, file=sys.stderr)

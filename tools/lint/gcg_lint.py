@@ -17,11 +17,21 @@ Rules (see docs/CORRECTNESS.md for the rationale):
                   fallback, and the GCG_FORCE_SCALAR escape hatch stay
                   in one audited place (and every call site stays
                   bit-identical to the scalar path by construction).
+  raw-mutex       no std::mutex/std::lock_guard/std::unique_lock/
+                  std::condition_variable (or the unannotated lowercase
+                  sync::mutex/sync::condition_variable aliases) in
+                  src/par/, src/svc/, src/shard/, src/store/ — locking
+                  there must go through the capability-annotated
+                  sync::Mutex / sync::LockGuard / sync::CondVar wrappers
+                  (util/sync.hpp) so clang Thread Safety Analysis sees
+                  every acquisition.
   order-comment   every `memory_order_*` site must carry an `// order:`
-                  justification — on the same line, or in an `// order:`
+                  justification — on the same line, in an `// order:`
                   comment above it with no blank line in between (one
                   comment may cover a contiguous annotated block, e.g. a
-                  Chase-Lev pop sequence; max 10 lines of reach).
+                  Chase-Lev pop sequence; max 10 lines of reach), or on
+                  a later line of the same statement (multi-line call
+                  sites: the comment may sit on the closing line).
   include-cycle   the quoted-include graph of src/ must be acyclic.
   naked-new       no `new` expressions outside smart-pointer factories.
   naked-delete    no `delete` expressions (`= delete` declarations are fine).
@@ -83,9 +93,10 @@ SEAM_RULE = "sync-seam"
 MMAP_RULE = "raw-mmap"
 PROC_RULE = "raw-process"
 SIMD_RULE = "raw-simd"
+MUTEX_RULE = "raw-mutex"
 ALL_RULES = sorted(list(TOKEN_RULES) +
                    [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE, PROC_RULE,
-                    SIMD_RULE])
+                    SIMD_RULE, MUTEX_RULE])
 
 # sync-seam: matches std::atomic, std::atomic_flag, std::atomic_thread_fence
 # but NOT std::atomic_ref / std::atomic_signal_fence (outside the seam) —
@@ -128,6 +139,22 @@ SIMD_SCOPE_OK = re.compile(r"(^|/)src/util/simd\.")
 SIMD_MESSAGE = ("raw SIMD intrinsics outside src/util/simd.* — go through "
                 "gcg::simd so runtime dispatch, the scalar fallback, and "
                 "GCG_FORCE_SCALAR stay in one audited place")
+
+# raw-mutex: the annotated directories must lock through the
+# capability-annotated wrappers. Matches the std:: lockables/guards AND
+# the unannotated lowercase seam aliases (sync::mutex /
+# sync::condition_variable — those exist for the wrappers' internals,
+# not for call sites). sync::Mutex/LockGuard/CondVar are capitalized, so
+# the lowercase-only alternation leaves them alone.
+MUTEX_TOKEN = re.compile(
+    r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b"
+    r"|\bsync\s*::\s*(?:mutex|condition_variable)\b")
+MUTEX_SCOPE = re.compile(r"(^|/)src/(par|svc|shard|store)/")
+MUTEX_MESSAGE = ("raw mutex/lock in the annotated core — use sync::Mutex / "
+                 "sync::LockGuard / sync::CondVar (util/sync.hpp) so clang "
+                 "thread safety analysis sees every acquisition")
 
 ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
@@ -238,18 +265,33 @@ def suppressions(raw_lines):
     return allowed, bad
 
 
-def order_covered(raw_lines, lineno):
-    """True if the memory_order site at 1-based `lineno` is justified."""
+def order_covered(raw_lines, code_lines, lineno):
+    """True if the memory_order site at 1-based `lineno` is justified:
+    an `// order:` comment on the same line, above it within reach (no
+    blank line in between), or — for a call split across lines — on a
+    later line of the same statement (up to the `;` that ends it)."""
     if ORDER_COMMENT.search(raw_lines[lineno - 1]):
         return True
     for back in range(1, ORDER_REACH + 1):
         j = lineno - 1 - back
         if j < 0:
-            return False
+            break
         line = raw_lines[j]
         if not line.strip():
-            return False  # blank line ends the annotated block
+            break  # blank line ends the annotated block
         if ORDER_COMMENT.search(line):
+            return True
+    # Downward within the same statement: a multi-line call site may
+    # carry its justification on the closing line. `;` in the *code*
+    # (strings/comments stripped) ends the statement.
+    j = lineno - 1
+    for _ in range(ORDER_REACH):
+        if ";" in code_lines[j]:
+            return False  # statement ended without a justification
+        j += 1
+        if j >= len(raw_lines) or not raw_lines[j].strip():
+            return False
+        if ORDER_COMMENT.search(raw_lines[j]):
             return True
     return False
 
@@ -265,6 +307,7 @@ def lint_file(path, raw_text):
     in_store_scope = bool(MMAP_SCOPE_OK.search(path.replace(os.sep, "/")))
     in_process_scope = bool(PROC_SCOPE_OK.search(path.replace(os.sep, "/")))
     in_simd_scope = bool(SIMD_SCOPE_OK.search(path.replace(os.sep, "/")))
+    in_mutex_scope = bool(MUTEX_SCOPE.search(path.replace(os.sep, "/")))
 
     for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
         # Deleted special members (`= delete`) are not delete expressions.
@@ -284,8 +327,11 @@ def lint_file(path, raw_text):
         if (not in_simd_scope and SIMD_RULE not in here
                 and SIMD_TOKEN.search(code)):
             findings.append(Finding(path, idx, SIMD_RULE, SIMD_MESSAGE))
+        if (in_mutex_scope and MUTEX_RULE not in here
+                and MUTEX_TOKEN.search(code)):
+            findings.append(Finding(path, idx, MUTEX_RULE, MUTEX_MESSAGE))
         if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
-            if not order_covered(raw_lines, idx):
+            if not order_covered(raw_lines, code_lines, idx):
                 findings.append(Finding(
                     path, idx, ORDER_RULE,
                     "memory_order use without an `// order:` justification"))
@@ -432,6 +478,39 @@ SELF_TEST_CASES = [
      "// order: this comment does not reach past the blank line\n"
      "\n"
      "int f() { return a.load(std::memory_order_acquire); }\n",
+     {"order-comment"}),
+    ("order_multiline_trailing_comment",
+     # A call split across lines may justify on the closing line: both
+     # memory_order sites belong to the statement the comment ends.
+     "#include <atomic>\n"
+     "std::atomic<int> a;\n"
+     "bool f(int& e) {\n"
+     "  return a.compare_exchange_strong(\n"
+     "      e, e + 1,\n"
+     "      std::memory_order_seq_cst,\n"
+     "      std::memory_order_relaxed);  // order: CAS races the thieves\n"
+     "}\n",
+     set()),
+    ("order_multiline_unjustified",
+     "#include <atomic>\n"
+     "std::atomic<int> a;\n"
+     "bool f(int& e) {\n"
+     "  return a.compare_exchange_strong(\n"
+     "      e, e + 1,\n"
+     "      std::memory_order_seq_cst,\n"
+     "      std::memory_order_relaxed);\n"
+     "}\n",
+     {"order-comment"}),
+    ("order_comment_on_next_statement_does_not_cover",
+     # The `;` ends the site's statement, so a comment on the NEXT
+     # statement's line must not count as its justification.
+     "#include <atomic>\n"
+     "std::atomic<int> a, b;\n"
+     "int f() {\n"
+     "  int x = a.load(std::memory_order_acquire);\n"
+     "  x += b.load(std::memory_order_relaxed);  // order: covers b only\n"
+     "  return x;\n"
+     "}\n",
      {"order-comment"}),
     ("tokens_in_comments_ok",
      "// new delete rand() volatile .detach() memory_order_relaxed\n"
@@ -585,6 +664,53 @@ SELF_TEST_CASES = [
      "void f() { _mm_pause(); }"
      "  // lint: allow(raw-simd) spin-wait hint predates the seam\n",
      set()),
+    # raw-mutex: scoped to src/par/, src/svc/, src/shard/, src/store/ —
+    # the case name doubles as the path the scope check sees.
+    ("src/svc/raw_mutex",
+     "#include <mutex>\nstd::mutex mu;\n",
+     {"raw-mutex"}),
+    ("src/par/raw_lock_guard",
+     "#include <mutex>\n"
+     "void f(std::mutex& m) { std::lock_guard<std::mutex> lock(m); }\n",
+     {"raw-mutex"}),
+    ("src/shard/raw_condition_variable",
+     "#include <condition_variable>\nstd::condition_variable cv;\n",
+     {"raw-mutex"}),
+    ("src/store/raw_unique_lock",
+     "#include <mutex>\n"
+     "void f(std::mutex& m) { std::unique_lock<std::mutex> lk(m); }\n",
+     {"raw-mutex"}),
+    ("src/svc/raw_sync_lowercase",
+     # The lowercase seam aliases are unannotated — call sites must use
+     # the capability-annotated wrappers instead.
+     '#include "util/sync.hpp"\ngcg::sync::mutex mu;\n',
+     {"raw-mutex"}),
+    ("src/svc/wrapped_mutex_ok",
+     '#include "util/sync.hpp"\n'
+     "struct S {\n"
+     "  void poke() { gcg::sync::LockGuard lock(mu_); ++v_; }\n"
+     "  gcg::sync::Mutex mu_;\n"
+     "  int v_ GCG_GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     set()),
+    ("src/graph/raw_mutex_out_of_scope_ok",
+     "#include <mutex>\nstd::mutex mu;\n",
+     set()),
+    ("src/par/raw_mutex_in_comment_ok",
+     "// std::mutex and std::lock_guard are discussed here only\n"
+     "int x;\n",
+     set()),
+    ("src/par/raw_mutex_suppressed_ok",
+     "#include <mutex>\n"
+     "std::mutex mu;"
+     "  // lint: allow(raw-mutex) TSan regression fixture bypassing the seam\n",
+     set()),
+    ("src/par/raw_mutex_escape_no_reason",
+     # An escape without a justification is caught twice: the bad
+     # suppression AND the raw-mutex site it failed to cover.
+     "#include <mutex>\n"
+     "std::mutex mu;  // lint: allow(raw-mutex)\n",
+     {"lint-suppression", "raw-mutex"}),
 ]
 
 
