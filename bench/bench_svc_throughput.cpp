@@ -19,6 +19,7 @@
 #include "svc/client.hpp"
 #include "svc/server.hpp"
 #include "util/stats.hpp"
+#include "util/narrow.hpp"
 
 namespace {
 
@@ -140,13 +141,20 @@ int main(int argc, char** argv) {
     row.emplace_back(static_cast<std::int64_t>(ok.load()));
     row.emplace_back(static_cast<std::int64_t>(queue_full.load()));
     row.emplace_back(static_cast<std::int64_t>(failed.load()));
-    row.emplace_back(elapsed_s > 0.0 ? attempts / elapsed_s : 0.0);
-    row.emplace_back(elapsed_s > 0.0 ? ok.load() / elapsed_s : 0.0);
+    // lossy: throughput figures; > 2^53 ops is unreachable in a bench run
+    row.emplace_back(elapsed_s > 0.0 ? narrow_cast<double>(attempts) / elapsed_s
+                                     : 0.0);
+    // lossy: same
+    row.emplace_back(
+        elapsed_s > 0.0 ? narrow_cast<double>(ok.load()) / elapsed_s : 0.0);
     row.emplace_back(merged.count() ? merged.percentile(50.0) : 0.0);
     row.emplace_back(merged.count() ? merged.percentile(99.0) : 0.0);
     row.emplace_back(merged.count() ? merged.summary().mean() : 0.0);
     row.emplace_back(
-        ok.load() ? static_cast<double>(cache_hits.load()) / ok.load() : 0.0);
+        // lossy: hit-rate ratio
+        ok.load() ? static_cast<double>(cache_hits.load()) /
+                        narrow_cast<double>(ok.load())
+                  : 0.0);
     table.add_row(std::move(row));
   }
   table.print(std::cout);

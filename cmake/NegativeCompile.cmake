@@ -1,16 +1,23 @@
-# Negative-compile harness for the clang Thread Safety Analysis suite
-# (tests/tsa/). One file, two personalities:
+# Negative-compile harness shared by the clang Thread Safety Analysis
+# suite (tests/tsa/) and the integer-conversion suite (tests/narrow/).
+# One file, two personalities:
 #
-#  * Included as a module (from tests/tsa/CMakeLists.txt) it defines
-#    gcg_find_tsa_compiler() and gcg_add_negative_compile_test(), which
-#    register ctest entries labeled `tsa`.
+#  * Included as a module it defines gcg_find_tsa_compiler() and
+#    gcg_add_negative_compile_test(), which register ctest entries.
 #  * Invoked in script mode (cmake -P, which is how those tests run) it
 #    compiles one source with -fsyntax-only and judges the outcome.
 #
 # A FAIL-expected test passes only when the compile fails AND the
-# diagnostics mention Wthread-safety — an unrelated syntax error must not
-# masquerade as the analysis catching the seeded violation. A
-# PASS-expected test (the positive control) must compile cleanly.
+# diagnostics match the suite's diagnostic-tag regex — an unrelated
+# syntax error must not masquerade as the analysis catching the seeded
+# violation. A PASS-expected test (the positive control) must compile
+# cleanly.
+
+# The two suites differ only in flags and in what a caught violation
+# looks like. Defaults are the TSA suite's (the original client).
+set(GCG_NC_DEFAULT_FLAGS
+    "-Wthread-safety;-Wthread-safety-beta;-Werror=thread-safety;-Werror=thread-safety-beta")
+set(GCG_NC_DEFAULT_DIAG "-Wthread-safety[-a-z]*\\]")
 
 # ---------------------------------------------------------------- script mode
 if(CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
@@ -19,12 +26,21 @@ if(CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
       message(FATAL_ERROR "negative-compile: ${var} not set")
     endif()
   endforeach()
+  if(NOT DEFINED GCG_NC_FLAGS)
+    set(GCG_NC_FLAGS "${GCG_NC_DEFAULT_FLAGS}")
+  endif()
+  if(NOT DEFINED GCG_NC_DIAG)
+    set(GCG_NC_DIAG "${GCG_NC_DEFAULT_DIAG}")
+  endif()
+  # Flags travel ;-separated through -D (CMake lists); split into argv.
+  separate_arguments(nc_flags UNIX_COMMAND "${GCG_NC_FLAGS}")
+  string(REPLACE ";" " " nc_flags "${GCG_NC_FLAGS}")
+  separate_arguments(nc_flags UNIX_COMMAND "${nc_flags}")
 
   execute_process(
     COMMAND "${GCG_NC_COMPILER}" -std=c++20 -fsyntax-only
             "-I${GCG_NC_INCLUDE}"
-            -Wthread-safety -Wthread-safety-beta
-            -Werror=thread-safety -Werror=thread-safety-beta
+            ${nc_flags}
             "${GCG_NC_SOURCE}"
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
@@ -38,16 +54,18 @@ if(CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
   elseif(GCG_NC_EXPECT STREQUAL "FAIL")
     if(rc EQUAL 0)
       message(FATAL_ERROR
-        "expected a thread-safety error but the file compiled cleanly")
+        "expected a diagnostic matching '${GCG_NC_DIAG}' but the file "
+        "compiled cleanly")
     endif()
-    # Clang tags its TSA diagnostics "[-Wthread-safety-...]" (or
-    # "[-Werror,-Wthread-safety-...]" once promoted); requiring the
-    # flag-then-closing-bracket shape keeps a non-clang "unrecognized
-    # command-line option '-Wthread-safety'" error from counting as a
-    # caught violation.
-    if(NOT err MATCHES "-Wthread-safety[-a-z]*\\]")
+    # Both compilers tag promoted diagnostics with the driving flag in
+    # brackets — gcc "[-Werror=sign-conversion]", clang
+    # "[-Werror,-Wimplicit-int-conversion]". Requiring the tag shape keeps
+    # an "unrecognized command-line option" error (or any plain syntax
+    # error) from counting as a caught violation.
+    if(NOT err MATCHES "${GCG_NC_DIAG}")
       message(FATAL_ERROR
-        "compile failed, but not from thread-safety analysis:\n${err}")
+        "compile failed, but not with a diagnostic matching "
+        "'${GCG_NC_DIAG}':\n${err}")
     endif()
   else()
     message(FATAL_ERROR "GCG_NC_EXPECT must be PASS or FAIL, got "
@@ -78,14 +96,33 @@ function(gcg_find_tsa_compiler out_var)
 endfunction()
 
 # Registers one negative-compile ctest. `expect` is PASS (must compile)
-# or FAIL (must die with a -Wthread-safety diagnostic).
+# or FAIL (must die with a diagnostic matching the suite's regex).
+# Optional trailing arguments: LABEL <label> FLAGS <flag;list> DIAG <regex>
+# — defaults reproduce the original TSA behaviour.
 function(gcg_add_negative_compile_test compiler name source expect)
-  add_test(NAME tsa_${name}
+  # FLAGS is multi-value: a ;-list argument flattens into ${ARGN}, so a
+  # one-value keyword would capture only the first flag.
+  cmake_parse_arguments(nc "" "LABEL;DIAG" "FLAGS" ${ARGN})
+  if(NOT nc_LABEL)
+    set(nc_LABEL "tsa")
+  endif()
+  if(NOT nc_FLAGS)
+    set(nc_FLAGS "${GCG_NC_DEFAULT_FLAGS}")
+  endif()
+  if(NOT nc_DIAG)
+    set(nc_DIAG "${GCG_NC_DEFAULT_DIAG}")
+  endif()
+  # Flags are a ;-list; re-join with spaces so the value survives the
+  # -D boundary, script mode splits it back apart.
+  string(REPLACE ";" " " nc_flags_flat "${nc_FLAGS}")
+  add_test(NAME ${nc_LABEL}_${name}
     COMMAND "${CMAKE_COMMAND}"
             "-DGCG_NC_COMPILER=${compiler}"
             "-DGCG_NC_SOURCE=${source}"
             "-DGCG_NC_INCLUDE=${CMAKE_SOURCE_DIR}/src"
             "-DGCG_NC_EXPECT=${expect}"
+            "-DGCG_NC_FLAGS=${nc_flags_flat}"
+            "-DGCG_NC_DIAG=${nc_DIAG}"
             -P "${GCG_NEGATIVE_COMPILE_SCRIPT}")
-  set_tests_properties(tsa_${name} PROPERTIES LABELS "tsa")
+  set_tests_properties(${nc_LABEL}_${name} PROPERTIES LABELS "${nc_LABEL}")
 endfunction()

@@ -16,6 +16,7 @@
 #include "graph/gen/grid.hpp"
 #include "util/cli.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
   std::cout << t.to_ascii();
 
   std::cout << "\n" << n << " function evaluations compress to "
-            << gpu.num_colors << " — a " << n / gpu.num_colors
+            << gpu.num_colors << " — a " << n / to_unsigned(gpu.num_colors)
             << "x saving; the distance-1 grouping would corrupt the "
                "estimate wherever two grouped columns share a row.\n";
   return 0;

@@ -10,12 +10,13 @@
 #include <algorithm>
 #include <iostream>
 
+#include "check/coloring.hpp"
 #include "coloring/runner.hpp"
 #include "coloring/seq_greedy.hpp"
-#include "check/coloring.hpp"
 #include "graph/builder.hpp"
 #include "util/cli.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -54,12 +55,16 @@ Csr build_interference(const std::vector<LiveRange>& ranges) {
 std::uint32_t spills(const std::vector<color_t>& colors, int regs) {
   std::vector<std::uint32_t> class_size;
   for (color_t c : colors) {
-    if (c >= static_cast<color_t>(class_size.size())) class_size.resize(c + 1, 0);
-    if (c >= 0) ++class_size[c];
+    if (c >= static_cast<color_t>(class_size.size())) {
+      class_size.resize(to_unsigned(c) + 1, 0);
+    }
+    if (c >= 0) ++class_size[to_unsigned(c)];
   }
   std::sort(class_size.rbegin(), class_size.rend());
   std::uint32_t spilled = 0;
-  for (std::size_t c = regs; c < class_size.size(); ++c) spilled += class_size[c];
+  for (std::size_t c = to_unsigned(regs); c < class_size.size(); ++c) {
+    spilled += class_size[c];
+  }
   return spilled;
 }
 

@@ -4,6 +4,7 @@
 
 #include "check/coloring.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -42,8 +43,8 @@ GsResult gauss_seidel_multicolor(simgpu::Device& dev, const SparseMatrix& A,
   // Group unknowns by color class once (device-side index lists).
   std::vector<color_t> dense(colors.begin(), colors.end());
   const int k = compact_colors(dense);
-  std::vector<std::vector<vid_t>> classes(k);
-  for (vid_t v = 0; v < A.n(); ++v) classes[dense[v]].push_back(v);
+  std::vector<std::vector<vid_t>> classes(to_unsigned(k));
+  for (vid_t v = 0; v < A.n(); ++v) classes[to_unsigned(dense[v])].push_back(v);
 
   const DeviceGraph g = DeviceGraph::of(A.structure);
   const std::span<const double> vals(A.values.data(), A.values.size());
@@ -57,7 +58,8 @@ GsResult gauss_seidel_multicolor(simgpu::Device& dev, const SparseMatrix& A,
 
   for (unsigned sweep = 0; sweep < opts.max_sweeps; ++sweep) {
     for (int c = 0; c < k; ++c) {
-      const std::span<const vid_t> members(classes[c].data(), classes[c].size());
+      const std::span<const vid_t> members(classes[to_unsigned(c)].data(),
+                                          classes[to_unsigned(c)].size());
       // All members of one class are pairwise non-adjacent: each lane can
       // read x and write its own entry with no ordering hazard.
       dev.launch_waves(members.size(), gs, [&](Wave& w) {

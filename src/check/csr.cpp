@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/narrow.hpp"
+
 namespace gcg::check {
 
 const char* csr_defect_name(CsrDefect d) {
@@ -67,11 +69,11 @@ std::optional<CsrIssue> validate_csr(std::span<const eid_t> rows,
   if (rows.front() != 0) {
     return CsrIssue{CsrDefect::kBadFirstOffset, 0, rows.front(), 0};
   }
-  const vid_t n = static_cast<vid_t>(rows.size() - 1);
+  const vid_t n = narrow<vid_t>(rows.size() - 1);
   for (std::size_t i = 1; i < rows.size(); ++i) {
     if (rows[i] < rows[i - 1]) {
       return CsrIssue{CsrDefect::kNonMonotoneOffsets,
-                      static_cast<vid_t>(i - 1), rows[i], i};
+                      narrow<vid_t>(i - 1), rows[i], i};
     }
   }
   if (rows.back() != cols.size()) {
@@ -83,21 +85,21 @@ std::optional<CsrIssue> validate_csr(std::span<const eid_t> rows,
       const vid_t v = cols[k];
       if (v >= n) {
         return CsrIssue{CsrDefect::kColumnOutOfRange, u, v,
-                        static_cast<std::size_t>(k)};
+                        narrow<std::size_t>(k)};
       }
       if (v == u && !opts.allow_self_loops) {
         return CsrIssue{CsrDefect::kSelfLoop, u, v,
-                        static_cast<std::size_t>(k)};
+                        narrow<std::size_t>(k)};
       }
       if (k > rows[u]) {
         const vid_t prev = cols[k - 1];
         if (opts.require_unique && v == prev) {
           return CsrIssue{CsrDefect::kDuplicateNeighbor, u, v,
-                          static_cast<std::size_t>(k)};
+                          narrow<std::size_t>(k)};
         }
         if (opts.require_sorted && v < prev) {
           return CsrIssue{CsrDefect::kUnsortedNeighbors, u, v,
-                          static_cast<std::size_t>(k)};
+                          narrow<std::size_t>(k)};
         }
       }
     }
@@ -115,7 +117,7 @@ std::optional<CsrIssue> validate_csr(std::span<const eid_t> rows,
                                : std::find(first, last, u) != last;
         if (!found) {
           return CsrIssue{CsrDefect::kAsymmetricEdge, u, v,
-                          static_cast<std::size_t>(k)};
+                          narrow<std::size_t>(k)};
         }
       }
     }

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg::check {
@@ -16,7 +17,7 @@ namespace {
 std::uint64_t probability_cut(double p) {
   p = std::clamp(p, 0.0, 1.0);
   if (p >= 1.0) return ~std::uint64_t{0};
-  return static_cast<std::uint64_t>(p * 0x1.0p64);
+  return narrow<std::uint64_t>(p * 0x1.0p64);
 }
 
 // draw < cut, with the saturated cut meaning "every draw hits".
@@ -59,7 +60,7 @@ void StressSchedule::perturb(unsigned worker) {
     // order: relaxed — statistics counter, read when quiescent.
     lane.perturbed.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t spins =
-        1 + static_cast<std::uint32_t>(hash(~k) % opts_.max_spin);
+        1 + narrow<std::uint32_t>(hash(~k) % opts_.max_spin);
     for (std::uint32_t i = 0; i < spins; ++i) {
       // order: seq_cst signal fence — compiler-only barrier that keeps the
       // empty delay loop alive; no inter-thread ordering is implied.

@@ -1,9 +1,9 @@
+
 #include "coloring/balance.hpp"
-
-#include <algorithm>
-
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/stats.hpp"
+#include <algorithm>
 
 namespace gcg {
 
@@ -24,32 +24,35 @@ BalanceResult balance_colors(const Csr& g, std::span<const color_t> colors,
   out.num_colors = compact_colors(out.colors);
   if (out.num_colors == 0) return out;
 
-  std::vector<std::uint32_t> size(out.num_colors, 0);
+  std::vector<std::uint32_t> size(to_unsigned(out.num_colors), 0);
   for (color_t c : out.colors) {
     GCG_EXPECT(c != kUncolored);
-    ++size[c];
+    ++size[to_unsigned(c)];
   }
   out.cv_before = class_cv(size);
 
   const double target =
       static_cast<double>(g.num_vertices()) / out.num_colors;
-  std::vector<int> mark(out.num_colors, -1);
+  std::vector<int> mark(to_unsigned(out.num_colors), -1);
   for (int round = 0; round < max_rounds; ++round) {
     std::uint32_t moved_this_round = 0;
     for (vid_t v = 0; v < g.num_vertices(); ++v) {
       const color_t current = out.colors[v];
-      if (static_cast<double>(size[current]) <= target) continue;
+      if (static_cast<double>(size[to_unsigned(current)]) <= target) continue;
       // Colors forbidden by neighbours.
-      for (vid_t u : g.neighbors(v)) mark[out.colors[u]] = static_cast<int>(v);
+      for (vid_t u : g.neighbors(v)) {
+        mark[to_unsigned(out.colors[u])] = static_cast<int>(v);
+      }
       // Smallest legal class strictly smaller than the current one.
       color_t best = current;
       for (color_t c = 0; c < static_cast<color_t>(out.num_colors); ++c) {
-        if (mark[c] == static_cast<int>(v)) continue;
-        if (size[c] < size[best]) best = c;
+        if (mark[to_unsigned(c)] == static_cast<int>(v)) continue;
+        if (size[to_unsigned(c)] < size[to_unsigned(best)]) best = c;
       }
-      if (best != current && size[best] + 1 < size[current]) {
-        --size[current];
-        ++size[best];
+      if (best != current &&
+          size[to_unsigned(best)] + 1 < size[to_unsigned(current)]) {
+        --size[to_unsigned(current)];
+        ++size[to_unsigned(best)];
         out.colors[v] = best;
         ++moved_this_round;
       }

@@ -1,11 +1,11 @@
-#include "coloring/distance2.hpp"
-
-#include <algorithm>
-#include <numeric>
 
 #include "coloring/detail/driver.hpp"
+#include "coloring/distance2.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
+#include <algorithm>
+#include <numeric>
 
 namespace gcg {
 
@@ -53,15 +53,17 @@ SeqColoring greedy_color_d2(const Csr& g, GreedyOrder order,
   std::vector<int> mark(d2_color_bound(g) + 1, -1);
   for (vid_t v : visit) {
     for (vid_t u : g.neighbors(v)) {
-      if (out.colors[u] != kUncolored) mark[out.colors[u]] = static_cast<int>(v);
+      if (out.colors[u] != kUncolored) {
+        mark[to_unsigned(out.colors[u])] = static_cast<int>(v);
+      }
       for (vid_t w : g.neighbors(u)) {
         if (w != v && out.colors[w] != kUncolored) {
-          mark[out.colors[w]] = static_cast<int>(v);
+          mark[to_unsigned(out.colors[w])] = static_cast<int>(v);
         }
       }
     }
     color_t c = 0;
-    while (mark[c] == static_cast<int>(v)) ++c;
+    while (mark[to_unsigned(c)] == static_cast<int>(v)) ++c;
     out.colors[v] = c;
     out.num_colors = std::max(out.num_colors, c + 1);
   }

@@ -1,9 +1,9 @@
+
 #include "coloring/quality.hpp"
-
-#include <algorithm>
-
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/stats.hpp"
+#include <algorithm>
 
 namespace gcg {
 
@@ -12,9 +12,9 @@ QualityReport analyze_quality(const Csr& g, std::span<const color_t> colors) {
   QualityReport rep;
   std::vector<color_t> dense(colors.begin(), colors.end());
   rep.num_colors = compact_colors(dense);
-  rep.class_sizes.assign(rep.num_colors, 0);
+  rep.class_sizes.assign(to_unsigned(rep.num_colors), 0);
   for (color_t c : dense) {
-    if (c != kUncolored) ++rep.class_sizes[c];
+    if (c != kUncolored) ++rep.class_sizes[to_unsigned(c)];
   }
   RunningStats rs;
   std::uint32_t largest = 0;

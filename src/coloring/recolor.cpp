@@ -1,9 +1,9 @@
-#include "coloring/recolor.hpp"
 
+#include "coloring/recolor.hpp"
+#include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include <algorithm>
 #include <numeric>
-
-#include "util/expect.hpp"
 
 namespace gcg {
 
@@ -16,10 +16,12 @@ RecolorResult greedy_over(const Csr& g, const std::vector<vid_t>& visit) {
   std::vector<int> mark(static_cast<std::size_t>(g.max_degree()) + 2, -1);
   for (vid_t v : visit) {
     for (vid_t u : g.neighbors(v)) {
-      if (out.colors[u] != kUncolored) mark[out.colors[u]] = static_cast<int>(v);
+      if (out.colors[u] != kUncolored) {
+        mark[to_unsigned(out.colors[u])] = static_cast<int>(v);
+      }
     }
     color_t c = 0;
-    while (mark[c] == static_cast<int>(v)) ++c;
+    while (mark[to_unsigned(c)] == static_cast<int>(v)) ++c;
     out.colors[v] = c;
     out.num_colors = std::max(out.num_colors, c + 1);
   }
@@ -33,33 +35,37 @@ std::vector<vid_t> class_grouped_order(const Csr& g,
   // Dense class ids + sizes.
   std::vector<color_t> dense(colors.begin(), colors.end());
   const int k = compact_colors(dense);
-  std::vector<std::uint32_t> size(k, 0);
+  std::vector<std::uint32_t> size(to_unsigned(k), 0);
   for (color_t c : dense) {
     GCG_EXPECT(c != kUncolored);
-    ++size[c];
+    ++size[to_unsigned(c)];
   }
-  std::vector<int> class_rank(k);
+  std::vector<int> class_rank(to_unsigned(k));
   std::iota(class_rank.begin(), class_rank.end(), 0);
   switch (order) {
     case ClassOrder::kLargestFirst:
       std::stable_sort(class_rank.begin(), class_rank.end(),
-                       [&](int a, int b) { return size[a] > size[b]; });
+                       [&](int a, int b) {
+                         return size[to_unsigned(a)] > size[to_unsigned(b)];
+                       });
       break;
     case ClassOrder::kSmallestFirst:
       std::stable_sort(class_rank.begin(), class_rank.end(),
-                       [&](int a, int b) { return size[a] < size[b]; });
+                       [&](int a, int b) {
+                         return size[to_unsigned(a)] < size[to_unsigned(b)];
+                       });
       break;
     case ClassOrder::kReverse:
       std::reverse(class_rank.begin(), class_rank.end());
       break;
   }
-  std::vector<int> position(k);
-  for (int r = 0; r < k; ++r) position[class_rank[r]] = r;
+  std::vector<int> position(to_unsigned(k));
+  for (int r = 0; r < k; ++r) position[to_unsigned(class_rank[to_unsigned(r)])] = r;
 
   std::vector<vid_t> visit(g.num_vertices());
   std::iota(visit.begin(), visit.end(), vid_t{0});
   std::stable_sort(visit.begin(), visit.end(), [&](vid_t a, vid_t b) {
-    return position[dense[a]] < position[dense[b]];
+    return position[to_unsigned(dense[a])] < position[to_unsigned(dense[b])];
   });
   return visit;
 }

@@ -1,10 +1,10 @@
-#include "coloring/seq_greedy.hpp"
 
+#include "coloring/seq_greedy.hpp"
+#include "util/expect.hpp"
+#include "util/narrow.hpp"
+#include "util/rng.hpp"
 #include <algorithm>
 #include <numeric>
-
-#include "util/expect.hpp"
-#include "util/rng.hpp"
 
 namespace gcg {
 
@@ -153,10 +153,10 @@ SeqColoring greedy_color(const Csr& g, GreedyOrder order, std::uint64_t seed) {
     const vid_t v = visit[k];
     for (vid_t u : g.neighbors(v)) {
       const color_t c = out.colors[u];
-      if (c != kUncolored) mark[c] = static_cast<int>(v);
+      if (c != kUncolored) mark[to_unsigned(c)] = static_cast<int>(v);
     }
     color_t c = 0;
-    while (mark[c] == static_cast<int>(v)) ++c;
+    while (mark[to_unsigned(c)] == static_cast<int>(v)) ++c;
     out.colors[v] = c;
     out.num_colors = std::max(out.num_colors, c + 1);
   }

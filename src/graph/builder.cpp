@@ -31,7 +31,7 @@ Csr GraphBuilder::build(const BuildOptions& opts) {
     arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
   }
 
-  std::vector<eid_t> rows(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<eid_t> rows(std::size_t{n_} + 1, 0);
   for (auto [u, v] : arcs) {
     (void)v;
     ++rows[u + 1];

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -13,7 +14,7 @@ Csr::Csr(std::vector<eid_t> row_offsets, std::vector<vid_t> col_indices)
   if (rows_store_.empty()) {
     throw std::invalid_argument("csr: empty row offsets");
   }
-  n_ = static_cast<vid_t>(rows_store_.size() - 1);
+  n_ = narrow<vid_t>(rows_store_.size() - 1);
   rebind_owned();
   validate();
 }
@@ -31,7 +32,7 @@ Csr Csr::view(std::span<const eid_t> row_offsets,
     throw std::invalid_argument("csr view: rows[n] != |cols|");
   }
   Csr g;
-  g.n_ = static_cast<vid_t>(row_offsets.size() - 1);
+  g.n_ = narrow<vid_t>(row_offsets.size() - 1);
   g.view_ = true;
   g.rows_ = row_offsets;
   g.cols_ = col_indices;

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/narrow.hpp"
+
 namespace gcg {
 
 using vid_t = std::uint32_t;  ///< vertex id
@@ -63,13 +65,13 @@ class Csr {
 
   vid_t num_vertices() const { return n_; }
   /// Number of directed arcs stored (2x undirected edge count).
-  eid_t num_arcs() const { return static_cast<eid_t>(cols_.size()); }
+  eid_t num_arcs() const { return eid_t{cols_.size()}; }
   /// Undirected edge count, assuming the graph is symmetric.
   eid_t num_edges() const { return num_arcs() / 2; }
 
   eid_t offset(vid_t v) const { return rows_[v]; }
   vid_t degree(vid_t v) const {
-    return static_cast<vid_t>(rows_[v + 1] - rows_[v]);
+    return narrow<vid_t>(rows_[v + 1] - rows_[v]);
   }
   std::span<const vid_t> neighbors(vid_t v) const {
     return cols_.subspan(rows_[v], rows_[v + 1] - rows_[v]);

@@ -6,13 +6,14 @@
 
 #include "graph/builder.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg {
 
 Csr make_configuration_model(const std::vector<vid_t>& degrees,
                              std::uint64_t seed) {
-  const auto n = static_cast<vid_t>(degrees.size());
+  const auto n = narrow<vid_t>(degrees.size());
   GCG_EXPECT(n >= 2);
 
   // Stub list: vertex v appears degrees[v] times.
@@ -27,7 +28,7 @@ Csr make_configuration_model(const std::vector<vid_t>& degrees,
   // few times against the tail before discarding them.
   Xoshiro256ss rng(seed);
   for (std::size_t i = stubs.size(); i > 1; --i) {
-    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    const auto j = narrow<std::size_t>(rng.bounded(i));
     std::swap(stubs[i - 1], stubs[j]);
   }
 
@@ -35,7 +36,7 @@ Csr make_configuration_model(const std::vector<vid_t>& degrees,
   GraphBuilder b(n);
   auto key = [](vid_t a, vid_t c) {
     if (a > c) std::swap(a, c);
-    return (static_cast<std::uint64_t>(a) << 32) | c;
+    return (std::uint64_t{a} << 32) | c;
   };
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
     vid_t u = stubs[i];
@@ -69,7 +70,7 @@ std::vector<vid_t> power_law_degrees(vid_t n, double alpha, vid_t d_min,
     const double u = rng.uniform();
     const double x = std::pow(lo + u * (hi - lo), 1.0 / a1);
     degrees[v] = std::min<vid_t>(
-        d_max, std::max<vid_t>(d_min, static_cast<vid_t>(x)));
+        d_max, std::max<vid_t>(d_min, narrow<vid_t>(x)));
   }
   return degrees;
 }

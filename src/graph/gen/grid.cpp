@@ -9,7 +9,7 @@ Csr make_grid2d(vid_t width, vid_t height, bool eight_connected) {
   GCG_EXPECT(width > 0 && height > 0);
   const auto id = [width](vid_t x, vid_t y) { return y * width + x; };
   GraphBuilder b(width * height);
-  b.reserve(static_cast<std::size_t>(width) * height * (eight_connected ? 4 : 2));
+  b.reserve(std::size_t{width} * height * (eight_connected ? 4 : 2));
   for (vid_t y = 0; y < height; ++y) {
     for (vid_t x = 0; x < width; ++x) {
       if (x + 1 < width) b.add_edge(id(x, y), id(x + 1, y));
@@ -29,7 +29,7 @@ Csr make_grid3d(vid_t nx, vid_t ny, vid_t nz) {
     return (z * ny + y) * nx + x;
   };
   GraphBuilder b(nx * ny * nz);
-  b.reserve(static_cast<std::size_t>(nx) * ny * nz * 3);
+  b.reserve(std::size_t{nx} * ny * nz * 3);
   for (vid_t z = 0; z < nz; ++z) {
     for (vid_t y = 0; y < ny; ++y) {
       for (vid_t x = 0; x < nx; ++x) {

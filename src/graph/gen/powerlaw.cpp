@@ -4,6 +4,7 @@
 
 #include "graph/builder.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg {
@@ -17,7 +18,7 @@ Csr make_barabasi_albert(vid_t n, vid_t edges_per_vertex, std::uint64_t seed) {
   // `targets` holds one entry per edge endpoint: sampling uniformly from it
   // is sampling proportionally to degree (the classic BA trick).
   std::vector<vid_t> endpoints;
-  endpoints.reserve(static_cast<std::size_t>(n) * edges_per_vertex * 2);
+  endpoints.reserve(std::size_t{n} * edges_per_vertex * 2);
 
   // Seed clique over the first m+1 vertices.
   const vid_t m = edges_per_vertex;
@@ -53,7 +54,7 @@ Csr make_rmat(unsigned scale, vid_t edge_factor, const RmatParams& p,
   GCG_EXPECT(scale >= 1 && scale <= 30);
   GCG_EXPECT(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0);
   const vid_t n = vid_t{1} << scale;
-  const auto m = static_cast<eid_t>(edge_factor) * n;
+  const auto m = eid_t{edge_factor} * n;
   Xoshiro256ss rng(seed);
   GraphBuilder b(n);
   b.reserve(m);
@@ -84,7 +85,7 @@ Csr make_rmat(unsigned scale, vid_t edge_factor, const RmatParams& p,
   for (vid_t i = 0; i < n; ++i) perm[i] = i;
   Xoshiro256ss prng(seed ^ 0xabcdef1234567890ULL);
   for (vid_t i = n; i > 1; --i) {
-    const auto j = static_cast<vid_t>(prng.bounded(i));
+    const auto j = narrow<vid_t>(prng.bounded(i));
     std::swap(perm[i - 1], perm[j]);
   }
   // Relabel via builder to keep CSR invariants.

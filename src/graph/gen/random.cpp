@@ -6,6 +6,7 @@
 
 #include "graph/builder.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg {
@@ -13,19 +14,19 @@ namespace gcg {
 Csr make_erdos_renyi_gnm(vid_t n, eid_t m, std::uint64_t seed) {
   GCG_EXPECT(n >= 2);
   const auto max_edges =
-      static_cast<eid_t>(n) * (static_cast<eid_t>(n) - 1) / 2;
+      eid_t{n} * (eid_t{n} - 1) / 2;
   GCG_EXPECT(m <= max_edges);
   Xoshiro256ss rng(seed);
   std::unordered_set<std::uint64_t> seen;
-  seen.reserve(static_cast<std::size_t>(m) * 2);
+  seen.reserve(narrow<std::size_t>(m) * 2);
   GraphBuilder b(n);
   b.reserve(m);
   while (seen.size() < m) {
-    auto u = static_cast<vid_t>(rng.bounded(n));
-    auto v = static_cast<vid_t>(rng.bounded(n));
+    auto u = narrow<vid_t>(rng.bounded(n));
+    auto v = narrow<vid_t>(rng.bounded(n));
     if (u == v) continue;
     if (u > v) std::swap(u, v);
-    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    const std::uint64_t key = (std::uint64_t{u} << 32) | v;
     if (seen.insert(key).second) b.add_edge(u, v);
   }
   return b.build();
@@ -41,19 +42,22 @@ Csr make_erdos_renyi_gnp(vid_t n, double p, std::uint64_t seed) {
     // Walk pairs (u,v), u<v, in lexicographic order with geometric skips.
     std::uint64_t idx = 0;
     const std::uint64_t total =
-        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+        std::uint64_t{n} * (n - 1) / 2;
     while (true) {
       const double r = rng.uniform();
       const double skip = std::floor(std::log1p(-r) / logq);
-      idx += static_cast<std::uint64_t>(skip) + 1;
+      // A near-1 draw against a tiny p can yield a skip beyond every
+      // remaining pair (even beyond uint64); that is just "done".
+      if (skip >= static_cast<double>(total)) break;
+      idx += narrow<std::uint64_t>(skip) + 1;
       if (idx > total) break;
       // Invert linear index -> (u, v): index within upper triangle.
       const std::uint64_t k = idx - 1;
       // Solve largest u with u*(2n-u-1)/2 <= k via float guess + fixup.
       auto row_start = [n](std::uint64_t u) {
-        return u * (2 * static_cast<std::uint64_t>(n) - u - 1) / 2;
+        return u * (2 * std::uint64_t{n} - u - 1) / 2;
       };
-      auto u = static_cast<std::uint64_t>(
+      auto u = narrow<std::uint64_t>(
           static_cast<double>(n) - 0.5 -
           std::sqrt(std::max(0.0, (static_cast<double>(n) - 0.5) *
                                         (static_cast<double>(n) - 0.5) -
@@ -61,7 +65,7 @@ Csr make_erdos_renyi_gnp(vid_t n, double p, std::uint64_t seed) {
       while (u > 0 && row_start(u) > k) --u;
       while (row_start(u + 1) <= k) ++u;
       const std::uint64_t v = u + 1 + (k - row_start(u));
-      b.add_edge(static_cast<vid_t>(u), static_cast<vid_t>(v));
+      b.add_edge(narrow<vid_t>(u), narrow<vid_t>(v));
     }
   }
   return b.build();
@@ -77,14 +81,17 @@ Csr make_random_geometric(vid_t n, double radius, std::uint64_t seed) {
     ys[i] = rng.uniform();
   }
   // Bucket grid with cell size = radius; only 9 neighbouring cells to scan.
-  const auto cells = static_cast<vid_t>(std::max(1.0, std::floor(1.0 / radius)));
+  // More than n cells per axis never helps, and the clamp keeps the cell
+  // count inside vid_t for arbitrarily small radii.
+  const auto cells = narrow<vid_t>(std::min(
+      static_cast<double>(n), std::max(1.0, std::floor(1.0 / radius))));
   const double cell_size = 1.0 / static_cast<double>(cells);
-  std::vector<std::vector<vid_t>> grid(static_cast<std::size_t>(cells) * cells);
+  std::vector<std::vector<vid_t>> grid(std::size_t{cells} * cells);
   auto cell_of = [&](double x) {
-    return std::min<vid_t>(cells - 1, static_cast<vid_t>(x / cell_size));
+    return std::min<vid_t>(cells - 1, narrow<vid_t>(x / cell_size));
   };
   for (vid_t i = 0; i < n; ++i) {
-    grid[cell_of(ys[i]) * cells + cell_of(xs[i])].push_back(i);
+    grid[std::size_t{cell_of(ys[i])} * cells + cell_of(xs[i])].push_back(i);
   }
   const double r2 = radius * radius;
   GraphBuilder b(n);
@@ -93,11 +100,11 @@ Csr make_random_geometric(vid_t n, double radius, std::uint64_t seed) {
     const vid_t cy = cell_of(ys[i]);
     for (int dy = -1; dy <= 1; ++dy) {
       for (int dx = -1; dx <= 1; ++dx) {
-        const auto nx = static_cast<std::int64_t>(cx) + dx;
-        const auto ny = static_cast<std::int64_t>(cy) + dy;
+        const auto nx = std::int64_t{cx} + dx;
+        const auto ny = std::int64_t{cy} + dy;
         if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
-        for (vid_t j : grid[static_cast<std::size_t>(ny) * cells +
-                            static_cast<std::size_t>(nx)]) {
+        for (vid_t j : grid[narrow<std::size_t>(ny) * cells +
+                            narrow<std::size_t>(nx)]) {
           if (j <= i) continue;  // each pair once
           const double ddx = xs[i] - xs[j];
           const double ddy = ys[i] - ys[j];

@@ -2,6 +2,7 @@
 
 #include "graph/builder.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg {
@@ -12,7 +13,7 @@ Csr make_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
   GCG_EXPECT(beta >= 0.0 && beta <= 1.0);
   Xoshiro256ss rng(seed);
   GraphBuilder b(n);
-  b.reserve(static_cast<std::size_t>(n) * k / 2);
+  b.reserve(std::size_t{n} * k / 2);
   for (vid_t u = 0; u < n; ++u) {
     for (vid_t j = 1; j <= k / 2; ++j) {
       vid_t v = (u + j) % n;
@@ -21,7 +22,7 @@ Csr make_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed) {
         // possible here; the builder dedups them.
         vid_t w;
         do {
-          w = static_cast<vid_t>(rng.bounded(n));
+          w = narrow<vid_t>(rng.bounded(n));
         } while (w == u);
         v = w;
       }

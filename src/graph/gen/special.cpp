@@ -2,6 +2,7 @@
 
 #include "graph/builder.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -47,16 +48,16 @@ Csr make_binary_tree(vid_t n) {
   GCG_EXPECT(n >= 1);
   GraphBuilder b(n);
   for (vid_t v = 0; v < n; ++v) {
-    const auto l = static_cast<eid_t>(v) * 2 + 1;
-    const auto r = static_cast<eid_t>(v) * 2 + 2;
-    if (l < n) b.add_edge(v, static_cast<vid_t>(l));
-    if (r < n) b.add_edge(v, static_cast<vid_t>(r));
+    const auto l = eid_t{v} * 2 + 1;
+    const auto r = eid_t{v} * 2 + 2;
+    if (l < n) b.add_edge(v, narrow<vid_t>(l));
+    if (r < n) b.add_edge(v, narrow<vid_t>(r));
   }
   return b.build();
 }
 
 Csr make_empty(vid_t n) {
-  return Csr(std::vector<eid_t>(static_cast<std::size_t>(n) + 1, 0), {});
+  return Csr(std::vector<eid_t>(std::size_t{n} + 1, 0), {});
 }
 
 Csr make_petersen() {

@@ -1,15 +1,43 @@
 #include "graph/gen/suite.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "graph/gen/grid.hpp"
 #include "graph/gen/powerlaw.hpp"
 #include "graph/gen/random.hpp"
 #include "graph/gen/smallworld.hpp"
-#include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
+
+namespace {
+
+/// Checked double -> vid_t vertex count: a computed count that would wrap
+/// vid_t is a caller error worth a thrown message, not a silently
+/// truncated graph. validate_suite_scale makes this unreachable today;
+/// the check is what keeps that true if a generator's sizing ever
+/// changes.
+vid_t checked_count(double c) {
+  if (!(c >= 0.0) ||
+      !detail::float_fits<vid_t>(c)) {
+    throw std::invalid_argument(
+        "suite: vertex count " + std::to_string(c) + " does not fit vid_t");
+  }
+  return narrow<vid_t>(c);
+}
+
+}  // namespace
+
+void validate_suite_scale(double scale) {
+  if (!std::isfinite(scale) || scale <= 0.0 || scale > kMaxSuiteScale) {
+    throw std::invalid_argument(
+        "suite: scale must be finite and in (0, " +
+        std::to_string(kMaxSuiteScale) + "], got " + std::to_string(scale));
+  }
+}
 
 std::vector<std::string> suite_names() {
   return {"ecology-like", "circuit-like",  "road-like",    "rgg-like",
@@ -17,13 +45,13 @@ std::vector<std::string> suite_names() {
 }
 
 SuiteEntry make_suite_graph(const std::string& name, const SuiteOptions& opts) {
-  GCG_EXPECT(opts.scale > 0.0 && opts.scale <= 64.0);
+  validate_suite_scale(opts.scale);
   const double s = opts.scale;
   const auto lin = [s](double base) {
-    return static_cast<vid_t>(std::max(16.0, base * std::sqrt(s)));
+    return checked_count(std::max(16.0, base * std::sqrt(s)));
   };
   const auto cnt = [s](double base) {
-    return static_cast<vid_t>(std::max(256.0, base * s));
+    return checked_count(std::max(256.0, base * s));
   };
 
   if (name == "ecology-like") {
@@ -32,7 +60,7 @@ SuiteEntry make_suite_graph(const std::string& name, const SuiteOptions& opts) {
   }
   if (name == "circuit-like") {
     // G3_circuit: near-regular low-degree mesh; 3D stencil is the stand-in.
-    const auto side = static_cast<vid_t>(std::max(8.0, 40.0 * std::cbrt(s)));
+    const vid_t side = checked_count(std::max(8.0, 40.0 * std::cbrt(s)));
     return {name, "grid3d", "UF G3_circuit", make_grid3d(side, side, side)};
   }
   if (name == "road-like") {
@@ -54,15 +82,15 @@ SuiteEntry make_suite_graph(const std::string& name, const SuiteOptions& opts) {
   if (name == "er-like") {
     const vid_t n = cnt(60000);
     return {name, "erdos-renyi", "uniform random baseline",
-            make_erdos_renyi_gnm(n, static_cast<eid_t>(n) * 5, opts.seed)};
+            make_erdos_renyi_gnm(n, eid_t{n} * 5, opts.seed)};
   }
   if (name == "citation-like") {
     return {name, "barabasi-albert", "SNAP citationCiteseer",
             make_barabasi_albert(cnt(60000), 8, opts.seed)};
   }
   if (name == "kron-like") {
-    const auto scale_log2 = static_cast<unsigned>(
-        std::max(10.0, std::round(16.0 + std::log2(s))));
+    const auto scale_log2 =
+        narrow<unsigned>(std::max(10.0, std::round(16.0 + std::log2(s))));
     return {name, "rmat", "DIMACS-10 kron_g500-logn16",
             make_rmat(scale_log2, 8, {}, opts.seed)};
   }

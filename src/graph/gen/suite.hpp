@@ -26,6 +26,21 @@ struct SuiteOptions {
   std::uint64_t seed = 1;
 };
 
+/// Largest accepted SuiteOptions::scale. The bound is what keeps every
+/// generator's vertex count inside vid_t and its arc count inside eid_t
+/// (the densest entry builds ~5n arcs from an ~n*scale vertex count, so
+/// 64 leaves orders of magnitude of headroom); make_suite_graph also
+/// re-checks each computed count before casting, so the two can never
+/// drift apart silently.
+inline constexpr double kMaxSuiteScale = 64.0;
+
+/// Throws std::invalid_argument unless `scale` is finite and in
+/// (0, kMaxSuiteScale]. Called by make_suite_graph, and by the service's
+/// gen: spec parser so an overflowing scale is a stable `bad_request` at
+/// submit time instead of a truncated graph (or an aborted server) at
+/// load time.
+void validate_suite_scale(double scale);
+
 /// Names of all suite graphs, in canonical order.
 std::vector<std::string> suite_names();
 

@@ -18,6 +18,7 @@
 
 #include "graph/io/io.hpp"
 #include "store/format.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -47,14 +48,14 @@ std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
   const std::istream::pos_type end = in.tellg();
   in.seekg(pos);
   if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
-  return static_cast<std::uint64_t>(end - pos);
+  return to_unsigned(std::streamoff(end - pos));
 }
 
 template <class T>
 void write_vec(std::ostream& out, std::span<const T> v) {
   write_pod<std::uint64_t>(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+            narrow<std::streamsize>(v.size() * sizeof(T)));
 }
 
 template <class T>
@@ -72,7 +73,7 @@ std::vector<T> read_vec(std::istream& in) {
   }
   std::vector<T> v(size);
   in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
+          narrow<std::streamsize>(size * sizeof(T)));
   if (!in) throw std::runtime_error("gbin: truncated array");
   return v;
 }
@@ -81,7 +82,7 @@ void write_padding(std::ostream& out, std::uint64_t from, std::uint64_t to) {
   static constexpr char kZeros[256] = {};
   while (from < to) {
     const std::uint64_t chunk = std::min<std::uint64_t>(to - from, 256);
-    out.write(kZeros, static_cast<std::streamsize>(chunk));
+    out.write(kZeros, narrow<std::streamsize>(chunk));
     from += chunk;
   }
 }
@@ -109,15 +110,15 @@ Csr load_binary_v2(std::istream& in, std::streamoff base) {
   }
 
   std::vector<eid_t> rows(h.num_vertices + 1);
-  in.seekg(base + static_cast<std::streamoff>(h.rows_offset));
+  in.seekg(base + narrow<std::streamoff>(h.rows_offset));
   in.read(reinterpret_cast<char*>(rows.data()),
-          static_cast<std::streamsize>(h.rows_bytes));
+          narrow<std::streamsize>(h.rows_bytes));
   if (!in) throw std::runtime_error("gbin2: truncated rows section");
 
   std::vector<vid_t> cols(h.num_arcs);
-  in.seekg(base + static_cast<std::streamoff>(h.cols_offset));
+  in.seekg(base + narrow<std::streamoff>(h.cols_offset));
   in.read(reinterpret_cast<char*>(cols.data()),
-          static_cast<std::streamsize>(h.cols_bytes));
+          narrow<std::streamsize>(h.cols_bytes));
   if (!in) throw std::runtime_error("gbin2: truncated cols section");
 
   // A heap load touches every byte anyway, so the checksums are free to
@@ -190,10 +191,10 @@ void save_binary_v2(std::ostream& out, const Csr& g) {
   write_pod(out, h);
   write_padding(out, sizeof h, h.rows_offset);
   out.write(reinterpret_cast<const char*>(rows.data()),
-            static_cast<std::streamsize>(h.rows_bytes));
+            narrow<std::streamsize>(h.rows_bytes));
   write_padding(out, h.rows_offset + h.rows_bytes, h.cols_offset);
   out.write(reinterpret_cast<const char*>(cols.data()),
-            static_cast<std::streamsize>(h.cols_bytes));
+            narrow<std::streamsize>(h.cols_bytes));
   if (!out) throw std::runtime_error("gbin2: write failed");
 }
 

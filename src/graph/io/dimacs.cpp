@@ -7,6 +7,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/io/io.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -28,7 +29,7 @@ Csr load_dimacs_color(std::istream& in) {
       if (!(ls >> tag >> nn >> mm) || (tag != "edge" && tag != "col")) {
         throw std::runtime_error("dimacs: bad problem line " + std::to_string(lineno));
       }
-      n = static_cast<vid_t>(nn);
+      n = narrow<vid_t>(nn);
       edges.reserve(mm);
       have_problem = true;
     } else if (kind == 'e') {
@@ -37,7 +38,7 @@ Csr load_dimacs_color(std::istream& in) {
       if (!(ls >> u >> v) || u == 0 || v == 0 || u > n || v > n) {
         throw std::runtime_error("dimacs: bad edge at line " + std::to_string(lineno));
       }
-      edges.emplace_back(static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1));
+      edges.emplace_back(narrow<vid_t>(u - 1), narrow<vid_t>(v - 1));
     } else if (kind == 'n') {
       // vertex-weight lines in some instances; irrelevant for coloring
       continue;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "graph/io/io.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -16,7 +17,8 @@ std::string extension_of(const std::string& path) {
   // formats; the service-layer registry also depends on extension handling
   // being canonical.
   std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
+    // lossy: tolower of an ASCII byte round-trips through int
+    return narrow_cast<char>(std::tolower(c));
   });
   return ext;
 }

@@ -8,6 +8,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/io/io.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -29,8 +30,8 @@ Csr load_edge_list(std::istream& in, vid_t min_vertices) {
       throw std::runtime_error("edge list: vertex id too large at line " +
                                std::to_string(lineno));
     }
-    edges.emplace_back(static_cast<vid_t>(u), static_cast<vid_t>(v));
-    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+    edges.emplace_back(narrow<vid_t>(u), narrow<vid_t>(v));
+    max_id = std::max({max_id, narrow<vid_t>(u), narrow<vid_t>(v)});
   }
   const vid_t n = edges.empty() && min_vertices == 0 ? 0 : max_id + 1;
   return GraphBuilder::from_edges(n, edges);

@@ -9,13 +9,17 @@
 
 #include "graph/builder.hpp"
 #include "graph/io/io.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
 namespace {
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+                 [](unsigned char c) {
+                   // lossy: tolower of an ASCII byte round-trips through int
+                   return narrow_cast<char>(std::tolower(c));
+                 });
   return s;
 }
 }  // namespace
@@ -61,10 +65,10 @@ Csr load_matrix_market(std::istream& in) {
     if (i == 0 || j == 0 || i > rows || j > cols) {
       throw std::runtime_error("mtx: index out of range");
     }
-    edges.emplace_back(static_cast<vid_t>(i - 1), static_cast<vid_t>(j - 1));
+    edges.emplace_back(narrow<vid_t>(i - 1), narrow<vid_t>(j - 1));
   }
   // Builder symmetrizes, so both 'general' and 'symmetric' inputs work.
-  return GraphBuilder::from_edges(static_cast<vid_t>(rows), edges);
+  return GraphBuilder::from_edges(narrow<vid_t>(rows), edges);
 }
 
 void save_matrix_market(std::ostream& out, const Csr& g) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -19,13 +20,18 @@ inline std::uint64_t weight_prefix(std::span<const eid_t> rows, vid_t v) {
 unsigned Partition::shard_of(vid_t v) const {
   GCG_EXPECT(!bounds.empty() && v < bounds.back());
   const auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
-  return static_cast<unsigned>(it - bounds.begin()) - 1;
+  return narrow<unsigned>(it - bounds.begin()) - 1;
 }
 
 Partition partition_edge_balanced(const Csr& g, unsigned shards) {
-  const vid_t n = g.num_vertices();
+  return partition_edge_balanced(g.row_offsets(), shards);
+}
+
+Partition partition_edge_balanced(std::span<const eid_t> rows,
+                                  unsigned shards) {
+  GCG_EXPECT(!rows.empty() && rows.front() == 0);
+  const vid_t n = narrow<vid_t>(rows.size() - 1);
   shards = std::max(1u, std::min(shards, std::max(vid_t{1}, n)));
-  const std::span<const eid_t> rows = g.row_offsets();
 
   Partition p;
   p.bounds.resize(shards + 1);

@@ -9,9 +9,11 @@
 // bit-stable results.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -21,7 +23,7 @@ struct Partition {
   std::vector<vid_t> bounds;  ///< size num_shards()+1; bounds[0] == 0
 
   unsigned num_shards() const {
-    return bounds.empty() ? 0 : static_cast<unsigned>(bounds.size() - 1);
+    return bounds.empty() ? 0 : narrow<unsigned>(bounds.size() - 1);
   }
   vid_t begin(unsigned shard) const { return bounds[shard]; }
   vid_t end(unsigned shard) const { return bounds[shard + 1]; }
@@ -40,6 +42,15 @@ struct Partition {
 /// share, so no shard can exceed total/shards + (max_degree + 1).
 /// `shards` is clamped to [1, max(1, n)].
 Partition partition_edge_balanced(const Csr& g, unsigned shards);
+
+/// Offsets-based entry point: `row_offsets` is a CSR row-offset prefix
+/// (size n+1, row_offsets[0] == 0, monotone). All cumulative-weight
+/// arithmetic is 64-bit by construction — row_offsets is eid_t — so
+/// degree sums past UINT32_MAX split correctly; the 32/64 seam tests in
+/// tests/graph/test_partition.cpp fabricate such prefixes directly
+/// rather than materialising multi-gigabyte graphs.
+Partition partition_edge_balanced(std::span<const eid_t> row_offsets,
+                                  unsigned shards);
 
 /// Cross-shard structure of a partition — what the conflict-resolution
 /// cost of a sharded coloring depends on.

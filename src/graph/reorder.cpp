@@ -6,6 +6,7 @@
 
 #include "graph/builder.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg {
@@ -86,7 +87,7 @@ std::vector<vid_t> make_order(const Csr& g, Order o, std::uint64_t seed) {
       // equivalent to shuffling directly since uniform.
       Xoshiro256ss rng(seed);
       for (vid_t i = n; i > 1; --i) {
-        const auto j = static_cast<vid_t>(rng.bounded(i));
+        const auto j = narrow<vid_t>(rng.bounded(i));
         std::swap(perm[i - 1], perm[j]);
       }
       return perm;
@@ -127,7 +128,7 @@ Csr apply_order(const Csr& g, const std::vector<vid_t>& perm) {
   const vid_t n = g.num_vertices();
   GCG_EXPECT(is_permutation(perm, n));
   // Build new CSR directly: degree of new id perm[v] = degree of v.
-  std::vector<eid_t> rows(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<eid_t> rows(std::size_t{n} + 1, 0);
   for (vid_t v = 0; v < n; ++v) rows[perm[v] + 1] = g.degree(v);
   for (std::size_t i = 1; i < rows.size(); ++i) rows[i] += rows[i - 1];
   std::vector<vid_t> cols(g.num_arcs());
@@ -136,7 +137,8 @@ Csr apply_order(const Csr& g, const std::vector<vid_t>& perm) {
     scratch.clear();
     for (vid_t u : g.neighbors(v)) scratch.push_back(perm[u]);
     std::sort(scratch.begin(), scratch.end());
-    std::copy(scratch.begin(), scratch.end(), cols.begin() + rows[perm[v]]);
+    std::copy(scratch.begin(), scratch.end(),
+              cols.begin() + to_signed(rows[perm[v]]));
   }
   return Csr(std::move(rows), std::move(cols));
 }

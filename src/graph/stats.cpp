@@ -4,6 +4,7 @@
 #include <queue>
 #include <sstream>
 
+#include "util/narrow.hpp"
 #include "util/stats.hpp"
 
 namespace gcg {
@@ -21,8 +22,8 @@ GraphStats compute_stats(const Csr& g) {
   }
   if (s.n > 0) {
     s.avg_degree = deg.summary().mean();
-    s.min_degree = static_cast<vid_t>(deg.summary().min());
-    s.max_degree = static_cast<vid_t>(deg.summary().max());
+    s.min_degree = narrow<vid_t>(deg.summary().min());
+    s.max_degree = narrow<vid_t>(deg.summary().max());
     s.degree_stddev = deg.summary().stddev();
     s.degree_cv = deg.summary().cv();
     s.degree_gini = deg.gini();

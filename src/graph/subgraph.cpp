@@ -5,6 +5,7 @@
 #include "graph/builder.hpp"
 #include "graph/stats.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -14,11 +15,11 @@ Subgraph induced_subgraph(const Csr& g, const std::vector<bool>& keep) {
   out.to_new.assign(g.num_vertices(), Subgraph::kNotInSubgraph);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     if (keep[v]) {
-      out.to_new[v] = static_cast<vid_t>(out.to_old.size());
+      out.to_new[v] = narrow<vid_t>(out.to_old.size());
       out.to_old.push_back(v);
     }
   }
-  GraphBuilder b(static_cast<vid_t>(out.to_old.size()));
+  GraphBuilder b(narrow<vid_t>(out.to_old.size()));
   for (vid_t nv = 0; nv < out.to_old.size(); ++nv) {
     const vid_t v = out.to_old[nv];
     for (vid_t u : g.neighbors(v)) {
@@ -40,7 +41,7 @@ RangeSubgraph extract_subgraph(const Csr& g, vid_t begin, vid_t end) {
 
   std::vector<eid_t> rows(local + 1, 0);
   std::vector<vid_t> cols;
-  cols.reserve(static_cast<std::size_t>(g.row_offsets()[end] -
+  cols.reserve(narrow<std::size_t>(g.row_offsets()[end] -
                                         g.row_offsets()[begin]));
   for (vid_t i = 0; i < local; ++i) {
     const vid_t v = begin + i;
@@ -53,7 +54,7 @@ RangeSubgraph extract_subgraph(const Csr& g, vid_t begin, vid_t end) {
         out.ghosts.push_back(u);
       }
     }
-    rows[i + 1] = static_cast<eid_t>(cols.size());
+    rows[i + 1] = eid_t{cols.size()};
   }
   for (const std::uint8_t b : out.is_boundary) out.num_boundary += b;
   std::sort(out.ghosts.begin(), out.ghosts.end());
@@ -91,7 +92,7 @@ Subgraph largest_component(const Csr& g) {
   const vid_t num_components = connected_components(g, &labels);
   std::vector<vid_t> size(num_components, 0);
   for (vid_t label : labels) ++size[label];
-  const vid_t biggest = static_cast<vid_t>(
+  const vid_t biggest = narrow<vid_t>(
       std::max_element(size.begin(), size.end()) - size.begin());
   std::vector<bool> keep(g.num_vertices());
   for (vid_t v = 0; v < g.num_vertices(); ++v) keep[v] = (labels[v] == biggest);

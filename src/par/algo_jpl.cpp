@@ -55,7 +55,7 @@ void run_jpl(DriverState& st) {
     frontier.rebuild(
         [&](vid_t v, unsigned w) {
           if (!wins[v]) return true;
-          store_color(st.colors[v], scratch[w]->first_fit(st.g, st.colors, v,
+          store_color(st.colors[v], scratch[w]->first_fit(st.g, st.colors.cspan(), v,
                                                           st.stamp_hint(v)));
           return false;
         },

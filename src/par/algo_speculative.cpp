@@ -38,7 +38,7 @@ void run_speculative(DriverState& st) {
     // one worker walking a giant neighbour list alone.
     frontier.phase(
         [&](vid_t v, unsigned w) {
-          store_color(st.colors[v], scratch[w]->first_fit(st.g, st.colors, v,
+          store_color(st.colors[v], scratch[w]->first_fit(st.g, st.colors.cspan(), v,
                                                           st.stamp_hint(v)));
         },
         [&](vid_t v) {

@@ -21,6 +21,7 @@
 #include "par/detail/driver.hpp"
 #include "par/steal_pool.hpp"
 #include "sched/chunk.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg::par::detail {
@@ -106,7 +107,7 @@ void run_steal(DriverState& st) {
         const vid_t v = frontier[i];
         if (flags[v] & kFlagMax) {
           const color_t c =
-              scratch[w]->first_fit(st.g, st.colors, v, st.stamp_hint(v));
+              scratch[w]->first_fit(st.g, st.colors.cspan(), v, st.stamp_hint(v));
           store_color(st.colors[v], c);
           wmax[w] = std::max(wmax[w], c + 1);
         }
@@ -129,7 +130,7 @@ void run_steal(DriverState& st) {
         if (flags[v] & kFlagMax) continue;
         color_t c;
         if (use_min && (flags[v] & kFlagMin) &&
-            (c = scratch[w]->first_fit(st.g, st.colors, v,
+            (c = scratch[w]->first_fit(st.g, st.colors.cspan(), v,
                                        st.stamp_hint(v))) < palette) {
           store_color(st.colors[v], c);
         } else {
@@ -138,7 +139,7 @@ void run_steal(DriverState& st) {
       }
       if (!survivors.empty()) {
         std::uint32_t at =
-            app.claim(static_cast<std::uint32_t>(survivors.size()));
+            app.claim(narrow<std::uint32_t>(survivors.size()));
         for (vid_t v : survivors) next[at++] = v;
       }
     });

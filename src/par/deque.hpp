@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/sync.hpp"
 
 namespace gcg::par {
@@ -48,7 +49,7 @@ class WorkStealingDeque {
   }
 
   std::uint32_t capacity() const {
-    return static_cast<std::uint32_t>(buffer_.size());
+    return narrow<std::uint32_t>(buffer_.size());
   }
 
   /// Racy size hint for victim selection — may be stale, never negative.
@@ -67,8 +68,8 @@ class WorkStealingDeque {
     // order: acquire pairs with thieves' seq_cst CAS on top_ so the
     // capacity assert below sees an up-to-date lower bound (PPoPP'13).
     const std::int64_t t = top_.load(std::memory_order_acquire);
-    GCG_ASSERT(b - t < static_cast<std::int64_t>(buffer_.size()));
-    buffer_[static_cast<std::size_t>(b) & mask_] = item;
+    GCG_ASSERT(b - t < to_signed(buffer_.size()));
+    buffer_[to_unsigned(b) & mask_] = item;
     // order: release publishes the buffer slot write above to thieves'
     // acquire load of bottom_ in steal().
     bottom_.store(b + 1, std::memory_order_release);
@@ -85,7 +86,7 @@ class WorkStealingDeque {
     sync::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t <= b) {
-      T item = buffer_[static_cast<std::size_t>(b) & mask_];
+      T item = buffer_[to_unsigned(b) & mask_];
       if (t == b) {
         // Last element: race the thieves for it.
         // order: seq_cst CAS arbitrates owner vs thief on the single
@@ -119,7 +120,7 @@ class WorkStealingDeque {
     sync::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t < b) {
-      T item = buffer_[static_cast<std::size_t>(t) & mask_];
+      T item = buffer_[to_unsigned(t) & mask_];
       // order: seq_cst CAS claims the slot against the owner and rival
       // thieves; relaxed on failure — a lost race abandons the attempt.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,

@@ -70,6 +70,10 @@ class FirstTouchArray {
   const T* end() const { return buf_.get() + size_; }
   operator std::span<T>() { return {data(), size_}; }
   operator std::span<const T>() const { return {data(), size_}; }
+  /// Explicit const view for contexts where overload resolution would
+  /// otherwise weigh the conversion operator against span's range
+  /// constructor (gcc reports that tie under -Wconversion).
+  std::span<const T> cspan() const { return {data(), size_}; }
 
   void swap(FirstTouchArray& other) {
     buf_.swap(other.buf_);

@@ -12,6 +12,7 @@
 #include "par/detail/arena.hpp"
 #include "par/pool.hpp"
 #include "par/runner.hpp"
+#include "util/narrow.hpp"
 #include "util/expect.hpp"
 #include "util/simd.hpp"
 
@@ -34,7 +35,7 @@ struct DriverState {
     run.workers.resize(pool.size());
     // Start-word hints for the stamp-fallback first-fit; only graphs with
     // a vertex whose palette can exceed the bitset cap ever consult them.
-    if (static_cast<std::size_t>(graph.max_degree()) + 1 >
+    if (std::size_t{graph.max_degree()} + 1 >
         kFirstFitBitsetCap) {
       stamp_hints.assign(graph.num_vertices(), 0);
     }
@@ -107,7 +108,7 @@ struct FirstFitScratch {
   static constexpr std::size_t kBitsetColorCap = kFirstFitBitsetCap;
 
   explicit FirstFitScratch(vid_t max_degree) {
-    const std::size_t colors = static_cast<std::size_t>(max_degree) + 1;
+    const std::size_t colors = std::size_t{max_degree} + 1;
     words.assign((std::min(colors, kBitsetColorCap) + 63) / 64, 0);
     if (colors > kBitsetColorCap) {
       // One slack word so the first-zero scan always terminates in range
@@ -127,7 +128,7 @@ struct FirstFitScratch {
                     std::uint32_t* hint = nullptr) {
     // At most degree(v) colors are forbidden, so the answer is at most
     // degree(v) and neighbour colors beyond that bound are irrelevant.
-    const std::size_t limit = static_cast<std::size_t>(g.degree(v)) + 1;
+    const std::size_t limit = std::size_t{g.degree(v)} + 1;
     return limit <= kBitsetColorCap ? bitset_fit(g, colors, v, limit)
                                     : stamp_fit(g, colors, v, hint);
   }
@@ -145,15 +146,15 @@ struct FirstFitScratch {
     for (vid_t u : g.neighbors(v)) {
       // kUncolored (-1) wraps to UINT32_MAX, so one compare rejects both
       // uncolored neighbours and colors too large to matter.
-      const auto c = static_cast<std::uint32_t>(load_color(colors[u]));
+      // lossy: see the comment above — the -1 wrap is the mechanism
+      const auto c = narrow_cast<std::uint32_t>(load_color(colors[u]));
       if (c < limit) words[c >> 6] |= std::uint64_t{1} << (c & 63);
     }
     // A zero bit below `limit` always exists: at most limit-1 neighbours
     // marked bits among limit candidates.
     const std::size_t k = simd::first_not_full_word(words.data(), nw);
     GCG_ASSERT(k < nw);
-    return static_cast<color_t>(
-        k * 64 + static_cast<std::size_t>(std::countr_one(words[k])));
+    return narrow<color_t>(k * 64 + to_unsigned(std::countr_one(words[k])));
   }
 
   /// Effective value of fallback word k this call (0 unless re-marked).
@@ -175,7 +176,8 @@ struct FirstFitScratch {
     std::uint64_t below = 0;
     for (vid_t u : g.neighbors(v)) {
       const color_t c = load_color(colors[u]);
-      const auto idx = static_cast<std::size_t>(c);
+      // lossy: kUncolored wraps to SIZE_MAX; the bounds test rejects it
+      const auto idx = narrow_cast<std::size_t>(c);
       if (c == kUncolored || (idx >> 6) >= fb_bits.size()) continue;
       const std::size_t k = idx >> 6;
       const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
@@ -186,15 +188,14 @@ struct FirstFitScratch {
         if (k < start) ++below;
       }
     }
-    std::size_t k = below == static_cast<std::uint64_t>(start) * 64 ? start : 0;
+    std::size_t k = below == std::uint64_t{start} * 64 ? start : 0;
     for (;; ++k) {
       const std::uint64_t w = fb_word(k);
       if (w != ~std::uint64_t{0}) {
         // Every word before k was saturated this call, so k is a proven
         // start word for the next call on this vertex.
-        if (hint != nullptr) *hint = static_cast<std::uint32_t>(k);
-        return static_cast<color_t>(
-            k * 64 + static_cast<std::size_t>(std::countr_one(w)));
+        if (hint != nullptr) *hint = narrow<std::uint32_t>(k);
+        return narrow<color_t>(k * 64 + to_unsigned(std::countr_one(w)));
       }
     }
   }

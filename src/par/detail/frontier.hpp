@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "par/detail/driver.hpp"
+#include "util/narrow.hpp"
 #include "util/simd.hpp"
 #include "util/sync.hpp"
 
@@ -44,7 +45,7 @@ inline constexpr std::uint32_t kHubSliceGrain = 2048;
 /// stripes are OR-reduced after the barrier.
 struct HubScratch {
   HubScratch(vid_t max_degree, unsigned workers)
-      : nwords((static_cast<std::size_t>(max_degree) + 1 + 63) / 64),
+      : nwords((std::size_t{max_degree} + 1 + 63) / 64),
         mask(nwords * workers, 0) {}
 
   std::uint64_t* worker_mask(unsigned w) { return mask.data() + w * nwords; }
@@ -61,7 +62,7 @@ struct HubScratch {
 /// called outside any parallel region.
 inline color_t coop_first_fit(DriverState& st, HubScratch& hs, vid_t v) {
   const vid_t deg = st.g.degree(v);
-  const std::size_t limit = static_cast<std::size_t>(deg) + 1;
+  const std::size_t limit = std::size_t{deg} + 1;
   const std::size_t nw = (limit + 63) / 64;
   const unsigned workers = st.pool.size();
   for (unsigned w = 0; w < workers; ++w) {
@@ -74,8 +75,8 @@ inline color_t coop_first_fit(DriverState& st, HubScratch& hs, vid_t v) {
         BusyTimer timer(st.run.workers[w]);
         std::uint64_t* mine = hs.worker_mask(w);
         for (std::uint32_t i = b; i < e; ++i) {
-          const auto c =
-              static_cast<std::uint32_t>(load_color(st.colors[nbrs[i]]));
+          // lossy: kUncolored (-1) wraps to UINT32_MAX; c < limit rejects it
+          const auto c = narrow_cast<std::uint32_t>(load_color(st.colors[nbrs[i]]));
           if (c < limit) mine[c >> 6] |= std::uint64_t{1} << (c & 63);
         }
       });
@@ -87,8 +88,7 @@ inline color_t coop_first_fit(DriverState& st, HubScratch& hs, vid_t v) {
   // A zero bit below `limit` always exists (deg neighbours, deg+1 slots).
   const std::size_t k = simd::first_not_full_word(merged, nw);
   GCG_ASSERT(k < nw);
-  return static_cast<color_t>(
-      k * 64 + static_cast<std::size_t>(std::countr_one(merged[k])));
+  return narrow<color_t>(k * 64 + to_unsigned(std::countr_one(merged[k])));
 }
 
 /// True if any neighbour of the hub satisfies pred; workers scan slices
@@ -140,7 +140,7 @@ class FrontierExec {
         if (st_.g.degree(v) > plan_.hub_threshold) hubs_.push_back(v);
       }
     }
-    wsize_ = n - static_cast<std::uint32_t>(hubs_.size());
+    wsize_ = n - narrow<std::uint32_t>(hubs_.size());
     dense_ = wsize_ >= plan_.dense_min;
     if (dense_) {
       // First-touched in worker slices: the stamp bitmap is the densest
@@ -162,7 +162,7 @@ class FrontierExec {
 
   /// Active vertices (normal + hub) still uncommitted.
   std::uint32_t active() const {
-    return wsize_ + static_cast<std::uint32_t>(hubs_.size());
+    return wsize_ + narrow<std::uint32_t>(hubs_.size());
   }
 
   std::span<const vid_t> hubs() const { return hubs_; }
@@ -179,7 +179,7 @@ class FrontierExec {
       if (dense_) {
         for (std::uint32_t v = b; v < e; ++v) {
           if (stamps_[v] == round_) {
-            fn(static_cast<vid_t>(v), w);
+            fn(vid_t{v}, w);
             ++seen;
           }
         }
@@ -209,7 +209,7 @@ class FrontierExec {
         std::uint32_t kept = 0;
         for (std::uint32_t v = b; v < e; ++v) {
           if (stamps_[v] != round_) continue;
-          if (keep(static_cast<vid_t>(v), w)) {
+          if (keep(vid_t{v}, w)) {
             stamps_[v] = round_ + 1;
             ++kept;
           }
@@ -229,7 +229,7 @@ class FrontierExec {
           if (keep(v, w)) kept.push_back(v);
         }
         if (!kept.empty()) {
-          std::uint32_t at = app.claim(static_cast<std::uint32_t>(kept.size()));
+          std::uint32_t at = app.claim(narrow<std::uint32_t>(kept.size()));
           for (vid_t v : kept) next_[at++] = v;
         }
       });
@@ -303,7 +303,7 @@ class FrontierExec {
   /// Serial degree prefix over the worklist; sparse mode only, where the
   /// frontier is by definition a small fraction of the graph.
   void refresh_prefix() {
-    prefix_.resize(static_cast<std::size_t>(wsize_) + 1);
+    prefix_.resize(std::size_t{wsize_} + 1);
     prefix_[0] = 0;
     for (std::uint32_t i = 0; i < wsize_; ++i) {
       prefix_[i + 1] = prefix_[i] + st_.g.degree(worklist_[i]);

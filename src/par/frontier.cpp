@@ -1,4 +1,5 @@
 #include "par/detail/frontier.hpp"
+#include "util/narrow.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -27,7 +28,7 @@ SchedulePlan make_plan(const Csr& g, const ParOptions& opts, unsigned workers) {
     // Auto: far above the typical degree, so only true stragglers — the
     // vertices that would pin one worker for a whole phase — go
     // cooperative.
-    threshold = static_cast<std::uint32_t>(
+    threshold = narrow<std::uint32_t>(
         std::max(kMinAutoHubDegree, 16.0 * g.avg_degree()));
   }
   plan.hub_threshold = threshold;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/stress.hpp"
 
 namespace gcg::par {
@@ -65,7 +66,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& body) {
     sync::LockGuard lock(mu_);
     GCG_ASSERT(outstanding_ == 0);  // reentrant run() would deadlock
     job_ = &body;
-    outstanding_ = static_cast<unsigned>(helpers_.size());
+    outstanding_ = narrow<unsigned>(helpers_.size());
     ++generation_;
   }
   start_cv_.notify_all();
@@ -110,8 +111,8 @@ void ThreadPool::parallel_for_edges(
     if (k >= num_chunks) return n;
     const std::uint64_t* it =
         std::lower_bound(prefix, prefix + n + 1, k * grain_weight);
-    return static_cast<std::uint32_t>(
-        std::min<std::size_t>(static_cast<std::size_t>(it - prefix), n));
+    return narrow<std::uint32_t>(
+        std::min<std::size_t>(to_unsigned(it - prefix), n));
   };
   sync::atomic<std::uint64_t> cursor{0};
   run([&](unsigned worker) {

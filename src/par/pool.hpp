@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/narrow.hpp"
 #include "util/numa.hpp"
 #include "util/sync.hpp"
 
@@ -35,7 +36,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  unsigned size() const { return static_cast<unsigned>(helpers_.size()) + 1; }
+  unsigned size() const { return narrow<unsigned>(helpers_.size()) + 1; }
 
   /// Runs body(worker) exactly once on every worker and returns when all
   /// of them finished (a full barrier). Not reentrant: body must not call
@@ -72,7 +73,7 @@ class ThreadPool {
   const std::vector<unsigned>& worker_nodes() const { return worker_nodes_; }
   unsigned node_of(unsigned worker) const { return worker_nodes_[worker]; }
   unsigned num_nodes() const {
-    return static_cast<unsigned>(topo_.num_nodes());
+    return narrow<unsigned>(topo_.num_nodes());
   }
   const numa::Topology& topology() const { return topo_; }
 

@@ -7,6 +7,7 @@
 #include "coloring/priorities.hpp"
 #include "par/pool.hpp"
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 
 namespace gcg::par {
@@ -30,12 +31,12 @@ color_t first_fit(const Csr& g, std::span<const color_t> colors, vid_t v,
   scratch.assign(deg + 1u, 0);
   for (vid_t u : g.neighbors(v)) {
     const color_t c = colors[u];
-    if (c >= 0 && static_cast<vid_t>(c) <= deg) scratch[c] = 1;
+    if (c >= 0 && to_unsigned(c) <= deg) scratch[to_unsigned(c)] = 1;
   }
   for (vid_t c = 0; c <= deg; ++c) {
-    if (!scratch[c]) return static_cast<color_t>(c);
+    if (!scratch[c]) return narrow<color_t>(c);
   }
-  return static_cast<color_t>(deg + 1);  // unreachable: deg+1 slots, deg marks
+  return narrow<color_t>(deg + 1);  // unreachable: deg+1 slots, deg marks
 }
 
 }  // namespace
@@ -85,7 +86,7 @@ RepairRun repair_subset(const Csr& g, std::span<color_t> colors,
 
     if (opts.pool != nullptr && winners.size() > 1) {
       opts.pool->parallel_for(
-          static_cast<std::uint32_t>(winners.size()), 64,
+          narrow<std::uint32_t>(winners.size()), 64,
           [&](std::uint32_t b, std::uint32_t e, unsigned) {
             std::vector<std::uint8_t> local_scratch;
             for (std::uint32_t i = b; i < e; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 #include "util/stress.hpp"
 
 namespace gcg::par {
@@ -44,7 +45,7 @@ void StealPool::fill(const std::vector<std::vector<Chunk>>& per_worker) {
     auto& dq = slots_[w]->deque;
     const auto& chunks = per_worker[w];
     if (dq.capacity() < chunks.size()) {
-      dq.reserve(static_cast<std::uint32_t>(chunks.size()));
+      dq.reserve(narrow<std::uint32_t>(chunks.size()));
     } else {
       dq.reset();
     }
@@ -54,7 +55,7 @@ void StealPool::fill(const std::vector<std::vector<Chunk>>& per_worker) {
     for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
       dq.push_bottom(*it);
     }
-    total += static_cast<std::int64_t>(chunks.size());
+    total += to_signed(chunks.size());
   }
   // order: release publishes the freshly filled deques to workers whose
   // drained() acquire load observes the new count.
@@ -96,12 +97,12 @@ std::optional<Chunk> StealPool::try_victim(unsigned thief, unsigned victim) {
 std::optional<Chunk> StealPool::steal_from(
     unsigned thief, VictimPolicy policy, Xoshiro256ss& rng,
     const std::vector<unsigned>& victims) {
-  const auto n = static_cast<unsigned>(victims.size());
+  const auto n = narrow<unsigned>(victims.size());
   if (n == 0) return std::nullopt;
   switch (policy) {
     case VictimPolicy::kRandom: {
       for (unsigned tries = 0; tries < n; ++tries) {
-        const unsigned victim = victims[static_cast<unsigned>(rng.bounded(n))];
+        const unsigned victim = victims[narrow<unsigned>(rng.bounded(n))];
         if (auto c = try_victim(thief, victim)) return c;
       }
       return std::nullopt;
@@ -148,7 +149,7 @@ std::optional<Chunk> StealPool::steal(unsigned thief, VictimPolicy policy,
     case VictimPolicy::kRandom: {
       // A few uniform probes, like the simulated queues' bounded retry.
       for (unsigned tries = 0; tries < n; ++tries) {
-        const auto victim = static_cast<unsigned>(rng.bounded(n));
+        const auto victim = narrow<unsigned>(rng.bounded(n));
         if (auto c = try_victim(thief, victim)) return c;
       }
       return std::nullopt;

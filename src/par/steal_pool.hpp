@@ -17,6 +17,7 @@
 #include "par/deque.hpp"
 #include "sched/chunk.hpp"
 #include "sched/steal_queues.hpp"  // VictimPolicy, StealStats
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 
@@ -31,7 +32,7 @@ class StealPool {
   /// across fills; see reset_stats().
   void fill(const std::vector<std::vector<Chunk>>& per_worker);
 
-  unsigned workers() const { return static_cast<unsigned>(slots_.size()); }
+  unsigned workers() const { return narrow<unsigned>(slots_.size()); }
 
   /// Installs a NUMA node id per worker (ThreadPool::worker_nodes()).
   /// With at least two distinct nodes present, every steal runs its

@@ -13,6 +13,7 @@
 #include "par/pool.hpp"
 #include "par/repair.hpp"
 #include "util/log.hpp"
+#include "util/narrow.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 
@@ -284,7 +285,7 @@ std::vector<color_t> Coordinator::color(const Csr& g, const ShardJob& job,
       if (!losers[s].empty()) active.push_back(s);
     }
     std::vector<svc::ShardRepairReply> fixes(active.size());
-    fan_out(static_cast<unsigned>(active.size()), [&](unsigned i) {
+    fan_out(narrow<unsigned>(active.size()), [&](unsigned i) {
       const unsigned s = active[i];
       svc::ShardRepairRequest rq;
       rq.graph = job.graph;

@@ -35,6 +35,7 @@
 #include "shard/process.hpp"
 #include "shard/worker.hpp"
 #include "svc/client.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::shard {
 
@@ -107,7 +108,7 @@ class Coordinator {
   std::vector<color_t> color(const Csr& g, const ShardJob& job,
                              ShardRunStats* stats = nullptr);
 
-  unsigned workers() const { return static_cast<unsigned>(fleet_.size()); }
+  unsigned workers() const { return narrow<unsigned>(fleet_.size()); }
 
  private:
   struct WorkerHandle {

@@ -1,4 +1,5 @@
 #include "simgpu/group.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::simgpu {
 
@@ -11,8 +12,8 @@ Group::Group(const DeviceConfig& cfg, std::uint64_t group_id,
   waves_.reserve(nwaves);
   for (unsigned w = 0; w < nwaves; ++w) {
     const std::uint64_t first = group_id * group_size + w * wf;
-    const unsigned width =
-        std::min<std::uint64_t>(wf, group_size - w * static_cast<std::uint64_t>(wf));
+    const unsigned width = narrow<unsigned>(
+        std::min<std::uint64_t>(wf, group_size - w * std::uint64_t{wf}));
     // Lanes past the grid edge exist but are invalid (masked off), exactly
     // like a partially-filled trailing wavefront on hardware.
     waves_.emplace_back(cfg, first, width, grid_size);

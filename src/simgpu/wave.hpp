@@ -211,7 +211,7 @@ class Wave {
       const std::uint64_t buffer = cache_->buffer_key(base);
       std::uint64_t hit = 0;
       for (std::uint64_t k = 0; k < lines_seen; ++k) {
-        hit += cache_->access(buffer + lines[k]) ? 1 : 0;
+        if (cache_->access(buffer + lines[k])) ++hit;
       }
       cost_.mem_lines_hit += hit;
       if (hit == lines_seen) cost_.mem_instructions_hit += 1;

@@ -8,6 +8,7 @@
 
 #include "graph/io/io.hpp"
 #include "par/pool.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::store {
 
@@ -36,9 +37,9 @@ HeaderV2 checked_header(const Mapping& m) {
 
 std::size_t file_size_of(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  const std::streamoff size = in ? static_cast<std::streamoff>(in.tellg())
-                                 : std::streamoff{0};
-  return size > 0 ? static_cast<std::size_t>(size) : 0;
+  std::streamoff size = 0;
+  if (in) size = in.tellg();
+  return size > 0 ? to_unsigned(size) : std::size_t{0};
 }
 
 }  // namespace
@@ -77,10 +78,10 @@ std::shared_ptr<const MappedGraph> MappedGraph::open(const std::string& path,
     }
     const std::span<const eid_t> rows{
         reinterpret_cast<const eid_t*>(m.data() + h.rows_offset),
-        static_cast<std::size_t>(h.num_vertices + 1)};
+        narrow<std::size_t>(h.num_vertices + 1)};
     const std::span<const vid_t> cols{
         reinterpret_cast<const vid_t*>(m.data() + h.cols_offset),
-        static_cast<std::size_t>(h.num_arcs)};
+        narrow<std::size_t>(h.num_arcs)};
     // The view's keepalive is the mapping itself: a Csr copied out of
     // here stays valid even after the MappedGraph handle is dropped.
     out->graph_ = Csr::view(rows, cols, out->mapping_);
@@ -116,7 +117,7 @@ std::size_t MappedGraph::warmup(par::ThreadPool* pool) const {
   const std::uint8_t* base = mapping_->data();
   const std::size_t psz = Mapping::page_size();
   const std::size_t bytes = mapping_->size();
-  const auto pages = static_cast<std::uint32_t>((bytes + psz - 1) / psz);
+  const auto pages = narrow<std::uint32_t>((bytes + psz - 1) / psz);
 
   // One byte per page is enough to fault it in; the running sum keeps
   // the loop observable so it cannot be optimized to nothing.

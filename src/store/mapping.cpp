@@ -1,4 +1,5 @@
 #include "store/mapping.hpp"
+#include "util/narrow.hpp"
 
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -76,7 +77,7 @@ std::shared_ptr<const Mapping> Mapping::open(const std::string& path,
     throw std::runtime_error("store: " + path + " is empty");
   }
 
-  const auto size = static_cast<std::size_t>(st.st_size);
+  const auto size = to_unsigned(std::int64_t{st.st_size});
   void* base = MAP_FAILED;
   bool huge = false;
   if (opts.huge_pages) {
@@ -133,7 +134,7 @@ ResidencyStats Mapping::residency() const {
 
 std::size_t Mapping::page_size() {
   const long ps = ::sysconf(_SC_PAGESIZE);
-  return ps > 0 ? static_cast<std::size_t>(ps) : 4096;
+  return ps > 0 ? to_unsigned(ps) : std::size_t{4096};
 }
 
 }  // namespace gcg::store

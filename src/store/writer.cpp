@@ -8,6 +8,7 @@
 
 #include "graph/io/io.hpp"
 #include "store/mapped_graph.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::store {
 
@@ -16,7 +17,7 @@ namespace {
 std::size_t size_or_zero(const std::string& path) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
-  return ec ? 0 : static_cast<std::size_t>(size);
+  return ec ? 0 : narrow<std::size_t>(size);
 }
 
 }  // namespace
@@ -63,7 +64,8 @@ PackResult pack(const std::string& input, const std::string& output,
 std::string default_pack_target(const std::string& input) {
   const std::filesystem::path p(input);
   std::string ext = p.extension().string();
-  for (char& c : ext) c = static_cast<char>(std::tolower(c));
+  // lossy: tolower of an ASCII byte round-trips through int
+  for (char& c : ext) c = narrow_cast<char>(std::tolower(c));
   if (ext == ".gbin") {
     std::filesystem::path target = p;
     target.replace_extension(".v2.gbin");

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "svc/protocol.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::svc {
 
@@ -115,7 +116,7 @@ Json Client::request(const Json& req) {
       throw std::runtime_error(std::string("client: write(): ") +
                                std::strerror(errno));
     }
-    off += static_cast<std::size_t>(n);
+    off += to_unsigned(n);
   }
 
   while (true) {
@@ -135,7 +136,7 @@ Json Client::request(const Json& req) {
       }
       pollfd pfd{fd_, POLLIN, 0};
       const int r = ::poll(&pfd, 1,
-                           static_cast<int>(std::min(left + 1.0, 1.0e9)));
+                           narrow<int>(std::min(left + 1.0, 1.0e9)));
       if (r < 0) {
         if (errno == EINTR) continue;
         throw std::runtime_error(std::string("client: poll(): ") +
@@ -153,7 +154,7 @@ Json Client::request(const Json& req) {
     if (n == 0) {
       throw std::runtime_error("client: server closed the connection");
     }
-    buf_.append(chunk, static_cast<std::size_t>(n));
+    buf_.append(chunk, to_unsigned(n));
   }
 }
 

@@ -10,6 +10,7 @@
 #include "graph/gen/suite.hpp"
 #include "graph/io/io.hpp"
 #include "graph/reorder.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::svc {
 
@@ -64,6 +65,12 @@ GenSpec parse_gen_spec(const std::string& spec) {
       if (ec != std::errc() || p != e || out.scale <= 0.0) {
         throw std::invalid_argument("registry: bad scale \"" + val + "\"");
       }
+      // Overflow-harden here, at spec-parse time: a scale whose vertex or
+      // arc count would wrap vid_t/eid_t (or "inf"/"nan", which
+      // from_chars happily parses) must come back as a stable
+      // bad_request from submit, not truncate a generated graph — or
+      // trip a contract abort inside the registry's load path later.
+      validate_suite_scale(out.scale);
     } else if (key == "seed") {
       auto [p, ec] = std::from_chars(b, e, out.seed);
       if (ec != std::errc() || p != e) {
@@ -105,7 +112,8 @@ bool has_gbin_extension(const std::string& key) {
   if (dot == std::string::npos) return false;
   std::string ext = key.substr(dot + 1);
   std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
+    // lossy: tolower of an ASCII byte round-trips through int
+    return narrow_cast<char>(std::tolower(c));
   });
   return ext == "gbin";
 }

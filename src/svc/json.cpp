@@ -6,12 +6,27 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/narrow.hpp"
+
 namespace gcg::svc {
 
 namespace {
 
 [[noreturn]] void type_error(const char* want) {
   throw std::runtime_error(std::string("json: value is not ") + want);
+}
+
+/// JSON text is handled byte-wise; <cctype> classifiers and the control-
+/// character checks need the raw byte value, not a (possibly negative)
+/// char.
+constexpr unsigned char byte_of(char c) {
+  return narrow_cast<unsigned char>(c);  // lossy: raw byte reinterpretation
+}
+
+/// UTF-8 encoding emits raw bytes back into the string; the high bit is
+/// intentionally set for continuation/lead bytes.
+constexpr char utf8_byte(unsigned b) {
+  return narrow_cast<char>(b);  // lossy: raw byte, high bit intended
 }
 
 void escape_into(const std::string& s, std::string& out) {
@@ -24,7 +39,7 @@ void escape_into(const std::string& s, std::string& out) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
+        if (byte_of(ch) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", ch);
           out += buf;
@@ -172,28 +187,28 @@ class Parser {
             for (int k = 0; k < 4; ++k) {
               char h = s_[i_++];
               code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              if (h >= '0' && h <= '9') code |= to_unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= to_unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= to_unsigned(h - 'A' + 10);
               else fail("bad hex digit in \\u escape");
             }
             // Encode the code point as UTF-8 (BMP only; surrogate pairs
             // are not needed by the protocol and parse as two code units).
             if (code < 0x80) {
-              out += static_cast<char>(code);
+              out += narrow<char>(code);
             } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
+              out += utf8_byte(0xC0 | (code >> 6));
+              out += utf8_byte(0x80 | (code & 0x3F));
             } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
+              out += utf8_byte(0xE0 | (code >> 12));
+              out += utf8_byte(0x80 | ((code >> 6) & 0x3F));
+              out += utf8_byte(0x80 | (code & 0x3F));
             }
             break;
           }
           default: fail("bad escape character");
         }
-      } else if (static_cast<unsigned char>(c) < 0x20) {
+      } else if (byte_of(c) < 0x20) {
         fail("raw control character in string");
       } else {
         out += c;
@@ -204,18 +219,18 @@ class Parser {
   Json parse_number() {
     const std::size_t start = i_;
     if (i_ < s_.size() && s_[i_] == '-') ++i_;
-    while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    while (i_ < s_.size() && std::isdigit(byte_of(s_[i_]))) ++i_;
     bool integral = true;
     if (i_ < s_.size() && s_[i_] == '.') {
       integral = false;
       ++i_;
-      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+      while (i_ < s_.size() && std::isdigit(byte_of(s_[i_]))) ++i_;
     }
     if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
       integral = false;
       ++i_;
       if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
-      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+      while (i_ < s_.size() && std::isdigit(byte_of(s_[i_]))) ++i_;
     }
     if (i_ == start || (i_ == start + 1 && s_[start] == '-')) {
       fail("malformed number");
@@ -256,7 +271,7 @@ std::int64_t Json::as_int() const {
     constexpr double kLo = -9223372036854775808.0;  // -2^63
     constexpr double kHi = 9223372036854775808.0;   // 2^63
     if (std::nearbyint(d) == d && d >= kLo && d < kHi) {
-      return static_cast<std::int64_t>(d);
+      return narrow<std::int64_t>(d);
     }
   }
   type_error("an integer");
@@ -264,7 +279,9 @@ std::int64_t Json::as_int() const {
 
 double Json::as_double() const {
   if (is_double()) return std::get<double>(v_);
-  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  // lossy: int64 values beyond 2^53 round to the nearest double here,
+  // exactly as a standards-conforming JSON reader would.
+  if (is_int()) return narrow_cast<double>(std::get<std::int64_t>(v_));
   type_error("a number");
 }
 

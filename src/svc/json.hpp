@@ -11,6 +11,8 @@
 #include <variant>
 #include <vector>
 
+#include "util/narrow.hpp"
+
 namespace gcg::svc {
 
 class Json;
@@ -25,9 +27,10 @@ class Json {
   Json(std::nullptr_t) : v_(nullptr) {}
   Json(bool b) : v_(b) {}
   Json(std::int64_t i) : v_(i) {}
-  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
-  Json(unsigned i) : v_(static_cast<std::int64_t>(i)) {}
-  Json(std::uint64_t i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(int i) : v_(std::int64_t{i}) {}
+  Json(unsigned i) : v_(std::int64_t{i}) {}
+  // lossy: u64 values (seeds) travel as two's-complement int64 on the wire
+  Json(std::uint64_t i) : v_(narrow_cast<std::int64_t>(i)) {}
   Json(double d) : v_(d) {}
   Json(const char* s) : v_(std::string(s)) {}
   Json(std::string s) : v_(std::move(s)) {}

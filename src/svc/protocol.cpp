@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "par/runner.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::svc {
 
@@ -17,7 +18,7 @@ std::uint64_t require_u64(const Json& req, const char* key) {
   const std::int64_t i = v->as_int();
   if (i < 0) throw std::runtime_error(std::string("\"") + key +
                                       "\" must be >= 0");
-  return static_cast<std::uint64_t>(i);
+  return to_unsigned(i);
 }
 
 /// Array of non-negative integers bounded by `max` -> vector<T>.
@@ -40,7 +41,7 @@ std::vector<T> u32_array(const Json& req, const char* key, std::int64_t max) {
       throw std::runtime_error(std::string("\"") + key +
                                "\" entry out of range");
     }
-    out.push_back(static_cast<T>(i));
+    out.push_back(narrow<T>(i));
   }
   return out;
 }
@@ -64,16 +65,24 @@ std::vector<color_t> color_array(const Json& req, const char* key) {
       throw std::runtime_error(std::string("\"") + key +
                                "\" entry out of range");
     }
-    out.push_back(static_cast<color_t>(i));
+    out.push_back(narrow<color_t>(i));
   }
   return out;
+}
+
+/// Counter/id -> JSON integer. Everything the protocol emits fits JSON's
+/// exact-int64 range by construction; narrow keeps that claim checked in
+/// debug instead of assumed.
+template <typename T>
+Json count_json(T x) {
+  return Json(narrow<std::int64_t>(x));
 }
 
 template <typename T>
 Json int_array_to_json(const std::vector<T>& v) {
   JsonArray out;
   out.reserve(v.size());
-  for (const T x : v) out.push_back(Json(static_cast<std::int64_t>(x)));
+  for (const T x : v) out.push_back(count_json(x));
   return Json(std::move(out));
 }
 
@@ -87,13 +96,13 @@ std::string require_graph(const Json& req) {
 
 /// begin <= end as vid_t range bounds.
 void require_range(const Json& req, vid_t& begin, vid_t& end) {
-  const std::int64_t b = static_cast<std::int64_t>(require_u64(req, "begin"));
-  const std::int64_t e = static_cast<std::int64_t>(require_u64(req, "end"));
+  const std::int64_t b = to_signed(require_u64(req, "begin"));
+  const std::int64_t e = to_signed(require_u64(req, "end"));
   if (b > e || e > 0xFFFFFFFFll) {
     throw std::runtime_error("bad vertex range [begin, end)");
   }
-  begin = static_cast<vid_t>(b);
-  end = static_cast<vid_t>(e);
+  begin = narrow<vid_t>(b);
+  end = narrow<vid_t>(e);
 }
 
 std::uint64_t require_id(const Json& req) { return require_u64(req, "id"); }
@@ -106,24 +115,25 @@ std::uint64_t require_seed(const Json& req) {
   if (!v || !v->is_number()) {
     throw std::runtime_error("missing or non-numeric \"seed\"");
   }
-  return static_cast<std::uint64_t>(v->as_int());
+  // lossy: u64 seeds travel as two's-complement int64; cast back bit-for-bit
+  return narrow_cast<std::uint64_t>(v->as_int());
 }
 
 Json result_to_json(const JobResult& r, bool include_colors) {
   Json out{JsonObject{}};
   out["num_colors"] = Json(r.num_colors);
-  out["iterations"] = Json(static_cast<std::int64_t>(r.iterations));
+  out["iterations"] = count_json(r.iterations);
   out["run_ms"] = Json(r.run_ms);
   out["latency_ms"] = Json(r.latency_ms);
   out["queue_ms"] = Json(r.queue_ms);
-  out["threads"] = Json(static_cast<std::int64_t>(r.threads));
+  out["threads"] = count_json(r.threads);
   out["verified"] = Json(r.verified);
   out["cache_hit"] = Json(r.cache_hit);
   out["mapped"] = Json(r.mapped);
   if (r.shards > 0) {
-    out["shards"] = Json(static_cast<std::int64_t>(r.shards));
-    out["conflict_rounds"] = Json(static_cast<std::int64_t>(r.conflict_rounds));
-    out["recolored"] = Json(static_cast<std::int64_t>(r.recolored));
+    out["shards"] = count_json(r.shards);
+    out["conflict_rounds"] = count_json(r.conflict_rounds);
+    out["recolored"] = count_json(r.recolored);
     out["boundary_fraction"] = Json(r.boundary_fraction);
   }
   if (!r.error.empty()) out["error"] = Json(r.error);
@@ -131,7 +141,7 @@ Json result_to_json(const JobResult& r, bool include_colors) {
     JsonArray colors;
     colors.reserve(r.colors.size());
     for (color_t c : r.colors) {
-      colors.push_back(Json(static_cast<std::int64_t>(c)));
+      colors.push_back(count_json(c));
     }
     out["colors"] = Json(std::move(colors));
   }
@@ -181,17 +191,17 @@ JobSpec job_spec_from_json(const Json& req) {
   spec.priority = req.get_string("priority", "random");
   const std::int64_t seed = req.get_int("seed", 1);
   if (seed < 0) throw std::runtime_error("\"seed\" must be >= 0");
-  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.seed = to_unsigned(seed);
   const std::int64_t threads = req.get_int("threads", 0);
   if (threads < 0 || threads > 4096) {
     throw std::runtime_error("\"threads\" must be in [0, 4096]");
   }
-  spec.threads = static_cast<unsigned>(threads);
+  spec.threads = narrow<unsigned>(threads);
   const std::int64_t grain = req.get_int("grain", 0);
   if (grain < 0 || grain > 0xFFFFFFFFll) {
     throw std::runtime_error("\"grain\" must be in [0, 4294967295]");
   }
-  spec.grain = static_cast<std::uint32_t>(grain);
+  spec.grain = narrow<std::uint32_t>(grain);
   spec.schedule = req.get_string("schedule", "");
   if (!spec.schedule.empty()) {
     par::schedule_from_name(spec.schedule);  // throws on unknown names
@@ -200,7 +210,7 @@ JobSpec job_spec_from_json(const Json& req) {
   if (hub < 0 || hub > 0xFFFFFFFFll) {
     throw std::runtime_error("\"hub_threshold\" must be in [0, 4294967295]");
   }
-  spec.hub_threshold = static_cast<std::uint32_t>(hub);
+  spec.hub_threshold = narrow<std::uint32_t>(hub);
   spec.order = req.get_string("order", "");
   if (!spec.order.empty()) {
     try {
@@ -225,12 +235,12 @@ JobSpec job_spec_from_json(const Json& req) {
   if (shards < 0 || shards > 4096) {
     throw std::runtime_error("\"shards\" must be in [0, 4096]");
   }
-  spec.shards = static_cast<unsigned>(shards);
+  spec.shards = narrow<unsigned>(shards);
   const std::int64_t rounds = req.get_int("shard_rounds", 0);
   if (rounds < 0 || rounds > 0xFFFF) {
     throw std::runtime_error("\"shard_rounds\" must be in [0, 65535]");
   }
-  spec.shard_rounds = static_cast<unsigned>(rounds);
+  spec.shard_rounds = narrow<unsigned>(rounds);
   return spec;
 }
 
@@ -241,18 +251,18 @@ Json job_spec_to_json(const JobSpec& spec) {
   out["algorithm"] = Json(spec.algorithm);
   out["priority"] = Json(spec.priority);
   out["seed"] = Json(spec.seed);
-  out["threads"] = Json(static_cast<std::int64_t>(spec.threads));
-  out["grain"] = Json(static_cast<std::int64_t>(spec.grain));
+  out["threads"] = count_json(spec.threads);
+  out["grain"] = count_json(spec.grain);
   if (!spec.schedule.empty()) out["schedule"] = Json(spec.schedule);
-  out["hub_threshold"] = Json(static_cast<std::int64_t>(spec.hub_threshold));
+  out["hub_threshold"] = count_json(spec.hub_threshold);
   if (!spec.order.empty()) out["order"] = Json(spec.order);
   out["deadline_ms"] = Json(spec.deadline_ms);
   out["keep_colors"] = Json(spec.keep_colors);
   if (spec.shards != 0) {
-    out["shards"] = Json(static_cast<std::int64_t>(spec.shards));
+    out["shards"] = count_json(spec.shards);
   }
   if (spec.shard_rounds != 0) {
-    out["shard_rounds"] = Json(static_cast<std::int64_t>(spec.shard_rounds));
+    out["shard_rounds"] = count_json(spec.shard_rounds);
   }
   return out;
 }
@@ -270,7 +280,7 @@ ShardColorRequest shard_color_request_from_json(const Json& req) {
   if (threads < 0 || threads > 4096) {
     throw std::runtime_error("\"threads\" must be in [0, 4096]");
   }
-  r.threads = static_cast<unsigned>(threads);
+  r.threads = narrow<unsigned>(threads);
   return r;
 }
 
@@ -278,13 +288,13 @@ Json shard_color_request_to_json(const ShardColorRequest& r) {
   Json out{JsonObject{}};
   out["op"] = Json("shard_color");
   out["graph"] = Json(r.graph);
-  out["begin"] = Json(static_cast<std::int64_t>(r.begin));
-  out["end"] = Json(static_cast<std::int64_t>(r.end));
+  out["begin"] = count_json(r.begin);
+  out["end"] = count_json(r.end);
   out["seed"] = Json(r.seed);
   out["algorithm"] = Json(r.algorithm);
   out["priority"] = Json(r.priority);
   if (r.threads != 0) {
-    out["threads"] = Json(static_cast<std::int64_t>(r.threads));
+    out["threads"] = count_json(r.threads);
   }
   return out;
 }
@@ -292,8 +302,8 @@ Json shard_color_request_to_json(const ShardColorRequest& r) {
 ShardColorReply shard_color_reply_from_json(const Json& reply) {
   ShardColorReply r;
   r.colors = color_array(reply, "colors");
-  r.num_colors = static_cast<int>(require_u64(reply, "num_colors"));
-  r.num_boundary = static_cast<vid_t>(require_u64(reply, "num_boundary"));
+  r.num_colors = narrow<int>(require_u64(reply, "num_colors"));
+  r.num_boundary = narrow<vid_t>(require_u64(reply, "num_boundary"));
   r.cut_arcs = require_u64(reply, "cut_arcs");
   r.run_ms = reply.get_double("run_ms", 0.0);
   r.cache_hit = reply.get_bool("cache_hit", false);
@@ -306,8 +316,8 @@ Json shard_color_reply_to_json(const ShardColorReply& r) {
   out["ok"] = Json(true);
   out["colors"] = int_array_to_json(r.colors);
   out["num_colors"] = Json(r.num_colors);
-  out["num_boundary"] = Json(static_cast<std::int64_t>(r.num_boundary));
-  out["cut_arcs"] = Json(static_cast<std::int64_t>(r.cut_arcs));
+  out["num_boundary"] = count_json(r.num_boundary);
+  out["cut_arcs"] = count_json(r.cut_arcs);
   out["run_ms"] = Json(r.run_ms);
   out["cache_hit"] = Json(r.cache_hit);
   out["mapped"] = Json(r.mapped);
@@ -333,8 +343,8 @@ Json shard_repair_request_to_json(const ShardRepairRequest& r) {
   Json out{JsonObject{}};
   out["op"] = Json("shard_repair");
   out["graph"] = Json(r.graph);
-  out["begin"] = Json(static_cast<std::int64_t>(r.begin));
-  out["end"] = Json(static_cast<std::int64_t>(r.end));
+  out["begin"] = count_json(r.begin);
+  out["end"] = count_json(r.end);
   out["seed"] = Json(r.seed);
   out["losers"] = int_array_to_json(r.losers);
   out["ghost_ids"] = int_array_to_json(r.ghost_ids);
@@ -350,7 +360,7 @@ ShardRepairReply shard_repair_reply_from_json(const Json& reply) {
     throw std::runtime_error(
         "\"ids\" and \"colors\" must be the same length");
   }
-  r.rounds = static_cast<unsigned>(require_u64(reply, "rounds"));
+  r.rounds = narrow<unsigned>(require_u64(reply, "rounds"));
   r.recolored = require_u64(reply, "recolored");
   r.run_ms = reply.get_double("run_ms", 0.0);
   return r;
@@ -361,8 +371,8 @@ Json shard_repair_reply_to_json(const ShardRepairReply& r) {
   out["ok"] = Json(true);
   out["ids"] = int_array_to_json(r.ids);
   out["colors"] = int_array_to_json(r.colors);
-  out["rounds"] = Json(static_cast<std::int64_t>(r.rounds));
-  out["recolored"] = Json(static_cast<std::int64_t>(r.recolored));
+  out["rounds"] = count_json(r.rounds);
+  out["recolored"] = count_json(r.recolored);
   out["run_ms"] = Json(r.run_ms);
   return out;
 }
@@ -392,11 +402,11 @@ Json stats_reply(const SchedulerStats& s) {
   out["cancelled"] = Json(s.cancelled);
   out["batches"] = Json(s.batches);
   out["batched_jobs"] = Json(s.batched_jobs);
-  out["queue_depth"] = Json(static_cast<std::int64_t>(s.queue_depth));
-  out["queue_capacity"] = Json(static_cast<std::int64_t>(s.queue_capacity));
-  out["jobs_tracked"] = Json(static_cast<std::int64_t>(s.jobs_tracked));
+  out["queue_depth"] = count_json(s.queue_depth);
+  out["queue_capacity"] = count_json(s.queue_capacity);
+  out["jobs_tracked"] = count_json(s.jobs_tracked);
   out["latency_samples"] =
-      Json(static_cast<std::int64_t>(s.latency_samples));
+      count_json(s.latency_samples);
   out["latency_p50_ms"] = Json(s.latency_p50_ms);
   out["latency_p90_ms"] = Json(s.latency_p90_ms);
   out["latency_p99_ms"] = Json(s.latency_p99_ms);
@@ -407,12 +417,12 @@ Json stats_reply(const SchedulerStats& s) {
   reg["misses"] = Json(s.registry.misses);
   reg["evictions"] = Json(s.registry.evictions);
   reg["load_errors"] = Json(s.registry.load_errors);
-  reg["entries"] = Json(static_cast<std::int64_t>(s.registry.entries));
-  reg["bytes"] = Json(static_cast<std::int64_t>(s.registry.bytes));
+  reg["entries"] = count_json(s.registry.entries);
+  reg["bytes"] = count_json(s.registry.bytes);
   reg["mapped_entries"] =
-      Json(static_cast<std::int64_t>(s.registry.mapped_entries));
+      count_json(s.registry.mapped_entries);
   reg["mapped_bytes"] =
-      Json(static_cast<std::int64_t>(s.registry.mapped_bytes));
+      count_json(s.registry.mapped_bytes);
   out["registry"] = std::move(reg);
   return out;
 }

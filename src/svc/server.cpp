@@ -14,6 +14,7 @@
 #include "svc/protocol.hpp"
 #include "util/expect.hpp"
 #include "util/log.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::svc {
 
@@ -64,7 +65,7 @@ bool write_line(int fd, const std::string& data) {
       if (errno == EINTR) continue;
       return false;  // EPIPE/ECONNRESET: peer is gone
     }
-    off += static_cast<std::size_t>(n);
+    off += to_unsigned(n);
   }
   return true;
 }
@@ -92,7 +93,7 @@ class LineReader {
         return false;
       }
       if (n == 0) return false;  // EOF; any partial line is dropped
-      buf_.append(chunk, static_cast<std::size_t>(n));
+      buf_.append(chunk, to_unsigned(n));
       if (buf_.size() > kMaxLine) return false;  // oversized request
     }
   }

@@ -1,12 +1,18 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace gcg {
 
-Cli::Cli(int argc, const char* const* argv) {
+Cli::Cli(int argc, const char* const* argv) : Cli(argc, argv, {}) {}
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> flags) {
   if (argc > 0) program_ = argv[0];
+  const auto is_flag = [&flags](const std::string& name) {
+    return std::find(flags.begin(), flags.end(), name) != flags.end();
+  };
   for (int i = 1; i < argc; ++i) {
     std::string tok = argv[i];
     if (tok.rfind("--", 0) != 0) {
@@ -17,10 +23,11 @@ Cli::Cli(int argc, const char* const* argv) {
     const auto eq = tok.find('=');
     if (eq != std::string::npos) {
       options_[tok.substr(0, eq)] = tok.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (!is_flag(tok) && i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       options_[tok] = argv[++i];
     } else {
-      options_[tok] = "true";  // bare flag
+      options_[tok] = "true";  // bare (or declared) flag
     }
   }
 }

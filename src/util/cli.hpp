@@ -1,5 +1,13 @@
 // Minimal command-line parser for the bench/example binaries.
 // Supports `--name value`, `--name=value`, and boolean `--flag`.
+//
+// Undeclared `--name` followed by a non-`--` token is value-shaped and
+// absorbs that token. Names listed in `flags` are boolean: they NEVER
+// absorb the next token, so `tool --verify file.gbin` keeps `file.gbin`
+// positional. Declare every bare flag a binary mixes with positionals —
+// the historical parser had no way to say so and silently ate the
+// positional (the bug that once forced tools/graph_pack to hand-parse
+// argv).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,10 @@ namespace gcg {
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
+  /// `flags` names options that are boolean switches: `--name` sets them
+  /// to "true" without consuming the following token. An explicit
+  /// `--name=value` still works for them.
+  Cli(int argc, const char* const* argv, std::vector<std::string> flags);
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;

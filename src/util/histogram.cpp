@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -23,19 +24,25 @@ Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
 Histogram Histogram::log2(unsigned max_log2) {
   Histogram h;
   h.logarithmic_ = true;
-  h.counts_.assign(static_cast<std::size_t>(max_log2) + 2, 0);  // +overflow
+  h.counts_.assign(std::size_t{max_log2} + 2, 0);  // +overflow
   return h;
 }
 
 std::size_t Histogram::index_of(double x) const {
   if (logarithmic_) {
     if (x < 1.0) return 0;
-    const auto lg = static_cast<std::size_t>(std::floor(std::log2(x)));
-    return std::min(lg + 1, counts_.size() - 1);
+    // Clamp in the float domain: casting an out-of-range double (inf,
+    // or beyond the last bin) would be UB before min() ever ran.
+    const double lg = std::floor(std::log2(x));
+    if (!(lg < static_cast<double>(counts_.size()))) return counts_.size() - 1;
+    return std::min(narrow<std::size_t>(lg) + 1, counts_.size() - 1);
   }
   if (x < lo_) return 0;
-  const auto idx = static_cast<std::size_t>((x - lo_) / cell_);
-  return std::min(idx, counts_.size() - 1);
+  // Same float-domain clamp; NaN fails the comparison and lands in the
+  // overflow bin.
+  const double cells = (x - lo_) / cell_;
+  if (!(cells < static_cast<double>(counts_.size()))) return counts_.size() - 1;
+  return narrow<std::size_t>(cells);
 }
 
 void Histogram::add(double x, std::uint64_t weight) {
@@ -71,9 +78,9 @@ std::string Histogram::render(std::size_t width) const {
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     if (counts_[b] == 0) continue;
     const auto bar =
-        peak ? static_cast<std::size_t>(static_cast<double>(counts_[b]) /
-                                        static_cast<double>(peak) *
-                                        static_cast<double>(width))
+        peak ? narrow<std::size_t>(static_cast<double>(counts_[b]) /
+                                   static_cast<double>(peak) *
+                                   static_cast<double>(width))
              : 0;
     os << "  " << bin_label(b);
     for (std::size_t pad = bin_label(b).size(); pad < 16; ++pad) os << ' ';

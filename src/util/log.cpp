@@ -23,6 +23,7 @@ LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
 void log_message(LogLevel level, const std::string& msg) {
+  // lint: allow-next-line(raw-narrow) enum -> underlying int compare
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }

@@ -34,8 +34,7 @@ class LogLine {
 }  // namespace gcg
 
 #define GCG_LOG(level)                                       \
-  if (static_cast<int>(::gcg::LogLevel::level) <             \
-      static_cast<int>(::gcg::log_level())) {                \
+  if (::gcg::LogLevel::level < ::gcg::log_level()) {         \
   } else                                                     \
     ::gcg::detail::LogLine(::gcg::LogLevel::level)
 

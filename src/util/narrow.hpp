@@ -1,0 +1,127 @@
+// Checked integer narrowing/sign-conversion seam — the only place in the
+// project allowed to spell an integer-target static_cast (enforced by the
+// gcg_lint `raw-narrow` rule). The CSR kernels live on a 32/64-bit seam
+// (vid_t is uint32_t, eid_t is uint64_t) and the service protocol moves
+// u64 values through two's-complement int64 JSON; every crossing goes
+// through one of these four names so each one is greppable, audited, and
+// debug-checked:
+//
+//   gcg::narrow<To>(x)       value-preserving narrowing. GCG_DCHECK's that
+//                            the value round-trips (std::in_range) in
+//                            Debug; compiles to the bare cast in Release.
+//                            Also accepts floating sources: truncation
+//                            toward zero is the intended semantic, but the
+//                            truncated value must be representable in To —
+//                            the case that is undefined behaviour for a
+//                            raw static_cast is the case the DCHECK fires
+//                            on, so Debug builds are UBSan-clean by
+//                            construction.
+//   gcg::narrow_cast<To>(x)  documented-lossy cast (wrapping/truncation is
+//                            the point: hashes, salts, two's-complement
+//                            transport). Never checks. Every call site
+//                            must carry a `// lossy:` justification
+//                            comment (gcg_lint `lossy-comment` rule),
+//                            exactly like `// order:` on memory_order
+//                            sites.
+//   gcg::to_signed(x)        same-width sign flips; checked like narrow
+//   gcg::to_unsigned(x)      (to_unsigned fires on negative inputs,
+//                            to_signed on values above the signed max).
+//
+// When neither fits, the conversion is probably a bug — that is the point.
+#pragma once
+
+#include <concepts>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace gcg {
+
+/// Integer types the seam converts between. bool is excluded on purpose:
+/// a bool "narrowing" is a predicate, write `x != 0`.
+template <class T>
+concept narrowable_int =
+    std::integral<T> && !std::same_as<std::remove_cv_t<T>, bool>;
+
+namespace detail {
+
+/// std::in_range refuses char/wchar_t/char8_t ("not a standard integer
+/// type"); map such types to the standard integer with the identical
+/// range (make_signed/make_unsigned are identity on int/unsigned/...).
+template <narrowable_int T>
+using std_integer_t = std::conditional_t<std::is_signed_v<T>,
+                                         std::make_signed_t<T>,
+                                         std::make_unsigned_t<T>>;
+
+/// True when truncating `x` toward zero yields a value representable in
+/// To — i.e. exactly the condition under which static_cast<To>(x) is
+/// defined behaviour. Bounds are the exclusive ±2^digits, which every
+/// float type represents exactly (powers of two), so there is no
+/// rounding subtlety at the edges; NaN fails both comparisons.
+template <narrowable_int To, std::floating_point From>
+constexpr bool float_fits(From x) {
+  constexpr From bound = [] {
+    From b = 1;
+    for (int i = 0; i < std::numeric_limits<To>::digits; ++i) b *= 2;
+    return b;
+  }();
+  if constexpr (std::signed_integral<To>) {
+    return x >= -bound && x < bound;
+  } else {
+    return x > From{-1} && x < bound;
+  }
+}
+
+}  // namespace detail
+
+/// Value-preserving checked narrowing (and sign conversion): the result
+/// always equals the input. Debug builds abort on a value that does not
+/// fit; Release builds compile to the bare cast.
+template <narrowable_int To, narrowable_int From>
+constexpr To narrow(From x) {
+  GCG_DCHECK(std::in_range<detail::std_integer_t<To>>(
+      static_cast<detail::std_integer_t<From>>(x)));  // same width+signedness
+  return static_cast<To>(x);
+}
+
+/// Floating -> integer: truncates toward zero like static_cast, but the
+/// truncated value must be representable (the UB case is the checked
+/// case).
+template <narrowable_int To, std::floating_point From>
+constexpr To narrow(From x) {
+  GCG_DCHECK(detail::float_fits<To>(x));
+  return static_cast<To>(x);
+}
+
+/// Documented-lossy conversion: modular wrapping / truncation is the
+/// intended semantic. Unchecked in every build mode. Call sites must
+/// carry a `// lossy:` justification (gcg_lint `lossy-comment`).
+template <narrowable_int To, narrowable_int From>
+constexpr To narrow_cast(From x) {
+  return static_cast<To>(x);
+}
+
+/// Integer -> floating with documented precision loss (values beyond the
+/// mantissa round to the nearest representable double/float). Same
+/// `// lossy:` comment discipline as the integer form.
+template <std::floating_point To, narrowable_int From>
+constexpr To narrow_cast(From x) {
+  return static_cast<To>(x);
+}
+
+/// Checked same-value sign flips. `to_unsigned` is the idiom for
+/// known-non-negative differences (iterator distances, validated JSON
+/// ints); `to_signed` for sizes handed to APIs that want a signed count.
+template <narrowable_int From>
+constexpr std::make_signed_t<From> to_signed(From x) {
+  return narrow<std::make_signed_t<From>>(x);
+}
+
+template <narrowable_int From>
+constexpr std::make_unsigned_t<From> to_unsigned(From x) {
+  return narrow<std::make_unsigned_t<From>>(x);
+}
+
+}  // namespace gcg

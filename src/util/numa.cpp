@@ -1,4 +1,5 @@
 #include "util/numa.hpp"
+#include "util/narrow.hpp"
 
 #include <charconv>
 #include <cstdint>
@@ -24,7 +25,7 @@ std::vector<int> all_cpus() {
   unsigned hc = std::thread::hardware_concurrency();
   if (hc == 0) hc = 1;
   std::vector<int> cpus(hc);
-  for (unsigned i = 0; i < hc; ++i) cpus[i] = static_cast<int>(i);
+  for (unsigned i = 0; i < hc; ++i) cpus[i] = to_signed(i);
   return cpus;
 }
 
@@ -89,7 +90,7 @@ bool detect_from_libnuma(Topology& topo) {
     if (numa_node_to_cpus(node, mask) != 0) continue;
     std::vector<int> cpus;
     for (unsigned c = 0; c < mask->size; ++c) {
-      if (numa_bitmask_isbitset(mask, c)) cpus.push_back(static_cast<int>(c));
+      if (numa_bitmask_isbitset(mask, c)) cpus.push_back(to_signed(c));
     }
     if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
   }
@@ -141,8 +142,8 @@ std::vector<unsigned> assign_worker_nodes(unsigned workers,
   std::vector<unsigned> quota(n, 0);
   unsigned assigned = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    quota[i] = static_cast<unsigned>(
-        (static_cast<std::uint64_t>(workers) * topo.node_cpus[i].size()) /
+    quota[i] = narrow<unsigned>(
+        (std::uint64_t{workers} * topo.node_cpus[i].size()) /
         total_cpus);
     assigned += quota[i];
   }
@@ -153,7 +154,7 @@ std::vector<unsigned> assign_worker_nodes(unsigned workers,
   unsigned w = 0;
   for (std::size_t i = 0; i < n && w < workers; ++i) {
     for (unsigned k = 0; k < quota[i] && w < workers; ++k) {
-      nodes[w++] = static_cast<unsigned>(i);
+      nodes[w++] = narrow<unsigned>(i);
     }
   }
   return nodes;
@@ -167,7 +168,7 @@ bool pin_current_thread_to_node(const Topology& topo, unsigned node) {
   bool any = false;
   for (int cpu : topo.node_cpus[node]) {
     if (cpu >= 0 && cpu < CPU_SETSIZE) {
-      CPU_SET(cpu, &set);
+      CPU_SET(to_unsigned(cpu), &set);
       any = true;
     }
   }

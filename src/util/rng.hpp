@@ -72,8 +72,10 @@ class Xoshiro256ss {
     while (true) {
       std::uint64_t x = next();
       __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      // lint: allow-next-line(raw-narrow) low 64 bits of the 128-bit product
       std::uint64_t lo = static_cast<std::uint64_t>(m);
       if (lo >= bound || lo >= (-bound) % bound) {
+        // lint: allow-next-line(raw-narrow) high word after shift; always fits
         return static_cast<std::uint64_t>(m >> 64);
       }
     }
@@ -105,6 +107,7 @@ struct CounterHash {
   /// 32-bit priority as used by the coloring kernels (matches the OpenCL
   /// kernels' uint priorities; ties are broken by vertex id at the call site).
   constexpr std::uint32_t u32(std::uint64_t counter) const {
+    // lint: allow-next-line(raw-narrow) high 32 bits after shift; always fits
     return static_cast<std::uint32_t>(operator()(counter) >> 32);
   }
 };

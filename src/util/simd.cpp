@@ -107,7 +107,7 @@ Level active_level() {
   // through it); every path it selects computes identical results.
   int lvl = level_cache().load(std::memory_order_relaxed);
   if (lvl == kUnset) {
-    lvl = static_cast<int>(detect_level());
+    lvl = static_cast<int>(detect_level());  // lint: allow(raw-narrow) enum -> underlying int
     // order: relaxed — racing first calls all store the same value.
     level_cache().store(lvl, std::memory_order_relaxed);
   }
@@ -126,8 +126,10 @@ const char* level_name(Level level) {
 
 void force_level_for_testing(Level level) {
   const Level cap = detect_level();
+  // lint: allow-next-line(raw-narrow) enum -> underlying int ordering compare
   if (static_cast<int>(level) > static_cast<int>(cap)) level = cap;
   // order: relaxed — see active_level(); the level is a pure value.
+  // lint: allow-next-line(raw-narrow) enum -> underlying int
   level_cache().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 

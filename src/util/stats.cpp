@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/expect.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg {
 
@@ -15,7 +16,7 @@ double percentile_of_sorted(const std::vector<double>& xs, double p) {
   GCG_EXPECT(p >= 0.0 && p <= 100.0);
   if (xs.size() == 1) return xs[0];
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
+  const auto lo = narrow<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] + frac * (xs[hi] - xs[lo]);
@@ -110,7 +111,7 @@ double WindowedStats::percentile(double p) const {
   GCG_EXPECT(p >= 0.0 && p <= 100.0);
   if (n_ == 0) return 0.0;
   std::vector<double> xs(ring_.begin(),
-                         ring_.begin() + static_cast<std::ptrdiff_t>(n_));
+                         ring_.begin() + to_signed(n_));
   std::sort(xs.begin(), xs.end());
   return percentile_of_sorted(xs, p);
 }

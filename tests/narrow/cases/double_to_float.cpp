@@ -1,0 +1,6 @@
+// Seeded violation: silent double -> float precision loss
+// (-Werror=float-conversion).
+float f(double x) {
+  float y = x;  // implicit double -> float
+  return y;
+}

@@ -1,0 +1,8 @@
+// Seeded violation: scaled vertex count truncated from double without
+// the checked seam — the gen: scale-overflow bug class.
+#include "graph/csr.hpp"
+
+gcg::vid_t f(double scaled_count) {
+  gcg::vid_t n = scaled_count;  // implicit double -> u32
+  return n;
+}

@@ -1,0 +1,8 @@
+// Seeded violation: eid_t (64-bit arc id) silently assigned to vid_t
+// (32-bit vertex id) — the exact 32/64 seam util/narrow.hpp exists for.
+#include "graph/csr.hpp"
+
+gcg::vid_t f(gcg::eid_t arcs) {
+  gcg::vid_t v = arcs;  // implicit u64 -> u32
+  return v;
+}

@@ -1,0 +1,10 @@
+// Seeded violation: 64-bit first-fit word arithmetic assigned straight
+// into color_t (int) — the driver.hpp pattern without narrow<color_t>.
+#include <cstddef>
+
+#include "coloring/common.hpp"
+
+gcg::color_t f(std::size_t word, int bit) {
+  gcg::color_t c = word * 64 + static_cast<unsigned>(bit);  // size_t -> int
+  return c;
+}

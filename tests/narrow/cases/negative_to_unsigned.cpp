@@ -1,0 +1,7 @@
+// Seeded violation: possibly-negative difference used as a count.
+#include <cstddef>
+
+std::size_t f(std::ptrdiff_t diff) {
+  std::size_t n = diff;  // implicit signed -> unsigned
+  return n;
+}

@@ -1,0 +1,10 @@
+// Seeded violation: indexing with a raw color_t (int) — sign conversion
+// at the subscript; the blessed spelling is sizes[to_unsigned(c)].
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+std::uint32_t f(const std::vector<std::uint32_t>& sizes, gcg::color_t c) {
+  return sizes[c];  // implicit int -> size_t
+}

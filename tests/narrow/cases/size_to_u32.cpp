@@ -1,0 +1,9 @@
+// Seeded violation: container size truncated into a 32-bit worklist
+// cursor without narrow<> — the frontier/appender pattern gone wrong.
+#include <cstdint>
+#include <vector>
+
+std::uint32_t f(const std::vector<int>& worklist) {
+  std::uint32_t n = worklist.size();  // implicit size_t -> u32
+  return n;
+}

@@ -1,0 +1,9 @@
+// Seeded violation: file-format u64 section offset handed to seekg
+// arithmetic as a signed stream offset implicitly.
+#include <cstdint>
+#include <ios>
+
+std::streamoff f(std::uint64_t section_offset) {
+  std::streamoff off = section_offset;  // implicit u64 -> i64
+  return off;
+}

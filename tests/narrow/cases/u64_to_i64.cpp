@@ -1,0 +1,8 @@
+// Seeded violation: u64 seed pushed into the int64 JSON transport
+// implicitly — must be narrow_cast with a `// lossy:` justification.
+#include <cstdint>
+
+std::int64_t f(std::uint64_t seed) {
+  std::int64_t wire = seed;  // implicit u64 -> i64
+  return wire;
+}

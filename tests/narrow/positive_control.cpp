@@ -1,0 +1,48 @@
+// Positive control for the integer-conversion negative-compile suite:
+// every blessed idiom from util/narrow.hpp, compiled with the same
+// promoted -Werror=conversion flags the FAIL cases run under. If this
+// file stops compiling, the suite's failures say nothing.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "coloring/common.hpp"
+#include "graph/csr.hpp"
+#include "util/narrow.hpp"
+
+namespace {
+
+// Checked narrowing across the vid/eid seam.
+gcg::vid_t vertex_from_index(std::size_t i) { return gcg::narrow<gcg::vid_t>(i); }
+
+// Widening spelled as brace-init: the compiler itself proves no loss.
+gcg::eid_t arcs_from_count(gcg::vid_t n) { return gcg::eid_t{n} * 5; }
+
+// Sign flips via the named helpers.
+std::ptrdiff_t signed_count(std::size_t n) { return gcg::to_signed(n); }
+std::size_t index_of(std::ptrdiff_t d) { return gcg::to_unsigned(d); }
+
+// Documented-lossy transport (the protocol's u64-seed-as-int64 path).
+std::int64_t seed_to_wire(std::uint64_t seed) {
+  // lossy: two's-complement transport, cast back bit-for-bit on receive
+  return gcg::narrow_cast<std::int64_t>(seed);
+}
+
+// Float -> integer through the checked seam.
+gcg::vid_t count_from_scale(double scaled) { return gcg::narrow<gcg::vid_t>(scaled); }
+
+// Indexing a vector with a known-non-negative signed color.
+std::uint32_t class_size(const std::vector<std::uint32_t>& sizes,
+                         gcg::color_t c) {
+  return sizes[gcg::to_unsigned(c)];
+}
+
+}  // namespace
+
+int gcg_narrow_positive_anchor() {
+  std::vector<std::uint32_t> sizes(4, 0);
+  return static_cast<int>(vertex_from_index(1) + arcs_from_count(2) +
+                          gcg::to_unsigned(signed_count(3)) + index_of(4) +
+                          gcg::to_unsigned(seed_to_wire(5)) +
+                          count_from_scale(6.0) + class_size(sizes, 3));
+}

@@ -1,6 +1,7 @@
 // Chase–Lev deque and StealPool: sequential semantics plus a concurrent
 // pop/steal stress test asserting every item is delivered exactly once.
 #include "par/deque.hpp"
+#include "par/steal_pool.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "par/steal_pool.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::par {
 namespace {
@@ -53,7 +54,7 @@ TEST(WorkStealingDequeTest, ConcurrentPopAndStealDeliverEachItemOnce) {
   auto thief = [&] {
     while (delivered.load(std::memory_order_acquire) < kItems) {
       if (auto v = dq.steal()) {
-        seen[*v].fetch_add(1);
+        seen[to_unsigned(*v)].fetch_add(1);
         delivered.fetch_add(1, std::memory_order_acq_rel);
       } else {
         std::this_thread::yield();
@@ -66,14 +67,14 @@ TEST(WorkStealingDequeTest, ConcurrentPopAndStealDeliverEachItemOnce) {
   // Owner pops from the bottom until its end meets the thieves'.
   while (delivered.load(std::memory_order_acquire) < kItems) {
     if (auto v = dq.pop_bottom()) {
-      seen[*v].fetch_add(1);
+      seen[to_unsigned(*v)].fetch_add(1);
       delivered.fetch_add(1, std::memory_order_acq_rel);
     }
   }
   for (auto& t : thieves) t.join();
 
   for (int i = 0; i < kItems; ++i) {
-    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+    ASSERT_EQ(seen[to_unsigned(i)].load(), 1) << "item " << i;
   }
 }
 

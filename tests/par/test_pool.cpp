@@ -8,6 +8,8 @@
 #include <numeric>
 #include <vector>
 
+#include "util/narrow.hpp"
+
 namespace gcg::par {
 namespace {
 
@@ -129,7 +131,7 @@ TEST(ThreadPoolTest, ParallelForEdgesHandlesAllZeroAndEmpty) {
                               seen[i].fetch_add(1);
                             }
                           });
-  for (int i = 0; i < 10; ++i) ASSERT_EQ(seen[i].load(), 1);
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(seen[to_unsigned(i)].load(), 1);
 
   const std::uint64_t empty_prefix[] = {0};
   int calls = 0;

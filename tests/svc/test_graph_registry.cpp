@@ -11,6 +11,7 @@
 #include "graph/gen/special.hpp"
 #include "graph/io/io.hpp"
 #include "graph/reorder.hpp"
+#include "util/narrow.hpp"
 
 namespace gcg::svc {
 namespace {
@@ -70,6 +71,27 @@ TEST(RegistryKey, MalformedGenSpecsThrow) {
     EXPECT_THROW(GraphRegistry::canonical_key(bad), std::invalid_argument)
         << bad;
   }
+}
+
+// Overflow hardening happens at spec-parse time (graph_registry.cpp):
+// a scale whose vertex count would wrap vid_t, a non-finite scale, or a
+// seed past uint64 must throw here — which submit() maps to a stable
+// bad_request — never reach a generator and truncate.
+TEST(RegistryKey, OverflowingGenSpecsThrow) {
+  for (const char* bad : {
+           "gen:er-like?scale=100",           // past kMaxSuiteScale
+           "gen:er-like?scale=1e300",         // astronomically past it
+           "gen:er-like?scale=inf",           // parses as +inf
+           "gen:er-like?scale=nan",           // escapes <=0 comparisons
+           "gen:er-like?seed=18446744073709551616",  // 2^64: u64 overflow
+           "gen:er-like?seed=99999999999999999999",
+       }) {
+    EXPECT_THROW(GraphRegistry::canonical_key(bad), std::invalid_argument)
+        << bad;
+  }
+  // The largest admitted scale and seed still parse.
+  EXPECT_NO_THROW(GraphRegistry::canonical_key(
+      "gen:er-like?scale=64&seed=18446744073709551615"));
 }
 
 TEST(RegistryKey, PathsCanonicalize) {
@@ -172,11 +194,11 @@ TEST(Registry, ConcurrentAcquiresShareOneLoad) {
   std::vector<std::shared_ptr<const Csr>> got(kThreads);
   std::vector<std::thread> team;
   for (int t = 0; t < kThreads; ++t) {
-    team.emplace_back([&, t] { got[t] = reg.acquire(kTiny); });
+    team.emplace_back([&, t] { got[to_unsigned(t)] = reg.acquire(kTiny); });
   }
   for (auto& th : team) th.join();
   for (int t = 1; t < kThreads; ++t) {
-    EXPECT_EQ(got[0].get(), got[t].get());
+    EXPECT_EQ(got[0].get(), got[to_unsigned(t)].get());
   }
   const auto s = reg.stats();
   EXPECT_EQ(s.misses, 1u) << "exactly one thread should have loaded";

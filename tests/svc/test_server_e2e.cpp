@@ -190,13 +190,23 @@ TEST(ServerE2E, StatusCancelAndErrorVerbs) {
   reply = client.request(bad_op);
   EXPECT_EQ(reply.get_string("error", ""), kErrUnknownOp);
 
-  // Bad submit -> bad_request, connection stays usable.
-  Json bad_submit{JsonObject{}};
-  bad_submit["op"] = Json(std::string("submit"));
-  bad_submit["graph"] = Json(std::string("gen:ecology-like?bogus=1"));
-  reply = client.request(bad_submit);
-  EXPECT_EQ(reply.get_string("error", ""), kErrBadRequest);
-  EXPECT_TRUE(client.ping());
+  // Bad submit -> bad_request, connection stays usable. The overflow
+  // specs exercise the parse-time hardening: an over-limit or non-finite
+  // scale and a seed past uint64 must map to the same stable error as a
+  // plain malformed spec, never reach a generator.
+  for (const char* bad_graph : {"gen:ecology-like?bogus=1",
+                                "gen:ecology-like?scale=100",
+                                "gen:ecology-like?scale=inf",
+                                "gen:ecology-like?scale=nan",
+                                "gen:ecology-like?scale=1e300",
+                                "gen:ecology-like?seed=18446744073709551616"}) {
+    Json bad_submit{JsonObject{}};
+    bad_submit["op"] = Json(std::string("submit"));
+    bad_submit["graph"] = Json(std::string(bad_graph));
+    reply = client.request(bad_submit);
+    EXPECT_EQ(reply.get_string("error", ""), kErrBadRequest) << bad_graph;
+    EXPECT_TRUE(client.ping()) << bad_graph;
+  }
   server.stop();
 }
 

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include "util/narrow.hpp"
+
 namespace gcg {
 namespace {
 
-Cli make(std::initializer_list<const char*> args) {
+Cli make(std::initializer_list<const char*> args,
+         std::vector<std::string> flags = {}) {
   std::vector<const char*> argv{"prog"};
   argv.insert(argv.end(), args.begin(), args.end());
-  return Cli(static_cast<int>(argv.size()), argv.data());
+  return Cli(narrow<int>(argv.size()), argv.data(), std::move(flags));
 }
 
 TEST(Cli, SpaceSeparatedValues) {
@@ -46,11 +49,60 @@ TEST(Cli, PositionalArguments) {
   EXPECT_TRUE(cli.get_bool("fast"));
 }
 
-TEST(Cli, BareFlagConsumesFollowingToken) {
-  // Documented semantics: a non-dashed token after --name is its value, so
-  // flags mixed with positionals must use --name=value form.
+TEST(Cli, UndeclaredBareFlagConsumesFollowingToken) {
+  // Documented semantics: a non-dashed token after an UNDECLARED --name is
+  // its value; flags mixed with positionals must be declared (or use
+  // --name=value form).
   auto cli = make({"--fast", "output.col"});
   EXPECT_EQ(cli.get("fast", ""), "output.col");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, DeclaredFlagDoesNotAbsorbPositional) {
+  // The graph_pack regression: `--verify file.gbin` must keep file.gbin
+  // positional when `verify` is a declared boolean flag.
+  auto cli = make({"--verify", "file.gbin"}, {"verify"});
+  EXPECT_TRUE(cli.get_bool("verify"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "file.gbin");
+}
+
+TEST(Cli, DeclaredFlagOrderings) {
+  // flag-then-positional, positional-then-flag, flag-between-positionals,
+  // and flags mixed with value options all parse identically.
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"--v1", "in.mtx", "out.gbin"},
+           {"in.mtx", "--v1", "out.gbin"},
+           {"in.mtx", "out.gbin", "--v1"}}) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    Cli cli(narrow<int>(argv.size()), argv.data(), {"v1", "force"});
+    EXPECT_TRUE(cli.get_bool("v1"));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "in.mtx");
+    EXPECT_EQ(cli.positional()[1], "out.gbin");
+  }
+}
+
+TEST(Cli, DeclaredFlagStillAcceptsEqualsForm) {
+  auto cli = make({"--force=false", "in.mtx"}, {"force"});
+  EXPECT_FALSE(cli.get_bool("force", true));
+  ASSERT_EQ(cli.positional().size(), 1u);
+}
+
+TEST(Cli, DeclaredFlagMixedWithValueOptions) {
+  auto cli = make({"--inspect", "--threads", "4", "g.gbin"}, {"inspect"});
+  EXPECT_TRUE(cli.get_bool("inspect"));
+  EXPECT_EQ(cli.get_int("threads", 0), 4);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "g.gbin");
+}
+
+TEST(Cli, UndeclaredNameStillTakesValue) {
+  // Declaring some flags must not change value-option parsing.
+  auto cli = make({"--backend", "par", "--v1"}, {"v1"});
+  EXPECT_EQ(cli.get("backend", ""), "par");
+  EXPECT_TRUE(cli.get_bool("v1"));
   EXPECT_TRUE(cli.positional().empty());
 }
 

@@ -1,0 +1,122 @@
+#include "util/narrow.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace gcg {
+namespace {
+
+// ---------------------------------------------------------------- narrow
+
+TEST(Narrow, ValuePreservingIntegral) {
+  EXPECT_EQ(narrow<std::uint32_t>(std::uint64_t{42}), 42u);
+  EXPECT_EQ(narrow<std::int8_t>(127), 127);
+  EXPECT_EQ(narrow<std::int8_t>(-128), -128);
+  EXPECT_EQ(narrow<std::uint64_t>(std::int64_t{7}), 7u);
+  EXPECT_EQ(narrow<int>(std::uint32_t{0x7FFFFFFF}), 0x7FFFFFFF);
+}
+
+TEST(Narrow, IsConstexpr) {
+  static_assert(narrow<std::uint16_t>(65535u) == 65535u);
+  static_assert(narrow<std::int32_t>(std::uint64_t{0}) == 0);
+  static_assert(to_signed(3u) == 3);
+  static_assert(to_unsigned(3) == 3u);
+  // lossy: the wrap is the semantic under test
+  static_assert(narrow_cast<std::uint8_t>(0x1FF) == 0xFF);
+}
+
+TEST(Narrow, BoundaryValuesRoundTrip) {
+  constexpr auto u32max = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(narrow<std::uint32_t>(std::uint64_t{u32max}), u32max);
+  constexpr auto i64min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(narrow<std::int64_t>(i64min), i64min);
+}
+
+TEST(Narrow, FloatSourceTruncatesTowardZero) {
+  EXPECT_EQ(narrow<int>(2.9), 2);
+  EXPECT_EQ(narrow<int>(-2.9), -2);
+  EXPECT_EQ(narrow<std::uint32_t>(0.999), 0u);
+  // Unsigned targets accept the (-1, 0] sliver: truncation yields 0.
+  EXPECT_EQ(narrow<std::uint32_t>(-0.25), 0u);
+  EXPECT_EQ(narrow<std::uint64_t>(1.0e9), 1000000000u);
+}
+
+#ifndef NDEBUG
+using NarrowDeathTest = testing::Test;
+
+TEST(NarrowDeathTest, OverflowAborts) {
+  const std::uint64_t big = std::uint64_t{1} << 40;
+  EXPECT_DEATH((void)narrow<std::uint32_t>(big), "debug check");
+  EXPECT_DEATH((void)narrow<std::int8_t>(128), "debug check");
+}
+
+TEST(NarrowDeathTest, SignFlipAborts) {
+  EXPECT_DEATH((void)narrow<std::uint32_t>(-1), "debug check");
+  EXPECT_DEATH((void)to_unsigned(-5), "debug check");
+  const auto u64max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_DEATH((void)to_signed(u64max), "debug check");
+}
+
+TEST(NarrowDeathTest, FloatOutOfRangeAborts) {
+  // Each of these is undefined behaviour for a raw static_cast; the
+  // DCHECK is what makes Debug builds UBSan-clean by construction.
+  EXPECT_DEATH((void)narrow<std::uint32_t>(4.3e9), "debug check");
+  EXPECT_DEATH((void)narrow<int>(-3.0e9), "debug check");
+  EXPECT_DEATH((void)narrow<std::uint64_t>(-1.5), "debug check");
+  EXPECT_DEATH((void)narrow<int>(std::numeric_limits<double>::quiet_NaN()),
+               "debug check");
+  EXPECT_DEATH((void)narrow<int>(std::numeric_limits<double>::infinity()),
+               "debug check");
+}
+
+TEST(NarrowDeathTest, FloatExactPowerOfTwoBoundIsExclusive) {
+  // 2^31 is exactly representable in double and exactly one past INT_MAX.
+  EXPECT_DEATH((void)narrow<std::int32_t>(2147483648.0), "debug check");
+  EXPECT_EQ(narrow<std::int32_t>(2147483647.0), 2147483647);
+  EXPECT_EQ(narrow<std::int32_t>(-2147483648.0),
+            std::numeric_limits<std::int32_t>::min());
+}
+#endif  // NDEBUG
+
+// ----------------------------------------------------------- narrow_cast
+
+TEST(NarrowCast, WrapsModular) {
+  // lossy: the wrap IS the assertion under test
+  EXPECT_EQ(narrow_cast<std::uint8_t>(256), 0);
+  // lossy: two's-complement transport round-trip, the protocol's seed path
+  const auto wire = narrow_cast<std::int64_t>(
+      std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(wire, -1);
+  // lossy: and back, bit for bit
+  EXPECT_EQ(narrow_cast<std::uint64_t>(wire),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(NarrowCast, IntegerToFloatRounds) {
+  const std::uint64_t odd = (std::uint64_t{1} << 60) + 1;
+  // lossy: 2^60 + 1 is beyond double's 53-bit mantissa
+  EXPECT_DOUBLE_EQ(narrow_cast<double>(odd),
+                   static_cast<double>(std::uint64_t{1} << 60));
+}
+
+// -------------------------------------------------- to_signed/to_unsigned
+
+TEST(SignFlips, PreserveValueAndWidth) {
+  EXPECT_EQ(to_signed(std::uint64_t{9}), std::int64_t{9});
+  EXPECT_EQ(to_unsigned(std::int32_t{9}), std::uint32_t{9});
+  static_assert(std::is_same_v<decltype(to_signed(std::size_t{0})),
+                               std::make_signed_t<std::size_t>>);
+  static_assert(std::is_same_v<decltype(to_unsigned(std::ptrdiff_t{0})),
+                               std::size_t>);
+}
+
+TEST(SignFlips, FullPositiveRange) {
+  constexpr auto i64max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(to_unsigned(i64max), std::uint64_t{i64max});
+  EXPECT_EQ(to_signed(std::uint64_t{i64max}), i64max);
+}
+
+}  // namespace
+}  // namespace gcg

@@ -5,6 +5,8 @@
 #include <set>
 #include <vector>
 
+#include "util/narrow.hpp"
+
 namespace gcg {
 namespace {
 
@@ -108,7 +110,7 @@ TEST(CounterHash, U32PrioritiesWellSpread) {
   const CounterHash h(7);
   std::vector<int> buckets(16, 0);
   const int trials = 64000;
-  for (int c = 0; c < trials; ++c) ++buckets[h.u32(c) >> 28];
+  for (int c = 0; c < trials; ++c) ++buckets[h.u32(to_unsigned(c)) >> 28];
   for (int b : buckets) {
     EXPECT_GT(b, trials / 16 * 0.9);
     EXPECT_LT(b, trials / 16 * 1.1);

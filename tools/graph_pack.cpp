@@ -22,6 +22,7 @@
 #include "store/format.hpp"
 #include "store/mapped_graph.hpp"
 #include "store/writer.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -144,28 +145,18 @@ int pack_v1(const std::string& input, const std::string& output) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Every flag here is a boolean mode, so parse argv directly — the
-  // shared gcg::Cli helper would absorb the token after `--v1` or
-  // `--inspect` as the flag's value.
-  std::vector<std::string> pos;
-  bool want_v1 = false, force = false, inspect_mode = false,
-       verify_mode = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--v1") {
-      want_v1 = true;
-    } else if (a == "--force") {
-      force = true;
-    } else if (a == "--inspect") {
-      inspect_mode = true;
-    } else if (a == "--verify") {
-      verify_mode = true;
-    } else if (a.rfind("--", 0) == 0) {
-      std::cerr << "error: unknown flag " << a << '\n';
-      return usage();
-    } else {
-      pos.push_back(a);
-    }
+  // Every flag here is a boolean mode; declaring them keeps gcg::Cli
+  // from absorbing the positional after `--v1` or `--inspect` as a
+  // value (the bug that once forced this tool to hand-parse argv).
+  const Cli cli(argc, argv, {"v1", "force", "inspect", "verify"});
+  const bool want_v1 = cli.get_bool("v1");
+  const bool force = cli.get_bool("force");
+  const bool inspect_mode = cli.get_bool("inspect");
+  const bool verify_mode = cli.get_bool("verify");
+  const std::vector<std::string>& pos = cli.positional();
+  if (!cli.unused().empty()) {
+    std::cerr << "error: unknown flag --" << cli.unused().front() << '\n';
+    return usage();
   }
   if (pos.empty()) return usage();
 

@@ -25,6 +25,19 @@ Rules (see docs/CORRECTNESS.md for the rationale):
                   sync::Mutex / sync::LockGuard / sync::CondVar wrappers
                   (util/sync.hpp) so clang Thread Safety Analysis sees
                   every acquisition.
+  raw-narrow      no integer-target static_cast in the conversion-clean
+                  core (src/graph/, src/par/, src/svc/, src/shard/,
+                  src/store/, src/check/, src/util/) outside
+                  util/narrow.hpp — every cross-width or cross-sign
+                  integer conversion must be a named, greppable call:
+                  gcg::narrow<T> (checked value-preserving) or
+                  gcg::narrow_cast<T> (documented-lossy). The compiler
+                  rejects the implicit conversions (-Werror=conversion);
+                  this rule closes the "just static_cast it" escape.
+  lossy-comment   every `narrow_cast<` site must carry a `// lossy:`
+                  justification, with the same placement rules as
+                  `// order:` below — a lossy conversion is a design
+                  decision, and the reader deserves the reason.
   order-comment   every `memory_order_*` site must carry an `// order:`
                   justification — on the same line, in an `// order:`
                   comment above it with no blank line in between (one
@@ -94,9 +107,11 @@ MMAP_RULE = "raw-mmap"
 PROC_RULE = "raw-process"
 SIMD_RULE = "raw-simd"
 MUTEX_RULE = "raw-mutex"
+NARROW_RULE = "raw-narrow"
+LOSSY_RULE = "lossy-comment"
 ALL_RULES = sorted(list(TOKEN_RULES) +
                    [ORDER_RULE, CYCLE_RULE, SEAM_RULE, MMAP_RULE, PROC_RULE,
-                    SIMD_RULE, MUTEX_RULE])
+                    SIMD_RULE, MUTEX_RULE, NARROW_RULE, LOSSY_RULE])
 
 # sync-seam: matches std::atomic, std::atomic_flag, std::atomic_thread_fence
 # but NOT std::atomic_ref / std::atomic_signal_fence (outside the seam) —
@@ -155,6 +170,38 @@ MUTEX_SCOPE = re.compile(r"(^|/)src/(par|svc|shard|store)/")
 MUTEX_MESSAGE = ("raw mutex/lock in the annotated core — use sync::Mutex / "
                  "sync::LockGuard / sync::CondVar (util/sync.hpp) so clang "
                  "thread safety analysis sees every acquisition")
+
+# raw-narrow: the conversion-clean core spells every integer conversion
+# through gcg::narrow / gcg::narrow_cast (util/narrow.hpp, the one exempt
+# file). The type alternation names every integer type the tree uses —
+# a static_cast to a type NOT listed here (double, enums, pointers) is
+# not an integer narrowing and stays legal. The trailing `\s*>` rejects
+# pointer targets (`static_cast<int*>`).
+NARROW_INT_TYPE = (
+    r"(?:un)?signed(?:\s+(?:char|short|int|long(?:\s+long)?))?"
+    r"|short|long\s+long|long|int"
+    r"|char8_t|char16_t|char32_t|wchar_t|char"
+    r"|u?int(?:8|16|32|64|max|ptr)_t"
+    r"|u?int_(?:fast|least)(?:8|16|32|64)_t"
+    r"|size_t|ssize_t|ptrdiff_t|streamoff|streamsize"
+    r"|off_t|pid_t|mode_t|time_t|socklen_t|in_port_t|sa_family_t"
+    r"|vid_t|eid_t|color_t")
+NARROW_TOKEN = re.compile(
+    r"static_cast\s*<\s*(?:const\s+)?(?:(?:std|gcg)\s*::\s*)?"
+    r"(?:" + NARROW_INT_TYPE + r")\s*>")
+NARROW_SCOPE = re.compile(
+    r"(^|/)src/(graph|par|svc|shard|store|check|util)/")
+NARROW_SCOPE_OK = re.compile(r"(^|/)src/util/narrow\.")
+NARROW_MESSAGE = ("integer-target static_cast in the conversion-clean core "
+                  "— spell it gcg::narrow<T> (checked) or "
+                  "gcg::narrow_cast<T> (documented-lossy), util/narrow.hpp")
+
+# lossy-comment: narrow_cast sites justify WHY losing bits is correct,
+# with the same placement rules as `// order:`.
+LOSSY_TOKEN = re.compile(r"\bnarrow_cast\s*<")
+LOSSY_COMMENT = re.compile(r"//\s*lossy:")
+LOSSY_MESSAGE = ("narrow_cast without a `// lossy:` justification — say why "
+                 "truncation/wrapping is the intended semantic")
 
 ORDER_TOKEN = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
@@ -265,12 +312,12 @@ def suppressions(raw_lines):
     return allowed, bad
 
 
-def order_covered(raw_lines, code_lines, lineno):
-    """True if the memory_order site at 1-based `lineno` is justified:
-    an `// order:` comment on the same line, above it within reach (no
-    blank line in between), or — for a call split across lines — on a
+def justification_covered(raw_lines, code_lines, lineno, comment_re):
+    """True if the site at 1-based `lineno` carries the justification
+    comment `comment_re` demands: on the same line, above it within reach
+    (no blank line in between), or — for a call split across lines — on a
     later line of the same statement (up to the `;` that ends it)."""
-    if ORDER_COMMENT.search(raw_lines[lineno - 1]):
+    if comment_re.search(raw_lines[lineno - 1]):
         return True
     for back in range(1, ORDER_REACH + 1):
         j = lineno - 1 - back
@@ -279,7 +326,7 @@ def order_covered(raw_lines, code_lines, lineno):
         line = raw_lines[j]
         if not line.strip():
             break  # blank line ends the annotated block
-        if ORDER_COMMENT.search(line):
+        if comment_re.search(line):
             return True
     # Downward within the same statement: a multi-line call site may
     # carry its justification on the closing line. `;` in the *code*
@@ -291,7 +338,7 @@ def order_covered(raw_lines, code_lines, lineno):
         j += 1
         if j >= len(raw_lines) or not raw_lines[j].strip():
             return False
-        if ORDER_COMMENT.search(raw_lines[j]):
+        if comment_re.search(raw_lines[j]):
             return True
     return False
 
@@ -308,6 +355,9 @@ def lint_file(path, raw_text):
     in_process_scope = bool(PROC_SCOPE_OK.search(path.replace(os.sep, "/")))
     in_simd_scope = bool(SIMD_SCOPE_OK.search(path.replace(os.sep, "/")))
     in_mutex_scope = bool(MUTEX_SCOPE.search(path.replace(os.sep, "/")))
+    in_narrow_scope = (
+        bool(NARROW_SCOPE.search(path.replace(os.sep, "/"))) and
+        not NARROW_SCOPE_OK.search(path.replace(os.sep, "/")))
 
     for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
         # Deleted special members (`= delete`) are not delete expressions.
@@ -330,8 +380,16 @@ def lint_file(path, raw_text):
         if (in_mutex_scope and MUTEX_RULE not in here
                 and MUTEX_TOKEN.search(code)):
             findings.append(Finding(path, idx, MUTEX_RULE, MUTEX_MESSAGE))
+        if (in_narrow_scope and NARROW_RULE not in here
+                and NARROW_TOKEN.search(code)):
+            findings.append(Finding(path, idx, NARROW_RULE, NARROW_MESSAGE))
+        if LOSSY_TOKEN.search(code) and LOSSY_RULE not in here:
+            if not justification_covered(raw_lines, code_lines, idx,
+                                         LOSSY_COMMENT):
+                findings.append(Finding(path, idx, LOSSY_RULE, LOSSY_MESSAGE))
         if ORDER_TOKEN.search(code) and ORDER_RULE not in here:
-            if not order_covered(raw_lines, code_lines, idx):
+            if not justification_covered(raw_lines, code_lines, idx,
+                                         ORDER_COMMENT):
                 findings.append(Finding(
                     path, idx, ORDER_RULE,
                     "memory_order use without an `// order:` justification"))
@@ -711,6 +769,98 @@ SELF_TEST_CASES = [
      "#include <mutex>\n"
      "std::mutex mu;  // lint: allow(raw-mutex)\n",
      {"lint-suppression", "raw-mutex"}),
+    # raw-narrow: integer-target static_cast banned in the
+    # conversion-clean core (src/graph, par, svc, shard, store, check,
+    # util) outside util/narrow.* — the case name doubles as the path the
+    # scope check sees.
+    ("src/graph/raw_narrow_vid",
+     '#include "graph/csr.hpp"\n'
+     "gcg::vid_t f(gcg::eid_t e) { return static_cast<gcg::vid_t>(e); }\n",
+     {"raw-narrow"}),
+    ("src/par/raw_narrow_unsigned",
+     "unsigned f(int x) { return static_cast<unsigned>(x); }\n",
+     {"raw-narrow"}),
+    ("src/svc/raw_narrow_std_uint64",
+     "#include <cstdint>\n"
+     "std::uint64_t f(std::int64_t i) "
+     "{ return static_cast<std::uint64_t>(i); }\n",
+     {"raw-narrow"}),
+    ("src/store/raw_narrow_streamoff",
+     "#include <ios>\n"
+     "std::streamoff f(unsigned long o) "
+     "{ return static_cast<std::streamoff>(o); }\n",
+     {"raw-narrow"}),
+    ("src/check/raw_narrow_size_t",
+     "#include <cstddef>\n"
+     "std::size_t f(long n) { return static_cast<std::size_t>(n); }\n",
+     {"raw-narrow"}),
+    ("src/util/raw_narrow_unsigned_long_long",
+     "unsigned long long f(long x) "
+     "{ return static_cast<unsigned long long>(x); }\n",
+     {"raw-narrow"}),
+    ("src/util/narrow",  # lint_file sees "src/util/narrow.cpp" — exempt
+     "template <class To, class From>\n"
+     "To narrow(From x) { return static_cast<To>(static_cast<int>(x)); }\n",
+     set()),
+    ("src/coloring/narrow_out_of_scope_ok",
+     "unsigned f(int x) { return static_cast<unsigned>(x); }\n",
+     set()),
+    ("src/graph/narrow_double_target_ok",
+     "double f(gcg::vid_t v) { return static_cast<double>(v); }\n",
+     set()),
+    ("src/graph/narrow_pointer_target_ok",
+     "int* f(void* p) { return static_cast<int*>(p); }\n",
+     set()),
+    ("src/graph/narrow_enum_target_ok",
+     "enum class Order : int {};\n"
+     "Order f(int x) { return static_cast<Order>(x); }\n",
+     set()),
+    ("src/par/narrow_in_comment_ok",
+     "// static_cast<unsigned> is discussed here only\n"
+     "int x;\n",
+     set()),
+    ("src/svc/narrow_suppressed_ok",
+     "unsigned f(int x) { return static_cast<unsigned>(x); }"
+     "  // lint: allow(raw-narrow) pre-seam fixture kept verbatim\n",
+     set()),
+    # lossy-comment: narrow_cast sites carry a `// lossy:` justification
+    # with the same placement rules as `// order:`.
+    ("src/util/lossy_bare",
+     '#include "util/narrow.hpp"\n'
+     "int f(long x) { return gcg::narrow_cast<int>(x); }\n",
+     {"lossy-comment"}),
+    ("src/util/lossy_same_line",
+     '#include "util/narrow.hpp"\n'
+     "unsigned f(long x) { return gcg::narrow_cast<unsigned>(x); }"
+     "  // lossy: hash salt, wrapping intended\n",
+     set()),
+    ("src/util/lossy_comment_above",
+     '#include "util/narrow.hpp"\n'
+     "int f(long x) {\n"
+     "  // lossy: two's-complement transport, cast back bit-for-bit\n"
+     "  return gcg::narrow_cast<int>(x);\n"
+     "}\n",
+     set()),
+    ("src/util/lossy_multiline_trailing",
+     '#include "util/narrow.hpp"\n'
+     "int f(long a, long b) {\n"
+     "  return gcg::narrow_cast<int>(\n"
+     "      a + b);  // lossy: checksum folds high bits by design\n"
+     "}\n",
+     set()),
+    ("src/util/lossy_blank_line_breaks_coverage",
+     '#include "util/narrow.hpp"\n'
+     "// lossy: does not reach past the blank line\n"
+     "\n"
+     "int f(long x) { return gcg::narrow_cast<int>(x); }\n",
+     {"lossy-comment"}),
+    ("tools/lossy_outside_src_still_required",
+     "int f(long x) { return gcg::narrow_cast<int>(x); }\n",
+     {"lossy-comment"}),
+    ("src/util/lossy_suppressed_ok",
+     "int f(long x) { return gcg::narrow_cast<int>(x); }"
+     "  // lint: allow(lossy-comment) generated table, justified in header\n",
+     set()),
 ]
 
 
